@@ -1,0 +1,296 @@
+// trod-bench runs the TROD evaluation experiments (DESIGN.md §4) and prints
+// paper-formatted results. EXPERIMENTS.md records these outputs against the
+// paper's claims.
+//
+// Usage:
+//
+//	trod-bench -exp all              # every experiment at default scale
+//	trod-bench -exp e1 -requests 20000
+//	trod-bench -exp e2 -maxevents 1000000
+//	trod-bench -exp table1|table2|query|replay|retro|security|exfil|cases
+//	trod-bench -exp a1|a2|a3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strings"
+
+	trod "repro"
+	"repro/internal/experiments"
+)
+
+var (
+	expFlag   = flag.String("exp", "all", "experiment: all,e1,e2,table1,table2,query,replay,retro,security,exfil,cases,a1,a2,a3")
+	requests  = flag.Int("requests", 5000, "E1/A1 request count")
+	users     = flag.Int("users", 100, "E1/A1 user count")
+	maxEvents = flag.Int("maxevents", 500_000, "E2 largest event-count scale")
+	bulkRows  = flag.Int("bulkrows", 100_000, "A2 bulk table size")
+)
+
+func main() {
+	flag.Parse()
+	which := strings.ToLower(*expFlag)
+	run := func(name string, fn func() error) {
+		if which != "all" && which != name {
+			return
+		}
+		fmt.Printf("\n========== %s ==========\n", strings.ToUpper(name))
+		if err := fn(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+	}
+
+	run("e1", runE1)
+	run("e2", runE2)
+	run("table1", runTable1)
+	run("table2", runTable2)
+	run("query", runQuery)
+	run("replay", runReplay)
+	run("retro", runRetro)
+	run("security", runSecurity)
+	run("exfil", runExfil)
+	run("cases", runCases)
+	run("a1", runA1)
+	run("a2", runA2)
+	run("a3", runA3)
+
+	if which != "all" {
+		switch which {
+		case "e1", "e2", "table1", "table2", "query", "replay", "retro", "security", "exfil", "cases", "a1", "a2", "a3":
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *expFlag)
+			flag.Usage()
+			os.Exit(2)
+		}
+	}
+}
+
+func runE1() error {
+	fmt.Println("E1: always-on tracing overhead (paper §3.7: '<100µs per request,")
+	fmt.Println("    <15% relative on an in-memory DBMS, negligible on an on-disk DBMS')")
+	fmt.Printf("workload: %d requests over %d users (microservice mix)\n\n", *requests, *users)
+
+	mem, err := experiments.RunE1Pair(experiments.EngineMemory, *requests, *users, false)
+	if err != nil {
+		return err
+	}
+	diskReqs := *requests / 10
+	if diskReqs < 200 {
+		diskReqs = 200
+	}
+	disk, err := experiments.RunE1Pair(experiments.EngineDisk, diskReqs, *users, true)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-22s %12s %12s %12s %14s\n", "engine", "base p50", "traced p50", "trace cost", "rel. overhead")
+	fmt.Printf("%-22s %10.1fus %10.1fus %10.2fus %12.1f%%\n",
+		"in-memory (VoltDB-like)", mem.Off.P50Us, mem.On.P50Us, mem.PerReqUs, mem.OverheadPct)
+	fmt.Printf("%-22s %10.1fus %10.1fus %10.2fus %12.1f%%\n",
+		"disk+fsync (PG-like)", disk.Off.P50Us, disk.On.P50Us, disk.PerReqUs, disk.OverheadPct)
+	fmt.Printf("\ntrace events captured: %d (memory run)\n", mem.On.TraceEvents)
+	if runtime.GOMAXPROCS(0) == 1 {
+		fmt.Println("note: single-CPU machine — the async flusher shares the request core,")
+		fmt.Println("      inflating relative overhead vs the paper's multi-core servers;")
+		fmt.Println("      the absolute per-request cost (median delta) is the robust number.")
+	}
+	fmt.Printf("paper shape: absolute cost well under 100us -> %v; disk overhead near zero -> %v\n",
+		mem.PerReqUs < 100, disk.OverheadPct < 10)
+	return nil
+}
+
+func runE2() error {
+	fmt.Println("E2: declarative debugging query latency vs provenance size")
+	fmt.Println("    (paper §3.7: interactive latency over very large event logs;")
+	fmt.Println("     scale substitution per DESIGN.md: 10^4..10^6 events)")
+	scales := []int{10_000, 50_000, 100_000}
+	for s := 250_000; s <= *maxEvents; s *= 2 {
+		scales = append(scales, s)
+	}
+	points, err := experiments.RunE2(scales)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n%12s %12s %14s %12s %8s\n", "events", "load ms", "§3.3 query ms", "agg ms", "matches")
+	for _, p := range points {
+		fmt.Printf("%12d %12.1f %14.2f %12.2f %8d\n", p.Events, p.LoadMs, p.QueryMs, p.AggMs, p.MatchRows)
+	}
+	last := points[len(points)-1]
+	perMillion := last.QueryMs / float64(last.Events) * 1e6
+	fmt.Printf("\nscaling: %.1f ms per million events for the debugging query\n", perMillion)
+	fmt.Printf("extrapolated to 1e9 events: %.1f s (paper reports <5 s on a server fleet)\n", perMillion*1000/1000)
+	return nil
+}
+
+func withScenario(fn func(*experiments.Scenario) error) error {
+	sc, err := experiments.NewScenario()
+	if err != nil {
+		return err
+	}
+	defer sc.Close()
+	return fn(sc)
+}
+
+func runTable1() error {
+	return withScenario(func(sc *experiments.Scenario) error {
+		fmt.Println("E3: regenerated Table 1 (transaction execution log)")
+		rows, err := experiments.RunE3Table1(sc)
+		if err != nil {
+			return err
+		}
+		fmt.Print(trod.FormatRows(rows))
+		return nil
+	})
+}
+
+func runTable2() error {
+	return withScenario(func(sc *experiments.Scenario) error {
+		fmt.Println("E4: regenerated Table 2 (data operations log, ForumEvents)")
+		rows, err := experiments.RunE4Table2(sc)
+		if err != nil {
+			return err
+		}
+		fmt.Print(trod.FormatRows(rows))
+		return nil
+	})
+}
+
+func runQuery() error {
+	return withScenario(func(sc *experiments.Scenario) error {
+		fmt.Println("E5: the §3.3 debugging query")
+		rows, err := experiments.RunE5DebugQuery(sc)
+		if err != nil {
+			return err
+		}
+		fmt.Print(trod.FormatRows(rows))
+		fmt.Println("-> two requests, same handler, adjacent timestamps (paper: (TS3,R2),(TS4,R1))")
+		return nil
+	})
+}
+
+func runReplay() error {
+	return withScenario(func(sc *experiments.Scenario) error {
+		fmt.Println("E6: bug replay (Figure 3 top)")
+		report, err := experiments.RunE6Replay(sc)
+		if err != nil {
+			return err
+		}
+		for i, st := range report.Steps {
+			fmt.Printf("step %d: %-14s injected foreign changes: %d\n", i, st.Func, len(st.Injected))
+		}
+		fmt.Printf("faithful: %v; foreign writers: %v\n", !report.Diverged, report.ForeignWriters)
+		return nil
+	})
+}
+
+func runRetro() error {
+	return withScenario(func(sc *experiments.Scenario) error {
+		fmt.Println("E7: retroactive programming of the fix (Figure 3 bottom)")
+		report, err := experiments.RunE7Retro(sc)
+		if err != nil {
+			return err
+		}
+		for i, s := range report.Schedules {
+			fmt.Printf("schedule %d: grant order %v, invariant ok: %v\n", i+1, s.Order, s.InvariantErr == nil)
+		}
+		fmt.Printf("all interleavings pass: %v\n", report.AllInvariantsHold())
+		return nil
+	})
+}
+
+func withSecurity(fn func(*experiments.SecurityScenario) error) error {
+	sc, err := experiments.NewSecurityScenario()
+	if err != nil {
+		return err
+	}
+	defer sc.Close()
+	return fn(sc)
+}
+
+func runSecurity() error {
+	return withSecurity(func(sc *experiments.SecurityScenario) error {
+		fmt.Println("E8: User Profiles access-control pattern (§4.2)")
+		violations, err := experiments.RunE8AccessControl(sc)
+		if err != nil {
+			return err
+		}
+		for _, v := range violations {
+			fmt.Printf("VIOLATION req=%s handler=%s: %s\n", v.ReqID, v.Handler, v.Details)
+		}
+		return nil
+	})
+}
+
+func runExfil() error {
+	return withSecurity(func(sc *experiments.SecurityScenario) error {
+		fmt.Println("E9: workflow exfiltration tracing (§4.2)")
+		findings, err := experiments.RunE9Exfiltration(sc)
+		if err != nil {
+			return err
+		}
+		for _, f := range findings {
+			fmt.Printf("EXFILTRATION req=%s entry=%s read=%s write=%s path=%v\n",
+				f.ReqID, f.EntryHandler, f.ReadHandler, f.WriteHandler, f.WorkflowPath)
+		}
+		return nil
+	})
+}
+
+func runCases() error {
+	fmt.Println("E10: §4.1 case studies (reproduce -> locate -> replay -> validate fix)")
+	results, err := experiments.RunE10CaseStudies()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n%-45s %-10s %-8s %-8s %-9s\n", "bug", "reproduced", "located", "replayed", "fix-valid")
+	for _, r := range results {
+		fmt.Printf("%-45s %-10v %-8v %-8v %-9v\n", r.Bug, r.Reproduced, r.Located, r.Replayed, r.FixValidated)
+		if r.Notes != "" {
+			fmt.Printf("    note: %s\n", r.Notes)
+		}
+	}
+	return nil
+}
+
+func runA1() error {
+	fmt.Println("A1 (ablation): async ring-buffer vs synchronous provenance writes")
+	res, err := experiments.RunA1FlushPolicy(*requests/5, *users)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("async buffer: %8.1f us/request\n", res.AsyncAvgUs)
+	fmt.Printf("sync writes:  %8.1f us/request\n", res.SyncAvgUs)
+	fmt.Printf("slowdown:     %8.1fx  (why the paper's always-on tracing buffers)\n", res.Slowdown)
+	return nil
+}
+
+func runA2() error {
+	fmt.Println("A2 (ablation): full vs selective snapshot restore for replay")
+	res, err := experiments.RunA2SelectiveRestore(*bulkRows)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("bulk rows in unrelated table: %d\n", res.BulkRows)
+	fmt.Printf("full restore:      %8.1f ms\n", res.FullMs)
+	fmt.Printf("selective restore: %8.1f ms\n", res.SelectiveMs)
+	fmt.Printf("speedup: %.1fx; both faithful: %v\n", res.Speedup, res.BothFaithful)
+	return nil
+}
+
+func runA3() error {
+	fmt.Println("A3 (ablation): conflict-pruned vs naive interleaving enumeration")
+	fmt.Printf("\n%10s %18s %18s\n", "extras", "pruned schedules", "naive schedules")
+	for _, extras := range []int{1, 2, 3, 4} {
+		res, err := experiments.RunA3Interleavings(extras, 4096)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%10d %18d %18d\n", extras, res.PrunedCount, res.NaiveCount)
+	}
+	fmt.Println("\n(2 conflicting two-txn requests + N commuting one-txn requests;")
+	fmt.Println(" pruning keeps the schedule count flat while naive enumeration explodes)")
+	return nil
+}

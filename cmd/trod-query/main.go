@@ -1,0 +1,108 @@
+// trod-query is a SQL shell for TROD databases: open a WAL-backed database
+// file (production or provenance) and run queries against it, or pipe a
+// script on stdin.
+//
+// Usage:
+//
+//	trod-query -db path/to/db.wal "SELECT * FROM Executions LIMIT 10"
+//	echo "SELECT COUNT(*) FROM forum_sub;" | trod-query -db db.wal
+//	trod-query -db db.wal            # interactive: one statement per line
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	trod "repro"
+)
+
+var (
+	dbPath = flag.String("db", "", "path to the database WAL file (required)")
+	timing = flag.Bool("timing", false, "print per-query execution time")
+)
+
+func main() {
+	flag.Parse()
+	if *dbPath == "" {
+		fmt.Fprintln(os.Stderr, "trod-query: -db is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	d, err := trod.OpenDiskDBNoSync(*dbPath)
+	if err != nil {
+		log.Fatalf("open %s: %v", *dbPath, err)
+	}
+	defer d.Close()
+
+	if flag.NArg() > 0 {
+		for _, q := range flag.Args() {
+			if err := runOne(d, q); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	interactive := isTerminalish()
+	if interactive {
+		fmt.Println("trod-query: one SQL statement per line; tables: .tables; quit: .exit")
+		fmt.Print("trod> ")
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || strings.HasPrefix(line, "--"):
+		case line == ".exit" || line == ".quit":
+			return
+		case line == ".tables":
+			for _, t := range d.Store().Tables() {
+				fmt.Println(t)
+			}
+		default:
+			if err := runOne(d, strings.TrimSuffix(line, ";")); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+			}
+		}
+		if interactive {
+			fmt.Print("trod> ")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func runOne(d *trod.DB, q string) error {
+	t0 := time.Now()
+	rows, err := d.Query(q)
+	if err != nil {
+		return err
+	}
+	if len(rows.Columns) > 0 {
+		fmt.Print(trod.FormatRows(rows))
+		fmt.Printf("(%d rows)\n", len(rows.Rows))
+	} else {
+		fmt.Printf("ok (%d rows affected)\n", rows.RowsAffected)
+	}
+	if *timing {
+		fmt.Printf("time: %.2f ms\n", float64(time.Since(t0).Microseconds())/1000)
+	}
+	return nil
+}
+
+// isTerminalish reports whether stdin looks interactive (best effort, no
+// syscalls beyond Stat).
+func isTerminalish() bool {
+	fi, err := os.Stdin.Stat()
+	if err != nil {
+		return false
+	}
+	return fi.Mode()&os.ModeCharDevice != 0
+}

@@ -1,0 +1,189 @@
+package trod_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	trod "repro"
+	"repro/internal/workload"
+)
+
+// TestDebuggingStorySurvivesRestart is the full durability arc: production
+// and provenance both disk-backed, the bug happens, everything shuts down,
+// both databases recover from their WALs, and the entire §3 debugging story
+// (declarative query, replay with foreign-write injection, retroactive fix
+// validation) still works against the recovered state.
+func TestDebuggingStorySurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	prodPath := filepath.Join(dir, "prod.wal")
+	provPath := filepath.Join(dir, "prov.wal")
+
+	// --- life before the crash -------------------------------------------
+	{
+		prod, err := trod.OpenDiskDBNoSync(prodPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := workload.SetupMoodle(prod); err != nil {
+			t.Fatal(err)
+		}
+		prov, err := trod.OpenDiskDBNoSync(provPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		app := trod.NewApp(prod)
+		workload.RegisterMoodle(app)
+		tr, err := trod.AttachTracer(app, prov, trod.TraceConfig{Tables: workload.MoodleTables})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := workload.RaceSubscribe(app, "R1", "R2", "U1", "F2"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := app.InvokeWithReqID("R3", "fetchSubscribers", trod.Args{"forum": "F2"}); err == nil {
+			t.Fatal("R3 should fail")
+		}
+		if err := tr.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := prod.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := prov.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// --- recovery ----------------------------------------------------------
+	prod, err := trod.OpenDiskDBNoSync(prodPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prod.Close()
+	prov, err := trod.OpenDiskDBNoSync(provPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prov.Close()
+
+	// Production data recovered, including the duplicate.
+	rows, err := prod.Query(`SELECT COUNT(*) FROM forum_sub WHERE userId = 'U1' AND forum = 'F2'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Rows[0][0].AsInt() != 2 {
+		t.Fatalf("recovered duplicates = %v", rows.Rows[0][0])
+	}
+
+	// Declarative debugging against the recovered provenance.
+	dbg, err := prov.Query(`SELECT Timestamp, ReqId, HandlerName
+		FROM Executions as E, ForumEvents as F ON E.TxnId = F.TxnId
+		WHERE F.UserId = 'U1' AND F.Forum = 'F2' AND F.Type = 'Insert'
+		ORDER BY Timestamp ASC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dbg.Rows) != 2 {
+		t.Fatalf("recovered debug query rows = %d", len(dbg.Rows))
+	}
+	lateReq := dbg.Rows[1][1].AsText()
+
+	// Re-attach TROD to the recovered pair (a fresh app process).
+	app := trod.NewApp(prod)
+	workload.RegisterMoodle(app)
+	tr, err := trod.AttachTracer(app, prov, trod.TraceConfig{Tables: workload.MoodleTables})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	// Replay works from recovered provenance + recovered commit log.
+	report, err := trod.NewReplayer(prod, tr).Replay(lateReq, workload.RegisterMoodle, trod.ReplayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Diverged {
+		t.Fatalf("post-recovery replay diverged: %v", report.Diffs)
+	}
+	if len(report.ForeignWriters) != 1 {
+		t.Fatalf("post-recovery foreign writers = %v", report.ForeignWriters)
+	}
+
+	// Retroactive fix validation works too.
+	retroReport, err := trod.NewRetro(prod, tr).Run([]string{"R1", "R2", "R3"}, workload.RegisterMoodleFixed, trod.RetroOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !retroReport.AllInvariantsHold() {
+		t.Fatal("post-recovery retro run failed")
+	}
+
+	// And the recovered system keeps serving + tracing new traffic.
+	if _, err := app.InvokeWithReqID("R10", "subscribeUser", trod.Args{"userId": "U9", "forum": "F9"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	post, err := prov.Query(`SELECT COUNT(*) FROM Executions WHERE ReqId = 'R10'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if post.Rows[0][0].AsInt() == 0 {
+		t.Error("post-recovery traffic not traced")
+	}
+}
+
+// TestProvenanceRecoveryPreservesEventTables checks that the dynamically
+// created event tables (whose DDL is WAL-logged) come back with their
+// schema and indexes.
+func TestProvenanceRecoveryPreservesEventTables(t *testing.T) {
+	dir := t.TempDir()
+	provPath := filepath.Join(dir, "prov.wal")
+	{
+		prod := trod.OpenMemoryDB()
+		defer prod.Close()
+		if err := workload.SetupMoodle(prod); err != nil {
+			t.Fatal(err)
+		}
+		prov, err := trod.OpenDiskDBNoSync(provPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		app := trod.NewApp(prod)
+		workload.RegisterMoodle(app)
+		tr, err := trod.AttachTracer(app, prov, trod.TraceConfig{Tables: workload.MoodleTables})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := app.Invoke("subscribeUser", trod.Args{"userId": "U1", "forum": "F1"}); err != nil {
+			t.Fatal(err)
+		}
+		tr.Close()
+		prov.Close()
+	}
+	prov, err := trod.OpenDiskDBNoSync(provPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prov.Close()
+	for _, table := range []string{"Executions", "ForumEvents", "CourseEvents", "trod_requests", "trod_rpc_edges", "trod_externals"} {
+		if prov.Store().Table(table) == nil {
+			t.Errorf("recovered provenance missing table %s", table)
+		}
+	}
+	// The TxnId index on ForumEvents survived (used via equality lookup).
+	found := false
+	for _, ix := range prov.Store().Indexes("ForumEvents") {
+		if ix.Name == "ForumEvents_txn" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("event-table index lost in recovery")
+	}
+	rows, err := prov.Query(`SELECT COUNT(*) FROM ForumEvents`)
+	if err != nil || rows.Rows[0][0].AsInt() == 0 {
+		t.Errorf("recovered events = %v, %v", rows, err)
+	}
+}

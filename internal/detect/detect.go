@@ -1,0 +1,198 @@
+// Package detect implements TROD's security-debugging queries (paper §4.2):
+// declarative checks over the provenance database for violations of common
+// access-control patterns (Near & Jackson's catalogue) and forensic tracing
+// of data exfiltration through handler workflows.
+//
+// Every detector is a SQL query (or a small set of them) over the tables
+// the interposition layer fills — no application instrumentation needed.
+package detect
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/provenance"
+	"repro/internal/value"
+)
+
+// Violation is one detected access-control violation.
+type Violation struct {
+	Pattern   string
+	Timestamp uint64
+	ReqID     string
+	Handler   string
+	Details   string
+}
+
+// UserProfiles checks the User Profiles pattern ("only users themselves can
+// update their profiles"): it finds update events on the profile table
+// where the updating principal differs from the profile owner. ownerCol and
+// updaterCol name the event-table columns holding the two principals — for
+// the paper's example, UserName and UpdatedBy.
+//
+// This runs the paper's §4.2 query:
+//
+//	SELECT Timestamp, ReqId, HandlerName
+//	FROM Executions as E, ProfileEvents as P ON E.TxnId = P.TxnId
+//	WHERE P.UserName != P.UpdatedBy AND P.Type = 'Update'
+func UserProfiles(w *provenance.Writer, appTable, ownerCol, updaterCol string) ([]Violation, error) {
+	evTable := w.EventTable(appTable)
+	if evTable == "" {
+		return nil, fmt.Errorf("detect: table %q is not traced", appTable)
+	}
+	q := fmt.Sprintf(`SELECT E.Timestamp, E.ReqId, E.HandlerName, P.%s, P.%s
+		FROM Executions as E, %s as P ON E.TxnId = P.TxnId
+		WHERE P.%s != P.%s AND P.Type = 'Update'
+		ORDER BY E.Timestamp`, ownerCol, updaterCol, evTable, ownerCol, updaterCol)
+	res, err := w.DB().Query(q)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Violation, 0, len(res.Rows))
+	for _, r := range res.Rows {
+		out = append(out, Violation{
+			Pattern:   "UserProfiles",
+			Timestamp: uint64(r[0].AsInt()),
+			ReqID:     textOf(r[1]),
+			Handler:   textOf(r[2]),
+			Details:   fmt.Sprintf("profile of %q updated by %q", textOf(r[3]), textOf(r[4])),
+		})
+	}
+	return out, nil
+}
+
+// Authentication checks the Authentication pattern ("only allow logged-in
+// users to read certain objects"), modelled as a handler allowlist: every
+// read event on the protected table must come from an allowed handler.
+func Authentication(w *provenance.Writer, appTable string, allowedHandlers []string) ([]Violation, error) {
+	evTable := w.EventTable(appTable)
+	if evTable == "" {
+		return nil, fmt.Errorf("detect: table %q is not traced", appTable)
+	}
+	allowed := make(map[string]bool, len(allowedHandlers))
+	for _, h := range allowedHandlers {
+		allowed[strings.ToLower(h)] = true
+	}
+	res, err := w.DB().Query(fmt.Sprintf(`SELECT DISTINCT E.Timestamp, E.ReqId, E.HandlerName
+		FROM Executions as E, %s as P ON E.TxnId = P.TxnId
+		WHERE P.Type = 'Read' ORDER BY E.Timestamp`, evTable))
+	if err != nil {
+		return nil, err
+	}
+	var out []Violation
+	for _, r := range res.Rows {
+		handler := textOf(r[2])
+		if allowed[strings.ToLower(handler)] {
+			continue
+		}
+		out = append(out, Violation{
+			Pattern:   "Authentication",
+			Timestamp: uint64(r[0].AsInt()),
+			ReqID:     textOf(r[1]),
+			Handler:   handler,
+			Details:   fmt.Sprintf("handler %q read protected table %q", handler, appTable),
+		})
+	}
+	return out, nil
+}
+
+// ExfilFinding is one suspected data-exfiltration workflow: a request that
+// read a sensitive table and subsequently moved data into an egress table,
+// with the full workflow (RPC) path that carried it.
+type ExfilFinding struct {
+	ReqID        string
+	EntryHandler string
+	ReadHandler  string // handler that read the sensitive data
+	WriteHandler string // handler that wrote the egress record
+	WorkflowPath []string
+	Payload      string // egress row rendering
+}
+
+// Exfiltration traces §4.2's forensic scenario: attackers move stolen data
+// laterally through RPCs and exfiltrate it over a seemingly valid workflow.
+// It finds requests with a Read on sensitiveTable followed by an Insert
+// into egressTable, and reconstructs the RPC path between the reading and
+// writing handlers from trod_rpc_edges.
+func Exfiltration(w *provenance.Writer, sensitiveTable, egressTable string) ([]ExfilFinding, error) {
+	sensEv := w.EventTable(sensitiveTable)
+	egressEv := w.EventTable(egressTable)
+	if sensEv == "" || egressEv == "" {
+		return nil, fmt.Errorf("detect: both %q and %q must be traced", sensitiveTable, egressTable)
+	}
+	// Requests that read sensitive data (with reading handler + time).
+	reads, err := w.DB().Query(fmt.Sprintf(`SELECT E.ReqId, E.HandlerName, MIN(E.Timestamp) AS t
+		FROM Executions as E, %s as S ON E.TxnId = S.TxnId
+		WHERE S.Type = 'Read' GROUP BY E.ReqId, E.HandlerName`, sensEv))
+	if err != nil {
+		return nil, err
+	}
+	type rd struct {
+		handler string
+		ts      uint64
+	}
+	readBy := map[string]rd{}
+	for _, r := range reads.Rows {
+		req := textOf(r[0])
+		ts := uint64(r[2].AsInt())
+		if cur, ok := readBy[req]; !ok || ts < cur.ts {
+			readBy[req] = rd{handler: textOf(r[1]), ts: ts}
+		}
+	}
+	// Requests that wrote egress records after that read.
+	writes, err := w.DB().Query(fmt.Sprintf(`SELECT E.ReqId, E.HandlerName, E.Timestamp
+		FROM Executions as E, %s as O ON E.TxnId = O.TxnId
+		WHERE O.Type = 'Insert' ORDER BY E.Timestamp`, egressEv))
+	if err != nil {
+		return nil, err
+	}
+	var findings []ExfilFinding
+	seen := map[string]bool{}
+	for _, r := range writes.Rows {
+		req := textOf(r[0])
+		read, ok := readBy[req]
+		if !ok || uint64(r[2].AsInt()) < read.ts || seen[req] {
+			continue
+		}
+		seen[req] = true
+		path, entry, err := workflowPath(w, req)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, ExfilFinding{
+			ReqID:        req,
+			EntryHandler: entry,
+			ReadHandler:  read.handler,
+			WriteHandler: textOf(r[1]),
+			WorkflowPath: path,
+		})
+	}
+	return findings, nil
+}
+
+// workflowPath reconstructs the request's handler invocation chain from the
+// RPC edges, returning the handler names in invocation order plus the entry
+// handler.
+func workflowPath(w *provenance.Writer, reqID string) ([]string, string, error) {
+	res, err := w.DB().Query(`SELECT Parent, Child, HandlerName FROM trod_rpc_edges
+		WHERE ReqId = ? ORDER BY Timestamp`, reqID)
+	if err != nil {
+		return nil, "", err
+	}
+	var path []string
+	entry := ""
+	for _, r := range res.Rows {
+		handler := textOf(r[2])
+		if textOf(r[0]) == "" {
+			entry = handler
+		}
+		path = append(path, handler)
+	}
+	return path, entry, nil
+}
+
+func textOf(v value.Value) string {
+	if v.IsNull() {
+		return ""
+	}
+	return v.AsText()
+}

@@ -1,0 +1,144 @@
+package detect
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/runtime"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// profileScenario runs the §4.2 production traffic: legitimate updates, one
+// illegal update, one exfiltration workflow, plus benign reads.
+func profileScenario(t *testing.T) *trace.Tracer {
+	t.Helper()
+	prod := db.MustOpenMemory()
+	prov := db.MustOpenMemory()
+	t.Cleanup(func() { prod.Close(); prov.Close() })
+	if err := workload.SetupProfiles(prod); err != nil {
+		t.Fatal(err)
+	}
+	app := runtime.New(prod)
+	workload.RegisterProfiles(app)
+	tr, err := trace.Attach(app, prov, trace.Config{Tables: workload.ProfileTables})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tr.Close() })
+
+	reqs := []struct {
+		id      string
+		handler string
+		args    runtime.Args
+	}{
+		{"R1", "updateProfile", runtime.Args{"userName": "alice", "caller": "alice", "bio": "hello"}},
+		{"R2", "viewProfile", runtime.Args{"userName": "alice"}},
+		{"R3", "updateProfile", runtime.Args{"userName": "alice", "caller": "mallory", "bio": "pwned"}},
+		{"R4", "updateProfile", runtime.Args{"userName": "bob", "caller": "bob", "bio": "bob v2"}},
+		{"R5", "exfiltrate", runtime.Args{"docId": 1, "dropbox": "evil@drop"}},
+		{"R6", "sendMessage", runtime.Args{"recipient": "friend@x", "body": "hi"}},
+	}
+	for _, r := range reqs {
+		if _, err := app.InvokeWithReqID(r.id, r.handler, r.args); err != nil {
+			t.Fatalf("%s: %v", r.id, err)
+		}
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestUserProfilesViolation(t *testing.T) {
+	tr := profileScenario(t)
+	violations, err := UserProfiles(tr.Writer(), "profiles", "UserName", "UpdatedBy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 1 {
+		t.Fatalf("violations = %+v", violations)
+	}
+	v := violations[0]
+	if v.ReqID != "R3" || v.Handler != "updateProfile" || v.Pattern != "UserProfiles" {
+		t.Errorf("violation = %+v", v)
+	}
+	if !strings.Contains(v.Details, "mallory") {
+		t.Errorf("details = %q", v.Details)
+	}
+}
+
+func TestUserProfilesUntracedTable(t *testing.T) {
+	tr := profileScenario(t)
+	if _, err := UserProfiles(tr.Writer(), "ghost", "a", "b"); err == nil {
+		t.Error("untraced table should error")
+	}
+}
+
+func TestAuthenticationPattern(t *testing.T) {
+	tr := profileScenario(t)
+	// Only readDocument is allowed to read documents; exfiltrate goes
+	// through readDocument (so its reads are attributed to readDocument,
+	// which is allowed) — so first verify the clean case, then tighten.
+	violations, err := Authentication(tr.Writer(), "documents", []string{"readDocument"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 0 {
+		t.Errorf("allowed reads flagged: %+v", violations)
+	}
+	// With an empty allowlist every read is a violation, including R5's.
+	violations, err = Authentication(tr.Writer(), "documents", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) == 0 {
+		t.Fatal("expected violations with empty allowlist")
+	}
+	foundR5 := false
+	for _, v := range violations {
+		if v.ReqID == "R5" {
+			foundR5 = true
+		}
+	}
+	if !foundR5 {
+		t.Errorf("R5's document read not flagged: %+v", violations)
+	}
+}
+
+func TestExfiltrationTracing(t *testing.T) {
+	tr := profileScenario(t)
+	findings, err := Exfiltration(tr.Writer(), "documents", "outbox")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("findings = %+v", findings)
+	}
+	f := findings[0]
+	if f.ReqID != "R5" {
+		t.Errorf("finding req = %q", f.ReqID)
+	}
+	if f.EntryHandler != "exfiltrate" {
+		t.Errorf("entry = %q", f.EntryHandler)
+	}
+	if f.ReadHandler != "readDocument" || f.WriteHandler != "sendMessage" {
+		t.Errorf("read/write handlers = %q/%q", f.ReadHandler, f.WriteHandler)
+	}
+	// The workflow path shows the lateral movement.
+	path := strings.Join(f.WorkflowPath, "->")
+	if !strings.Contains(path, "exfiltrate") || !strings.Contains(path, "readDocument") || !strings.Contains(path, "sendMessage") {
+		t.Errorf("workflow path = %v", f.WorkflowPath)
+	}
+	// R6 (benign sendMessage without a sensitive read) is not flagged.
+	for _, f := range findings {
+		if f.ReqID == "R6" {
+			t.Error("benign message flagged as exfiltration")
+		}
+	}
+	// Untraced tables error.
+	if _, err := Exfiltration(tr.Writer(), "ghost", "outbox"); err == nil {
+		t.Error("untraced sensitive table should error")
+	}
+}

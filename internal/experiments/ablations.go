@@ -1,0 +1,282 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/db"
+	"repro/internal/replay"
+	"repro/internal/retro"
+	"repro/internal/runtime"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// A1Result compares async ring-buffer tracing against synchronous
+// provenance writes on the request path (the design choice behind the
+// paper's "<100µs" claim).
+type A1Result struct {
+	AsyncAvgUs float64
+	SyncAvgUs  float64
+	Slowdown   float64 // sync / async
+}
+
+// RunA1FlushPolicy measures the microservice workload's per-request latency
+// under both tracer flush policies.
+func RunA1FlushPolicy(requests, users int) (*A1Result, error) {
+	run := func(sync bool) (float64, error) {
+		prod := db.MustOpenMemory()
+		defer prod.Close()
+		prov := db.MustOpenMemory()
+		defer prov.Close()
+		if err := workload.SetupMicroservice(prod, users, 1); err != nil {
+			return 0, err
+		}
+		app := runtime.New(prod)
+		workload.RegisterMicroservice(app)
+		tr, err := trace.Attach(app, prov, trace.Config{Tables: workload.MicroserviceTables, Sync: sync})
+		if err != nil {
+			return 0, err
+		}
+		defer tr.Close()
+		handlers, args := workload.RequestMix(requests, users, 2)
+		t0 := time.Now()
+		for i := range handlers {
+			if _, err := app.Invoke(handlers[i], args[i]); err != nil {
+				return 0, err
+			}
+		}
+		total := time.Since(t0)
+		return float64(total.Nanoseconds()) / 1e3 / float64(requests), nil
+	}
+	asyncUs, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	syncUs, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	res := &A1Result{AsyncAvgUs: asyncUs, SyncAvgUs: syncUs}
+	if asyncUs > 0 {
+		res.Slowdown = syncUs / asyncUs
+	}
+	return res, nil
+}
+
+// A2Result compares full and selective snapshot restore for replay.
+type A2Result struct {
+	BulkRows     int
+	FullMs       float64
+	SelectiveMs  float64
+	Speedup      float64
+	BothFaithful bool
+}
+
+// RunA2SelectiveRestore builds a production database where the bug's table
+// is tiny but an unrelated table holds bulkRows rows, then replays the same
+// request with full and selective restore.
+func RunA2SelectiveRestore(bulkRows int) (*A2Result, error) {
+	prod := db.MustOpenMemory()
+	defer prod.Close()
+	prov := db.MustOpenMemory()
+	defer prov.Close()
+	if err := workload.SetupMoodle(prod); err != nil {
+		return nil, err
+	}
+	// The unrelated bulk table (e.g. a big audit log).
+	if err := prod.ExecScript(`CREATE TABLE audit_log (id INTEGER PRIMARY KEY, entry TEXT)`); err != nil {
+		return nil, err
+	}
+	tx := prod.Begin()
+	for i := 0; i < bulkRows; i++ {
+		if _, err := tx.Exec(`INSERT INTO audit_log VALUES (?, ?)`, i, fmt.Sprintf("entry-%d", i)); err != nil {
+			tx.Rollback()
+			return nil, err
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return nil, err
+	}
+
+	app := runtime.New(prod)
+	workload.RegisterMoodle(app)
+	tr, err := trace.Attach(app, prov, trace.Config{Tables: workload.MoodleTables})
+	if err != nil {
+		return nil, err
+	}
+	defer tr.Close()
+	if err := workload.RaceSubscribe(app, "R1", "R2", "U1", "F2"); err != nil {
+		return nil, err
+	}
+	if err := tr.Flush(); err != nil {
+		return nil, err
+	}
+	res, err := prov.Query(`SELECT E.ReqId FROM Executions as E, ForumEvents as F
+		ON E.TxnId = F.TxnId WHERE F.Type = 'Insert' ORDER BY E.Timestamp`)
+	if err != nil || len(res.Rows) < 2 {
+		return nil, fmt.Errorf("A2: scenario setup failed: %v", err)
+	}
+	late := res.Rows[1][0].AsText()
+
+	rp := replay.New(prod, tr.Writer())
+	t0 := time.Now()
+	full, err := rp.Replay(late, workload.RegisterMoodle, replay.Options{})
+	if err != nil {
+		return nil, err
+	}
+	fullMs := float64(time.Since(t0).Nanoseconds()) / 1e6
+
+	t1 := time.Now()
+	selective, err := rp.Replay(late, workload.RegisterMoodle, replay.Options{
+		Tables: []string{"forum_sub", "courses"},
+	})
+	if err != nil {
+		return nil, err
+	}
+	selectiveMs := float64(time.Since(t1).Nanoseconds()) / 1e6
+
+	out := &A2Result{
+		BulkRows:     bulkRows,
+		FullMs:       fullMs,
+		SelectiveMs:  selectiveMs,
+		BothFaithful: !full.Diverged && !selective.Diverged,
+	}
+	if selectiveMs > 0 {
+		out.Speedup = fullMs / selectiveMs
+	}
+	return out, nil
+}
+
+// A3Result compares interleaving enumeration with and without conflict
+// pruning for k concurrent requests.
+type A3Result struct {
+	Concurrent     int
+	PrunedCount    int
+	NaiveCount     int
+	PrunedBranches int
+	NaiveBranches  int
+}
+
+// RunA3Interleavings builds one concurrent phase holding two conflicting
+// requests (a subscribe race on the same forum) plus `extras` commuting
+// requests (messages into an untraced table, so their footprints are
+// disjoint from everything), then counts explored schedules with and
+// without conflict pruning.
+func RunA3Interleavings(extras, maxSchedules int) (*A3Result, error) {
+	prod := db.MustOpenMemory()
+	defer prod.Close()
+	prov := db.MustOpenMemory()
+	defer prov.Close()
+	if err := workload.SetupMoodle(prod); err != nil {
+		return nil, err
+	}
+	if err := workload.SetupProfiles(prod); err != nil {
+		return nil, err
+	}
+	app := runtime.New(prod)
+	workload.RegisterMoodle(app)
+	workload.RegisterProfiles(app)
+	// Trace ONLY the forum tables: the message requests' outbox writes are
+	// untraced, giving them empty (commuting) footprints.
+	tr, err := trace.Attach(app, prov, trace.Config{Tables: workload.MoodleTables})
+	if err != nil {
+		return nil, err
+	}
+	defer tr.Close()
+
+	// One phase: all requests pass a first-transaction barrier so their
+	// recorded execution intervals overlap.
+	type spec struct {
+		id, handler string
+		args        runtime.Args
+	}
+	specs := []spec{
+		{"R1", "subscribeUser", runtime.Args{"userId": "U1", "forum": "F1"}},
+		{"R2", "subscribeUser", runtime.Args{"userId": "U1", "forum": "F1"}},
+	}
+	for i := 0; i < extras; i++ {
+		specs = append(specs, spec{
+			fmt.Sprintf("R%d", i+3), "sendMessage",
+			runtime.Args{"recipient": fmt.Sprintf("u%d@x", i), "body": "hi"},
+		})
+	}
+	barrier := newFirstTxnBarrier(len(specs))
+	app.SetTxnInterceptor(barrier)
+	errs := make(chan error, len(specs))
+	for _, sp := range specs {
+		go func(sp spec) {
+			_, err := app.InvokeWithReqID(sp.id, sp.handler, sp.args)
+			errs <- err
+		}(sp)
+	}
+	for range specs {
+		if err := <-errs; err != nil {
+			return nil, err
+		}
+	}
+	app.SetTxnInterceptor(nil)
+	if err := tr.Flush(); err != nil {
+		return nil, err
+	}
+
+	reqIDs := make([]string, len(specs))
+	for i, sp := range specs {
+		reqIDs[i] = sp.id
+	}
+	register := func(a *runtime.App) {
+		workload.RegisterMoodle(a)
+		workload.RegisterProfiles(a)
+	}
+	rt := retro.New(prod, tr.Writer())
+	pruned, err := rt.Run(reqIDs, register, retro.Options{MaxSchedules: maxSchedules, SinglePhase: true})
+	if err != nil {
+		return nil, err
+	}
+	naive, err := rt.Run(reqIDs, register, retro.Options{MaxSchedules: maxSchedules, DisableConflictPruning: true, SinglePhase: true})
+	if err != nil {
+		return nil, err
+	}
+	return &A3Result{
+		Concurrent:     len(specs),
+		PrunedCount:    len(pruned.Schedules),
+		NaiveCount:     len(naive.Schedules),
+		PrunedBranches: pruned.BranchedPoints,
+		NaiveBranches:  naive.BranchedPoints,
+	}, nil
+}
+
+// firstTxnBarrier blocks every request's first transaction until all
+// expected requests have reached theirs, forcing their recorded execution
+// intervals to overlap.
+type firstTxnBarrier struct {
+	mu      sync.Mutex
+	need    int
+	arrived map[string]bool
+	release chan struct{}
+}
+
+func newFirstTxnBarrier(need int) *firstTxnBarrier {
+	return &firstTxnBarrier{need: need, arrived: make(map[string]bool), release: make(chan struct{})}
+}
+
+// Before implements runtime.TxnInterceptor.
+func (b *firstTxnBarrier) Before(c *runtime.Ctx, _ string) error {
+	b.mu.Lock()
+	first := !b.arrived[c.ReqID]
+	if first {
+		b.arrived[c.ReqID] = true
+		if len(b.arrived) == b.need {
+			close(b.release)
+		}
+	}
+	b.mu.Unlock()
+	if first {
+		<-b.release
+	}
+	return nil
+}
+
+// After implements runtime.TxnInterceptor.
+func (b *firstTxnBarrier) After(*runtime.Ctx, string, error) {}

@@ -1,0 +1,496 @@
+// Package retro implements TROD's retroactive programming (paper §3.6):
+// re-executing past requests against possibly-modified handler code over a
+// restored snapshot, systematically exploring the transaction-granularity
+// interleavings of concurrent requests.
+//
+// The engine:
+//
+//  1. loads the chosen requests from provenance (handler, arguments,
+//     original execution intervals and traced-table footprints),
+//  2. partitions them into phases: requests whose original executions
+//     overlapped in time are concurrent within a phase; later requests run
+//     after earlier phases (the paper's R3' runs after R1'/R2'),
+//  3. for each schedule, restores a development database to the snapshot
+//     before the earliest request and re-executes every request, gating
+//     each transaction through a scheduler that serialises them into the
+//     chosen interleaving, and
+//  4. enumerates schedules by depth-first branching at every decision point
+//     where more than one *conflicting* request is ready (requests whose
+//     traced-table footprints are disjoint commute, so their relative order
+//     is not branched on — the conflict pruning the paper argues makes the
+//     search tractable; ablation A3 measures it).
+//
+// Because handlers only share state through transactions (P2), the
+// transaction boundary is the only place interleavings can differ, so
+// exploring these schedules is exhaustive at the level that matters.
+package retro
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/db"
+	"repro/internal/provenance"
+	"repro/internal/runtime"
+)
+
+// Retro is the retroactive-programming engine.
+type Retro struct {
+	prod *db.DB
+	prov *provenance.Writer
+}
+
+// New creates an engine over a production database and its provenance.
+func New(prod *db.DB, prov *provenance.Writer) *Retro {
+	return &Retro{prod: prod, prov: prov}
+}
+
+// Options configures a retroactive run.
+type Options struct {
+	// MaxSchedules bounds the exploration (default 64).
+	MaxSchedules int
+	// Invariant, when set, runs against the development database after each
+	// schedule; its error is recorded as the schedule's invariant violation.
+	Invariant func(dev *db.DB) error
+	// DisableConflictPruning branches on every ready request, even
+	// non-conflicting ones (naive enumeration; ablation A3).
+	DisableConflictPruning bool
+	// SinglePhase treats all given requests as one concurrent group,
+	// overriding the interval-overlap heuristic. Use it when the developer
+	// knows which requests to test as concurrent (the paper's workflow:
+	// "re-execute the original two conflicting subscription requests").
+	SinglePhase bool
+}
+
+// RequestOutcome is one request's result under one schedule.
+type RequestOutcome struct {
+	ReqID      string
+	Result     any
+	Err        error
+	ResultJSON string
+	// ChangedFromOriginal reports whether the result differs from the
+	// original production execution's recorded result.
+	ChangedFromOriginal bool
+}
+
+// ScheduleResult is the outcome of one explored interleaving.
+type ScheduleResult struct {
+	// Order is the sequence of request IDs in the order their transactions
+	// were granted (one entry per granted transaction).
+	Order []string
+	// Requests holds per-request outcomes, in phase order.
+	Requests []RequestOutcome
+	// InvariantErr is the post-schedule invariant violation, if any.
+	InvariantErr error
+}
+
+// Report is the outcome of a retroactive run.
+type Report struct {
+	ReqIDs    []string
+	Phases    [][]string
+	Schedules []ScheduleResult
+	// DecisionPoints counts scheduler states with >1 ready request;
+	// BranchedPoints counts those actually branched after conflict pruning.
+	DecisionPoints int
+	BranchedPoints int
+}
+
+// AllInvariantsHold reports whether no explored schedule violated the
+// invariant or returned a request error.
+func (r *Report) AllInvariantsHold() bool {
+	for _, s := range r.Schedules {
+		if s.InvariantErr != nil {
+			return false
+		}
+		for _, rq := range s.Requests {
+			if rq.Err != nil {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// reqSpec is a loaded past request.
+type reqSpec struct {
+	id      string
+	handler string
+	args    runtime.Args
+	origRes string
+	start   uint64 // first execution timestamp
+	end     uint64 // last execution timestamp
+	tables  map[string]bool
+	baseSeq uint64 // snapshot of its first committed txn
+}
+
+// Run re-executes the given past requests with the handlers installed by
+// register (typically the modified code under test).
+func (r *Retro) Run(reqIDs []string, register func(*runtime.App), opts Options) (*Report, error) {
+	if opts.MaxSchedules <= 0 {
+		opts.MaxSchedules = 64
+	}
+	specs, err := r.loadSpecs(reqIDs)
+	if err != nil {
+		return nil, err
+	}
+	var phases [][]*reqSpec
+	if opts.SinglePhase {
+		phases = [][]*reqSpec{specs}
+	} else {
+		phases = partitionPhases(specs)
+	}
+
+	baseSeq := specs[0].baseSeq
+	for _, s := range specs {
+		if s.baseSeq < baseSeq {
+			baseSeq = s.baseSeq
+		}
+	}
+
+	report := &Report{ReqIDs: reqIDs}
+	for _, ph := range phases {
+		ids := make([]string, len(ph))
+		for i, s := range ph {
+			ids[i] = s.id
+		}
+		report.Phases = append(report.Phases, ids)
+	}
+
+	// Depth-first exploration over choice prefixes.
+	type prefix []int
+	stack := []prefix{nil}
+	seen := map[string]bool{}
+	for len(stack) > 0 && len(report.Schedules) < opts.MaxSchedules {
+		pfx := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+		run, err := r.runSchedule(specs, phases, baseSeq, register, pfx, opts)
+		if err != nil {
+			return nil, err
+		}
+		key := strings.Join(run.result.Order, ",")
+		if !seen[key] {
+			seen[key] = true
+			report.Schedules = append(report.Schedules, run.result)
+		}
+		report.DecisionPoints += run.decisionPoints
+		// Branch on alternatives at decision points beyond the prefix.
+		for i := len(pfx); i < len(run.decisions); i++ {
+			d := run.decisions[i]
+			for _, alt := range d.branchable {
+				if alt == d.chosen {
+					continue
+				}
+				np := make(prefix, i+1)
+				copy(np, run.chosenPrefix[:i])
+				np[i] = alt
+				stack = append(stack, np)
+				report.BranchedPoints++
+			}
+		}
+	}
+	return report, nil
+}
+
+// loadSpecs fetches request metadata and traced-table footprints.
+func (r *Retro) loadSpecs(reqIDs []string) ([]*reqSpec, error) {
+	if len(reqIDs) == 0 {
+		return nil, fmt.Errorf("retro: no requests given")
+	}
+	var specs []*reqSpec
+	for _, id := range reqIDs {
+		req, err := r.prov.RequestByID(id)
+		if err != nil {
+			return nil, err
+		}
+		args, err := runtime.ParseArgsJSON(req.ArgsJSON)
+		if err != nil {
+			return nil, err
+		}
+		execs, err := r.prov.ExecutionsForRequest(id)
+		if err != nil {
+			return nil, err
+		}
+		if len(execs) == 0 {
+			return nil, fmt.Errorf("retro: request %q has no recorded transactions", id)
+		}
+		spec := &reqSpec{
+			id:      id,
+			handler: req.Handler,
+			args:    args,
+			origRes: req.Result,
+			start:   execs[0].Timestamp,
+			end:     execs[len(execs)-1].Timestamp,
+			tables:  make(map[string]bool),
+			baseSeq: execs[0].Snapshot,
+		}
+		specs = append(specs, spec)
+	}
+	// Traced-table footprints via the event tables.
+	if err := r.fillFootprints(specs); err != nil {
+		return nil, err
+	}
+	sort.SliceStable(specs, func(i, j int) bool { return specs[i].start < specs[j].start })
+	return specs, nil
+}
+
+func (r *Retro) fillFootprints(specs []*reqSpec) error {
+	byID := make(map[string]*reqSpec, len(specs))
+	for _, s := range specs {
+		byID[s.id] = s
+	}
+	for _, appTable := range r.tracedTables() {
+		reqs, err := r.prov.RequestsTouchingTable(appTable)
+		if err != nil {
+			return err
+		}
+		for _, id := range reqs {
+			if s, ok := byID[id]; ok {
+				s.tables[strings.ToLower(appTable)] = true
+			}
+		}
+	}
+	return nil
+}
+
+// tracedTables lists application tables with event tables, via the prod
+// catalog intersected with the provenance mapping.
+func (r *Retro) tracedTables() []string {
+	var out []string
+	for _, t := range r.prod.Store().Tables() {
+		if r.prov.EventTable(t) != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// partitionPhases groups requests whose original intervals overlap
+// (transitively) into concurrent phases, ordered by start time.
+func partitionPhases(specs []*reqSpec) [][]*reqSpec {
+	var phases [][]*reqSpec
+	var cur []*reqSpec
+	var curEnd uint64
+	for _, s := range specs {
+		if len(cur) == 0 || s.start <= curEnd {
+			cur = append(cur, s)
+			if s.end > curEnd {
+				curEnd = s.end
+			}
+			continue
+		}
+		phases = append(phases, cur)
+		cur = []*reqSpec{s}
+		curEnd = s.end
+	}
+	if len(cur) > 0 {
+		phases = append(phases, cur)
+	}
+	return phases
+}
+
+func conflict(a, b *reqSpec) bool {
+	for t := range a.tables {
+		if b.tables[t] {
+			return true
+		}
+	}
+	return false
+}
+
+// --- schedule execution -----------------------------------------------------
+
+type decision struct {
+	candidates []int // ready request indexes (sorted)
+	branchable []int // candidates worth branching on (after pruning)
+	chosen     int
+}
+
+type schedEvent struct {
+	idx    int
+	kind   uint8 // 0 blocked, 1 txn done, 2 finished
+	result any
+	err    error
+}
+
+const (
+	evBlocked uint8 = iota
+	evTxnDone
+	evFinished
+)
+
+type runOutcome struct {
+	result         ScheduleResult
+	decisions      []decision
+	chosenPrefix   []int
+	decisionPoints int
+}
+
+// gate is the per-run transaction interceptor connecting handler goroutines
+// to the scheduler.
+type gate struct {
+	byReq   map[string]int
+	events  chan schedEvent
+	proceed []chan struct{}
+}
+
+// Before implements runtime.TxnInterceptor: report ready, wait for grant.
+func (g *gate) Before(c *runtime.Ctx, _ string) error {
+	idx, ok := g.byReq[c.ReqID]
+	if !ok {
+		return nil // validation traffic outside the scheduled set
+	}
+	g.events <- schedEvent{idx: idx, kind: evBlocked}
+	<-g.proceed[idx]
+	return nil
+}
+
+// After implements runtime.TxnInterceptor: report the txn finished.
+func (g *gate) After(c *runtime.Ctx, _ string, _ error) {
+	if idx, ok := g.byReq[c.ReqID]; ok {
+		g.events <- schedEvent{idx: idx, kind: evTxnDone}
+	}
+}
+
+// runSchedule executes one interleaving chosen by pfx (choices at the first
+// len(pfx) decision points; defaults afterwards).
+func (r *Retro) runSchedule(specs []*reqSpec, phases [][]*reqSpec, baseSeq uint64, register func(*runtime.App), pfx []int, opts Options) (*runOutcome, error) {
+	dev, err := r.prod.CloneAt(baseSeq)
+	if err != nil {
+		return nil, err
+	}
+	app := runtime.New(dev)
+	register(app)
+
+	g := &gate{
+		byReq:   make(map[string]int, len(specs)),
+		events:  make(chan schedEvent, len(specs)*4),
+		proceed: make([]chan struct{}, len(specs)),
+	}
+	idxOf := make(map[*reqSpec]int, len(specs))
+	for i, s := range specs {
+		g.byReq[s.id] = i
+		g.proceed[i] = make(chan struct{})
+		idxOf[s] = i
+	}
+	app.SetTxnInterceptor(g)
+
+	out := &runOutcome{}
+	outcomes := make([]RequestOutcome, len(specs))
+	done := make([]bool, len(specs))
+	blocked := map[int]bool{}
+
+	launch := func(s *reqSpec) {
+		idx := idxOf[s]
+		go func() {
+			res, err := app.InvokeWithReqID(s.id, s.handler, s.args)
+			g.events <- schedEvent{idx: idx, kind: evFinished, result: res, err: err}
+		}()
+	}
+	// pump processes scheduler events until cond holds. Events can arrive
+	// from any scheduled request (e.g. several requests reaching their
+	// first transaction just after a phase launch).
+	pump := func(cond func() bool) {
+		for !cond() {
+			ev := <-g.events
+			switch ev.kind {
+			case evBlocked:
+				blocked[ev.idx] = true
+			case evFinished:
+				done[ev.idx] = true
+				outcomes[ev.idx] = RequestOutcome{
+					ReqID:      specs[ev.idx].id,
+					Result:     ev.result,
+					Err:        ev.err,
+					ResultJSON: runtime.ResultJSON(ev.result),
+				}
+				if specs[ev.idx].origRes != "<unrepresentable>" {
+					outcomes[ev.idx].ChangedFromOriginal = outcomes[ev.idx].ResultJSON != specs[ev.idx].origRes
+				}
+			case evTxnDone:
+				// transaction completed; the request will report its next
+				// boundary or completion shortly
+			}
+		}
+	}
+
+	decisionIdx := 0
+	for _, phase := range phases {
+		// Launch the phase and wait for every member to reach its first
+		// transaction boundary (or finish without touching the database).
+		for _, s := range phase {
+			launch(s)
+		}
+		phaseIdxs := make([]int, len(phase))
+		for i, s := range phase {
+			phaseIdxs[i] = idxOf[s]
+		}
+		pump(func() bool {
+			for _, idx := range phaseIdxs {
+				if !blocked[idx] && !done[idx] {
+					return false
+				}
+			}
+			return true
+		})
+		// Grant transactions until the phase drains.
+		for {
+			var candidates []int
+			for idx := range blocked {
+				candidates = append(candidates, idx)
+			}
+			if len(candidates) == 0 {
+				break
+			}
+			sort.Ints(candidates)
+
+			// Conflict pruning: branch only on candidates that conflict
+			// with another unfinished scheduled request.
+			var branchable []int
+			if opts.DisableConflictPruning {
+				branchable = candidates
+			} else {
+				for _, c := range candidates {
+					for u := range specs {
+						if u != c && !done[u] && conflict(specs[c], specs[u]) {
+							branchable = append(branchable, c)
+							break
+						}
+					}
+				}
+			}
+
+			chosen := candidates[0]
+			if len(candidates) > 1 {
+				out.decisionPoints++
+				if decisionIdx < len(pfx) {
+					want := pfx[decisionIdx]
+					for _, c := range candidates {
+						if c == want {
+							chosen = c
+						}
+					}
+				} else if len(branchable) > 0 {
+					chosen = branchable[0]
+				}
+				if len(branchable) > 1 {
+					out.decisions = append(out.decisions, decision{candidates: candidates, branchable: branchable, chosen: chosen})
+					out.chosenPrefix = append(out.chosenPrefix, chosen)
+					decisionIdx++
+				}
+			}
+
+			delete(blocked, chosen)
+			out.result.Order = append(out.result.Order, specs[chosen].id)
+			g.proceed[chosen] <- struct{}{}
+			pump(func() bool { return blocked[chosen] || done[chosen] })
+		}
+	}
+
+	out.result.Requests = outcomes
+	if opts.Invariant != nil {
+		out.result.InvariantErr = opts.Invariant(dev)
+	}
+	return out, nil
+}

@@ -1,0 +1,1338 @@
+package sqlexec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/schema"
+	"repro/internal/sqlparse"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/value"
+)
+
+// Result is the output of a statement.
+type Result struct {
+	Columns      []string
+	Rows         []value.Row
+	RowsAffected int
+}
+
+// ReadFn observes read provenance: it is invoked once per base-table row
+// that a statement actually read (i.e. that survived the filters pushed to
+// that table's scan). The TROD interposition layer installs it.
+type ReadFn func(table string, row value.Row)
+
+// Executor runs statements inside one transaction.
+type Executor struct {
+	Tx     *txn.Txn
+	Store  *storage.Store
+	Args   []value.Value
+	OnRead ReadFn
+}
+
+func (ex *Executor) observeRead(table string, row value.Row) {
+	if ex.OnRead != nil {
+		ex.OnRead(table, row)
+	}
+}
+
+// --- FROM sources and conjunct analysis --------------------------------------
+
+// source is one table in the FROM clause, with its resolved schema, alias,
+// pushed-down filters, and join info.
+type source struct {
+	ref      sqlparse.TableRef
+	tbl      *schema.Table
+	alias    string // lowercased effective name
+	filters  []sqlparse.Expr
+	joinKind sqlparse.JoinKind // how this source joins the accumulated left side
+	leftOn   []sqlparse.Expr   // ON conjuncts for LEFT joins (must stay at join)
+}
+
+// splitConjuncts flattens an AND tree.
+func splitConjuncts(e sqlparse.Expr, out []sqlparse.Expr) []sqlparse.Expr {
+	if b, ok := e.(*sqlparse.BinaryExpr); ok && b.Op == sqlparse.OpAnd {
+		out = splitConjuncts(b.Left, out)
+		return splitConjuncts(b.Right, out)
+	}
+	if e != nil {
+		out = append(out, e)
+	}
+	return out
+}
+
+// refSources returns the set of source aliases an expression references.
+// Unqualified columns resolve against the sources' schemas.
+func refSources(e sqlparse.Expr, sources []*source) (map[string]bool, error) {
+	out := make(map[string]bool)
+	var walkErr error
+	sqlparse.Walk(e, func(n sqlparse.Expr) {
+		ref, ok := n.(*sqlparse.ColumnRef)
+		if !ok || walkErr != nil {
+			return
+		}
+		if ref.Table != "" {
+			alias := strings.ToLower(ref.Table)
+			found := false
+			for _, s := range sources {
+				if s.alias == alias {
+					found = true
+					break
+				}
+			}
+			if !found {
+				walkErr = fmt.Errorf("sql: unknown table alias %q", ref.Table)
+				return
+			}
+			out[alias] = true
+			return
+		}
+		matches := 0
+		var matchAlias string
+		for _, s := range sources {
+			if s.tbl.ColumnIndex(ref.Column) >= 0 {
+				matches++
+				matchAlias = s.alias
+			}
+		}
+		switch matches {
+		case 0:
+			walkErr = fmt.Errorf("sql: unknown column %q", ref.Column)
+		case 1:
+			out[matchAlias] = true
+		default:
+			walkErr = fmt.Errorf("sql: ambiguous column %q", ref.Column)
+		}
+	})
+	return out, walkErr
+}
+
+// buildSources resolves the FROM clause against the catalog.
+func (ex *Executor) buildSources(sel *sqlparse.Select) ([]*source, error) {
+	var sources []*source
+	add := func(ref sqlparse.TableRef, kind sqlparse.JoinKind) error {
+		tbl := ex.Store.Table(ref.Table)
+		if tbl == nil {
+			return fmt.Errorf("sql: unknown table %q", ref.Table)
+		}
+		alias := strings.ToLower(ref.EffectiveName())
+		for _, s := range sources {
+			if s.alias == alias {
+				return fmt.Errorf("sql: duplicate table alias %q", ref.EffectiveName())
+			}
+		}
+		sources = append(sources, &source{ref: ref, tbl: tbl, alias: alias, joinKind: kind})
+		return nil
+	}
+	if err := add(*sel.From, sqlparse.JoinInner); err != nil {
+		return nil, err
+	}
+	for _, j := range sel.Joins {
+		if err := add(j.Table, j.Kind); err != nil {
+			return nil, err
+		}
+	}
+	return sources, nil
+}
+
+// classifyConjuncts distributes WHERE and inner-join ON conjuncts: a
+// conjunct referencing exactly one source is pushed to that source's scan
+// (unless that source is the nullable side of a LEFT join); everything else
+// becomes a join/post filter evaluated once its sources are all available.
+type pendingFilter struct {
+	expr sqlparse.Expr
+	need map[string]bool
+}
+
+func classifyConjuncts(sel *sqlparse.Select, sources []*source) ([]pendingFilter, error) {
+	var all []sqlparse.Expr
+	all = splitConjuncts(sel.Where, all)
+	for i, j := range sel.Joins {
+		if j.On == nil {
+			continue
+		}
+		if j.Kind == sqlparse.JoinLeft {
+			sources[i+1].leftOn = splitConjuncts(j.On, nil)
+			continue
+		}
+		all = splitConjuncts(j.On, all)
+	}
+	var pending []pendingFilter
+	for _, c := range all {
+		refs, err := refSources(c, sources)
+		if err != nil {
+			return nil, err
+		}
+		pushed := false
+		if len(refs) == 1 {
+			for alias := range refs {
+				for _, s := range sources {
+					if s.alias == alias && s.joinKind != sqlparse.JoinLeft {
+						s.filters = append(s.filters, c)
+						pushed = true
+					}
+				}
+			}
+		}
+		if !pushed {
+			pending = append(pending, pendingFilter{expr: c, need: refs})
+		}
+	}
+	return pending, nil
+}
+
+// --- single-source scans -------------------------------------------------------
+
+// eqBound is an equality constraint col = constant usable for key bounds.
+type eqBound struct {
+	col int
+	val value.Value
+}
+
+// extractEqBounds finds filters of the form col = literal/placeholder (in
+// either order) on this source, returning them keyed by column position and
+// the remaining filters.
+func (ex *Executor) extractEqBounds(s *source) (map[int]value.Value, []sqlparse.Expr, error) {
+	bounds := make(map[int]value.Value)
+	var rest []sqlparse.Expr
+	for _, f := range s.filters {
+		b, ok := f.(*sqlparse.BinaryExpr)
+		if !ok || b.Op != sqlparse.OpEq {
+			rest = append(rest, f)
+			continue
+		}
+		colRef, constExpr := b.Left, b.Right
+		if _, isCol := colRef.(*sqlparse.ColumnRef); !isCol {
+			colRef, constExpr = b.Right, b.Left
+		}
+		cr, isCol := colRef.(*sqlparse.ColumnRef)
+		if !isCol || !isConstExpr(constExpr) {
+			rest = append(rest, f)
+			continue
+		}
+		pos := s.tbl.ColumnIndex(cr.Column)
+		if pos < 0 {
+			rest = append(rest, f)
+			continue
+		}
+		v, err := eval(&env{args: ex.Args}, constExpr)
+		if err != nil {
+			return nil, nil, err
+		}
+		coerced, err := schema.Coerce(v, s.tbl.Columns[pos].Type)
+		if err != nil {
+			// Type-incompatible constant: the filter can never match, but
+			// keep it as a residual filter so semantics stay SQL-like.
+			rest = append(rest, f)
+			continue
+		}
+		if _, dup := bounds[pos]; dup {
+			rest = append(rest, f) // contradictory or duplicate; filter residually
+			continue
+		}
+		bounds[pos] = coerced
+		rest = append(rest, f) // keep the filter too: cheap, and guards coercion edge cases
+	}
+	return bounds, rest, nil
+}
+
+func isConstExpr(e sqlparse.Expr) bool {
+	switch e.(type) {
+	case *sqlparse.Literal, *sqlparse.Placeholder:
+		return true
+	default:
+		return false
+	}
+}
+
+// scanSource streams the source's rows (after pushed filters) into fn,
+// choosing the best access path: PK point/prefix, secondary index prefix, or
+// full scan. fn receives the physical row.
+func (ex *Executor) scanSource(s *source, fn func(value.Row) (bool, error)) error {
+	bounds, residual, err := ex.extractEqBounds(s)
+	if err != nil {
+		return err
+	}
+
+	emit := func(row value.Row) (bool, error) {
+		e := &env{cols: sourceCols(s), vals: row, args: ex.Args}
+		for _, f := range residual {
+			ok, err := evalPredicate(e, f)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return true, nil
+			}
+		}
+		ex.observeRead(s.tbl.Name, row)
+		return fn(row)
+	}
+
+	// PK prefix from equality bounds.
+	pkPrefixLen := 0
+	for _, c := range s.tbl.PKCols {
+		if _, ok := bounds[c]; !ok {
+			break
+		}
+		pkPrefixLen++
+	}
+	if pkPrefixLen > 0 {
+		prefixVals := make(value.Row, pkPrefixLen)
+		for i := 0; i < pkPrefixLen; i++ {
+			prefixVals[i] = bounds[s.tbl.PKCols[i]]
+		}
+		prefix := schema.EncodeKeyTuple(prefixVals)
+		if pkPrefixLen == len(s.tbl.PKCols) {
+			// Point lookup.
+			row, found, err := ex.Tx.Get(s.tbl.Name, prefix)
+			if err != nil {
+				return err
+			}
+			if found {
+				if _, err := emit(row); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		return ex.txScan(s.tbl.Name, prefix, prefix+"\xff", emit)
+	}
+
+	// Secondary index prefix. Safe only when the transaction has no local
+	// writes on the table (the index is not overlay-aware); the read range
+	// is recorded conservatively as a full-table scan for OCC validation.
+	if !ex.Tx.HasWrites(s.tbl.Name) {
+		if ix, prefixVals := ex.pickIndex(s, bounds); ix != nil {
+			return ex.indexScan(s, ix, prefixVals, emit)
+		}
+	}
+
+	return ex.txScan(s.tbl.Name, "", "", emit)
+}
+
+// txScan adapts Txn.Scan to an error-propagating callback.
+func (ex *Executor) txScan(table, lo, hi string, emit func(value.Row) (bool, error)) error {
+	var innerErr error
+	err := ex.Tx.Scan(table, lo, hi, func(_ string, row value.Row) bool {
+		cont, err := emit(row)
+		if err != nil {
+			innerErr = err
+			return false
+		}
+		return cont
+	})
+	if innerErr != nil {
+		return innerErr
+	}
+	return err
+}
+
+// pickIndex chooses the secondary index with the longest equality prefix.
+func (ex *Executor) pickIndex(s *source, bounds map[int]value.Value) (*schema.Index, value.Row) {
+	var best *schema.Index
+	var bestVals value.Row
+	for _, ix := range ex.Store.Indexes(s.tbl.Name) {
+		var vals value.Row
+		for _, c := range ix.Columns {
+			v, ok := bounds[c]
+			if !ok {
+				break
+			}
+			vals = append(vals, v)
+		}
+		if len(vals) > len(bestVals) {
+			best = ix
+			bestVals = vals
+		}
+	}
+	if best == nil || len(bestVals) == 0 {
+		return nil, nil
+	}
+	return best, bestVals
+}
+
+func (ex *Executor) indexScan(s *source, ix *schema.Index, prefixVals value.Row, emit func(value.Row) (bool, error)) error {
+	prefix := ix.EncodeIndexPrefix(prefixVals)
+	// Conservative OCC range: the whole table (see scanSource).
+	ex.Tx.ReadSet().AddRange(s.tbl.Name, "", "")
+	var pks []string
+	if err := ex.Store.IndexScanRange(s.tbl.Name, ix.Name, prefix, prefix+"\xff", ex.Tx.Snapshot(), func(_, pk string) bool {
+		pks = append(pks, pk)
+		return true
+	}); err != nil {
+		return err
+	}
+	for _, pk := range pks {
+		row, found, err := ex.Tx.Get(s.tbl.Name, pk)
+		if err != nil {
+			return err
+		}
+		if !found {
+			continue
+		}
+		cont, err := emit(row)
+		if err != nil {
+			return err
+		}
+		if !cont {
+			return nil
+		}
+	}
+	return nil
+}
+
+func sourceCols(s *source) []colInfo {
+	cols := make([]colInfo, len(s.tbl.Columns))
+	for i, c := range s.tbl.Columns {
+		cols[i] = colInfo{source: s.alias, column: strings.ToLower(c.Name)}
+	}
+	return cols
+}
+
+// --- joins -----------------------------------------------------------------------
+
+// equiPair is a hash-joinable condition left.col = right.col.
+type equiPair struct {
+	leftPos  int // slot in accumulated tuple
+	rightPos int // column in right source row
+}
+
+// runSelect executes the join/filter pipeline, streaming joined tuples into
+// sink. Used by both SELECT and (for its WHERE handling) DML row collection.
+func (ex *Executor) runSelect(sel *sqlparse.Select, sink func(e *env) error) ([]colInfo, error) {
+	if sel.From == nil {
+		// FROM-less SELECT: a single empty tuple.
+		e := &env{args: ex.Args}
+		return nil, sink(e)
+	}
+	sources, err := ex.buildSources(sel)
+	if err != nil {
+		return nil, err
+	}
+	pending, err := classifyConjuncts(sel, sources)
+	if err != nil {
+		return nil, err
+	}
+	ex.reorderSources(sel, sources)
+
+	// Accumulated tuple layout starts with source 0.
+	cols := sourceCols(sources[0])
+	// Materialise the left side progressively. Starting tuples: source 0 rows.
+	var tuples []value.Row
+	if err := ex.scanSource(sources[0], func(row value.Row) (bool, error) {
+		tuples = append(tuples, row)
+		return true, nil
+	}); err != nil {
+		return nil, err
+	}
+	have := map[string]bool{sources[0].alias: true}
+	tuples, pending, err = ex.applyReadyFilters(tuples, cols, pending, have)
+	if err != nil {
+		return nil, err
+	}
+
+	for si := 1; si < len(sources); si++ {
+		s := sources[si]
+		rightCols := sourceCols(s)
+		newCols := append(append([]colInfo{}, cols...), rightCols...)
+		have[s.alias] = true
+
+		// Find pending filters that become ready at this join and reference
+		// the new source: these are join conditions.
+		var joinConds []sqlparse.Expr
+		var stillPending []pendingFilter
+		for _, pf := range pending {
+			ready := true
+			for a := range pf.need {
+				if !have[a] {
+					ready = false
+					break
+				}
+			}
+			if ready && pf.need[s.alias] {
+				joinConds = append(joinConds, pf.expr)
+			} else {
+				stillPending = append(stillPending, pf)
+			}
+		}
+		pending = stillPending
+
+		var err error
+		if s.joinKind == sqlparse.JoinLeft {
+			tuples, err = ex.leftJoin(tuples, cols, s, rightCols, newCols, joinConds)
+		} else {
+			tuples, err = ex.innerJoin(tuples, cols, s, rightCols, newCols, joinConds)
+		}
+		if err != nil {
+			return nil, err
+		}
+		cols = newCols
+		tuples, pending, err = ex.applyReadyFilters(tuples, cols, pending, have)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(pending) > 0 {
+		return nil, fmt.Errorf("sql: filter %q references unavailable sources", pending[0].expr)
+	}
+	for _, tup := range tuples {
+		if err := sink(&env{cols: cols, vals: tup, args: ex.Args}); err != nil {
+			return nil, err
+		}
+	}
+	return cols, nil
+}
+
+func (ex *Executor) applyReadyFilters(tuples []value.Row, cols []colInfo, pending []pendingFilter, have map[string]bool) ([]value.Row, []pendingFilter, error) {
+	var ready []sqlparse.Expr
+	var rest []pendingFilter
+	for _, pf := range pending {
+		ok := true
+		for a := range pf.need {
+			if !have[a] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			ready = append(ready, pf.expr)
+		} else {
+			rest = append(rest, pf)
+		}
+	}
+	if len(ready) == 0 {
+		return tuples, rest, nil
+	}
+	out := tuples[:0]
+	for _, tup := range tuples {
+		e := &env{cols: cols, vals: tup, args: ex.Args}
+		keep := true
+		for _, f := range ready {
+			ok, err := evalPredicate(e, f)
+			if err != nil {
+				return nil, nil, err
+			}
+			if !ok {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, tup)
+		}
+	}
+	return out, rest, nil
+}
+
+// extractEquiPairs finds hash-joinable conds among joinConds; the remainder
+// are residual conditions.
+func extractEquiPairs(conds []sqlparse.Expr, leftCols []colInfo, s *source) ([]equiPair, []sqlparse.Expr) {
+	var pairs []equiPair
+	var residual []sqlparse.Expr
+	findLeft := func(ref *sqlparse.ColumnRef) int {
+		tbl := strings.ToLower(ref.Table)
+		col := strings.ToLower(ref.Column)
+		found := -1
+		for i, c := range leftCols {
+			if c.column == col && (tbl == "" || c.source == tbl) {
+				if found >= 0 {
+					return -1 // ambiguous
+				}
+				found = i
+			}
+		}
+		return found
+	}
+	findRight := func(ref *sqlparse.ColumnRef) int {
+		if ref.Table != "" && strings.ToLower(ref.Table) != s.alias {
+			return -1
+		}
+		return s.tbl.ColumnIndex(ref.Column)
+	}
+	for _, c := range conds {
+		b, ok := c.(*sqlparse.BinaryExpr)
+		if !ok || b.Op != sqlparse.OpEq {
+			residual = append(residual, c)
+			continue
+		}
+		lr, lok := b.Left.(*sqlparse.ColumnRef)
+		rr, rok := b.Right.(*sqlparse.ColumnRef)
+		if !lok || !rok {
+			residual = append(residual, c)
+			continue
+		}
+		// Try (left=accumulated, right=new source) then the reverse.
+		if lp, rp := findLeft(lr), findRight(rr); lp >= 0 && rp >= 0 {
+			pairs = append(pairs, equiPair{leftPos: lp, rightPos: rp})
+			continue
+		}
+		if lp, rp := findLeft(rr), findRight(lr); lp >= 0 && rp >= 0 {
+			pairs = append(pairs, equiPair{leftPos: lp, rightPos: rp})
+			continue
+		}
+		residual = append(residual, c)
+	}
+	return pairs, residual
+}
+
+func hashKey(vals value.Row) string {
+	return string(value.EncodeKeyRow(nil, vals))
+}
+
+// reorderSources moves the most selective source (most pushed-down
+// filters, ties broken by equality bounds) to the front so joins can drive
+// from the small side. Reordering is skipped when any join is LEFT (not
+// symmetric) or the projection contains a star (column order is
+// user-visible).
+func (ex *Executor) reorderSources(sel *sqlparse.Select, sources []*source) {
+	if len(sources) < 2 {
+		return
+	}
+	for _, it := range sel.Items {
+		if it.Star {
+			return
+		}
+	}
+	for _, s := range sources {
+		if s.joinKind == sqlparse.JoinLeft {
+			return
+		}
+	}
+	best := 0
+	for i, s := range sources {
+		if len(s.filters) > len(sources[best].filters) {
+			best = i
+		}
+		_ = s
+	}
+	if best == 0 {
+		return
+	}
+	picked := sources[best]
+	copy(sources[1:best+1], sources[0:best])
+	sources[0] = picked
+	for _, s := range sources {
+		s.joinKind = sqlparse.JoinInner
+	}
+}
+
+// lookupJoinThreshold caps the driving-side size for index-nested-loop
+// joins; beyond it a hash join's single scan wins.
+const lookupJoinThreshold = 1024
+
+// pkLookupPlan returns, when the equi-join pairs cover the right table's
+// full primary key, the PK column positions in pair order; otherwise nil.
+func pkLookupPlan(pairs []equiPair, s *source) []equiPair {
+	if len(pairs) == 0 {
+		return nil
+	}
+	covered := make(map[int]bool, len(pairs))
+	for _, p := range pairs {
+		covered[p.rightPos] = true
+	}
+	if len(covered) != len(s.tbl.PKCols) {
+		return nil
+	}
+	// Order pairs to match PK column order for key encoding.
+	ordered := make([]equiPair, 0, len(s.tbl.PKCols))
+	for _, pkCol := range s.tbl.PKCols {
+		found := false
+		for _, p := range pairs {
+			if p.rightPos == pkCol {
+				ordered = append(ordered, p)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil
+		}
+	}
+	return ordered
+}
+
+func (ex *Executor) innerJoin(tuples []value.Row, leftCols []colInfo, s *source, rightCols, newCols []colInfo, conds []sqlparse.Expr) ([]value.Row, error) {
+	pairs, residual := extractEquiPairs(conds, leftCols, s)
+
+	// Index-nested-loop join: when the accumulated side is small and the
+	// join key is the right table's primary key, fetch matches with point
+	// lookups instead of scanning the right table (this is what makes the
+	// paper's provenance queries independent of log size).
+	if ordered := pkLookupPlan(pairs, s); ordered != nil &&
+		len(tuples) <= lookupJoinThreshold &&
+		len(tuples)*4 < ex.Store.ApproxRows(s.tbl.Name) &&
+		len(s.filters) == 0 {
+		return ex.lookupJoin(tuples, s, ordered, residual, newCols)
+	}
+
+	evalResidual := func(tup value.Row) (bool, error) {
+		e := &env{cols: newCols, vals: tup, args: ex.Args}
+		for _, f := range residual {
+			ok, err := evalPredicate(e, f)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+
+	var out []value.Row
+	if len(pairs) > 0 {
+		// Hash join: build on the right source.
+		build := make(map[string][]value.Row)
+		if err := ex.scanSource(s, func(row value.Row) (bool, error) {
+			key := make(value.Row, len(pairs))
+			for i, p := range pairs {
+				if row[p.rightPos].IsNull() {
+					return true, nil // NULL never equi-joins
+				}
+				key[i] = row[p.rightPos]
+			}
+			k := hashKey(key)
+			build[k] = append(build[k], row)
+			return true, nil
+		}); err != nil {
+			return nil, err
+		}
+		for _, left := range tuples {
+			key := make(value.Row, len(pairs))
+			null := false
+			for i, p := range pairs {
+				if left[p.leftPos].IsNull() {
+					null = true
+					break
+				}
+				key[i] = left[p.leftPos]
+			}
+			if null {
+				continue
+			}
+			for _, right := range build[hashKey(key)] {
+				tup := append(append(value.Row{}, left...), right...)
+				ok, err := evalResidual(tup)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					out = append(out, tup)
+				}
+			}
+		}
+		return out, nil
+	}
+
+	// Nested loop: materialise right side once.
+	var rights []value.Row
+	if err := ex.scanSource(s, func(row value.Row) (bool, error) {
+		rights = append(rights, row)
+		return true, nil
+	}); err != nil {
+		return nil, err
+	}
+	for _, left := range tuples {
+		for _, right := range rights {
+			tup := append(append(value.Row{}, left...), right...)
+			ok, err := evalResidual(tup)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out = append(out, tup)
+			}
+		}
+	}
+	return out, nil
+}
+
+// lookupJoin probes the right table by primary key for each accumulated
+// tuple. The right source must have no pushed-down filters (they would
+// otherwise be skipped); residual conditions still apply.
+func (ex *Executor) lookupJoin(tuples []value.Row, s *source, ordered []equiPair, residual []sqlparse.Expr, newCols []colInfo) ([]value.Row, error) {
+	var out []value.Row
+	keyVals := make(value.Row, len(ordered))
+	for _, left := range tuples {
+		null := false
+		for i, p := range ordered {
+			v := left[p.leftPos]
+			if v.IsNull() {
+				null = true
+				break
+			}
+			coerced, err := schema.Coerce(v, s.tbl.Columns[p.rightPos].Type)
+			if err != nil {
+				null = true // incompatible type can never equi-match
+				break
+			}
+			keyVals[i] = coerced
+		}
+		if null {
+			continue
+		}
+		key := schema.EncodeKeyTuple(keyVals)
+		row, found, err := ex.Tx.Get(s.tbl.Name, key)
+		if err != nil {
+			return nil, err
+		}
+		if !found {
+			continue
+		}
+		ex.observeRead(s.tbl.Name, row)
+		tup := append(append(value.Row{}, left...), row...)
+		e := &env{cols: newCols, vals: tup, args: ex.Args}
+		keep := true
+		for _, f := range residual {
+			ok, err := evalPredicate(e, f)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, tup)
+		}
+	}
+	return out, nil
+}
+
+func (ex *Executor) leftJoin(tuples []value.Row, leftCols []colInfo, s *source, rightCols, newCols []colInfo, extraConds []sqlparse.Expr) ([]value.Row, error) {
+	// LEFT JOIN: the ON conjuncts (s.leftOn) decide matching; unmatched left
+	// tuples are null-extended. extraConds (WHERE conjuncts that became
+	// ready here) are applied after null extension.
+	conds := s.leftOn
+	pairs, residual := extractEquiPairs(conds, leftCols, s)
+
+	var rights []value.Row
+	build := make(map[string][]value.Row)
+	if err := ex.scanSource(s, func(row value.Row) (bool, error) {
+		if len(pairs) > 0 {
+			key := make(value.Row, len(pairs))
+			skip := false
+			for i, p := range pairs {
+				if row[p.rightPos].IsNull() {
+					skip = true
+					break
+				}
+				key[i] = row[p.rightPos]
+			}
+			if !skip {
+				build[hashKey(key)] = append(build[hashKey(key)], row)
+			}
+			return true, nil
+		}
+		rights = append(rights, row)
+		return true, nil
+	}); err != nil {
+		return nil, err
+	}
+
+	nulls := make(value.Row, len(rightCols))
+	for i := range nulls {
+		nulls[i] = value.Null
+	}
+
+	matchResidual := func(tup value.Row) (bool, error) {
+		e := &env{cols: newCols, vals: tup, args: ex.Args}
+		for _, f := range residual {
+			ok, err := evalPredicate(e, f)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+
+	var joined []value.Row
+	for _, left := range tuples {
+		matched := false
+		candidates := rights
+		if len(pairs) > 0 {
+			key := make(value.Row, len(pairs))
+			null := false
+			for i, p := range pairs {
+				if left[p.leftPos].IsNull() {
+					null = true
+					break
+				}
+				key[i] = left[p.leftPos]
+			}
+			if null {
+				candidates = nil
+			} else {
+				candidates = build[hashKey(key)]
+			}
+		}
+		for _, right := range candidates {
+			tup := append(append(value.Row{}, left...), right...)
+			ok, err := matchResidual(tup)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				joined = append(joined, tup)
+				matched = true
+			}
+		}
+		if !matched {
+			joined = append(joined, append(append(value.Row{}, left...), nulls...))
+		}
+	}
+
+	// Post-join WHERE conjuncts.
+	if len(extraConds) == 0 {
+		return joined, nil
+	}
+	out := joined[:0]
+	for _, tup := range joined {
+		e := &env{cols: newCols, vals: tup, args: ex.Args}
+		keep := true
+		for _, f := range extraConds {
+			ok, err := evalPredicate(e, f)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, tup)
+		}
+	}
+	return out, nil
+}
+
+// --- SELECT top level ---------------------------------------------------------
+
+// Select executes a SELECT statement.
+func (ex *Executor) Select(sel *sqlparse.Select) (*Result, error) {
+	// Expand projection items against the sources (needs source resolution
+	// for stars) — handled inside project().
+	var tuples []*env
+	cols, err := ex.runSelect(sel, func(e *env) error {
+		// Copy: runSelect may reuse env backing (it doesn't today, but the
+		// contract is per-call ownership).
+		tuples = append(tuples, &env{cols: e.cols, vals: e.vals, args: e.args})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	items, outNames, err := expandItems(sel, cols)
+	if err != nil {
+		return nil, err
+	}
+
+	aggNodes := collectAggregates(sel, items)
+	grouped := len(sel.GroupBy) > 0 || len(aggNodes) > 0
+
+	var outRows []value.Row
+	var outEnvs []*env // environment per output row, for ORDER BY fallback
+
+	if grouped {
+		outRows, outEnvs, err = ex.aggregate(sel, items, aggNodes, tuples, cols)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		for _, e := range tuples {
+			row := make(value.Row, len(items))
+			for i, it := range items {
+				v, err := eval(e, it)
+				if err != nil {
+					return nil, err
+				}
+				row[i] = v
+			}
+			outRows = append(outRows, row)
+			outEnvs = append(outEnvs, e)
+		}
+	}
+
+	if sel.Distinct {
+		outRows, outEnvs = distinct(outRows, outEnvs)
+	}
+
+	if len(sel.OrderBy) > 0 {
+		if err := ex.orderBy(sel.OrderBy, outNames, outRows, outEnvs); err != nil {
+			return nil, err
+		}
+	}
+
+	outRows, err = ex.applyLimitOffset(sel, outRows)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Columns: outNames, Rows: outRows}, nil
+}
+
+// expandItems resolves stars and computes output column names.
+func expandItems(sel *sqlparse.Select, cols []colInfo) ([]sqlparse.Expr, []string, error) {
+	var items []sqlparse.Expr
+	var names []string
+	for _, it := range sel.Items {
+		if it.Star {
+			starTbl := strings.ToLower(it.StarTable)
+			matched := false
+			for _, c := range cols {
+				if starTbl != "" && c.source != starTbl {
+					continue
+				}
+				items = append(items, &sqlparse.ColumnRef{Table: c.source, Column: c.column})
+				names = append(names, c.column)
+				matched = true
+			}
+			if !matched {
+				return nil, nil, fmt.Errorf("sql: %s.* matches no table", it.StarTable)
+			}
+			continue
+		}
+		items = append(items, it.Expr)
+		switch {
+		case it.Alias != "":
+			names = append(names, it.Alias)
+		default:
+			if ref, ok := it.Expr.(*sqlparse.ColumnRef); ok {
+				names = append(names, ref.Column)
+			} else {
+				names = append(names, it.Expr.String())
+			}
+		}
+	}
+	return items, names, nil
+}
+
+// collectAggregates gathers aggregate FuncCall nodes from the projection,
+// HAVING, and ORDER BY.
+func collectAggregates(sel *sqlparse.Select, items []sqlparse.Expr) []*sqlparse.FuncCall {
+	var aggs []*sqlparse.FuncCall
+	visit := func(e sqlparse.Expr) {
+		sqlparse.Walk(e, func(n sqlparse.Expr) {
+			if fc, ok := n.(*sqlparse.FuncCall); ok && sqlparse.AggregateFuncs[fc.Name] {
+				aggs = append(aggs, fc)
+			}
+		})
+	}
+	for _, it := range items {
+		visit(it)
+	}
+	visit(sel.Having)
+	for _, o := range sel.OrderBy {
+		visit(o.Expr)
+	}
+	return aggs
+}
+
+// aggAccum is one aggregate's running state.
+type aggAccum struct {
+	count   int64
+	sum     float64
+	sumInt  int64
+	allInt  bool
+	min     value.Value
+	max     value.Value
+	seen    map[string]struct{} // DISTINCT
+	started bool
+}
+
+// aggregate groups tuples and evaluates aggregate projections.
+func (ex *Executor) aggregate(sel *sqlparse.Select, items []sqlparse.Expr, aggNodes []*sqlparse.FuncCall, tuples []*env, cols []colInfo) ([]value.Row, []*env, error) {
+	type group struct {
+		first  *env
+		accums []*aggAccum
+		key    value.Row
+	}
+	groups := make(map[string]*group)
+	var order []string
+
+	for _, e := range tuples {
+		keyVals := make(value.Row, len(sel.GroupBy))
+		for i, g := range sel.GroupBy {
+			v, err := eval(e, g)
+			if err != nil {
+				return nil, nil, err
+			}
+			keyVals[i] = v
+		}
+		k := hashKey(keyVals)
+		grp, ok := groups[k]
+		if !ok {
+			grp = &group{first: e, key: keyVals, accums: make([]*aggAccum, len(aggNodes))}
+			for i := range grp.accums {
+				grp.accums[i] = &aggAccum{allInt: true}
+			}
+			groups[k] = grp
+			order = append(order, k)
+		}
+		for i, node := range aggNodes {
+			if err := accumulate(grp.accums[i], node, e); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+
+	// A grouped query with no GROUP BY and no input rows still yields one
+	// row of aggregates over the empty set.
+	if len(groups) == 0 && len(sel.GroupBy) == 0 {
+		grp := &group{first: &env{cols: cols, vals: nullRow(len(cols)), args: ex.Args}, accums: make([]*aggAccum, len(aggNodes))}
+		for i := range grp.accums {
+			grp.accums[i] = &aggAccum{allInt: true}
+		}
+		groups[""] = grp
+		order = append(order, "")
+	}
+
+	var outRows []value.Row
+	var outEnvs []*env
+	for _, k := range order {
+		grp := groups[k]
+		aggVals := make(map[*sqlparse.FuncCall]value.Value, len(aggNodes))
+		for i, node := range aggNodes {
+			aggVals[node] = finalize(grp.accums[i], node)
+		}
+		ge := &env{cols: grp.first.cols, vals: grp.first.vals, args: ex.Args, aggs: aggVals}
+		if sel.Having != nil {
+			ok, err := evalPredicate(ge, sel.Having)
+			if err != nil {
+				return nil, nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		row := make(value.Row, len(items))
+		for i, it := range items {
+			v, err := eval(ge, it)
+			if err != nil {
+				return nil, nil, err
+			}
+			row[i] = v
+		}
+		outRows = append(outRows, row)
+		outEnvs = append(outEnvs, ge)
+	}
+	return outRows, outEnvs, nil
+}
+
+func nullRow(n int) value.Row {
+	r := make(value.Row, n)
+	for i := range r {
+		r[i] = value.Null
+	}
+	return r
+}
+
+func accumulate(a *aggAccum, node *sqlparse.FuncCall, e *env) error {
+	if node.Star { // COUNT(*)
+		a.count++
+		return nil
+	}
+	if len(node.Args) != 1 {
+		return fmt.Errorf("sql: %s expects one argument", node.Name)
+	}
+	v, err := eval(e, node.Args[0])
+	if err != nil {
+		return err
+	}
+	if v.IsNull() {
+		return nil // aggregates skip NULLs
+	}
+	if node.Distinct {
+		if a.seen == nil {
+			a.seen = make(map[string]struct{})
+		}
+		k := hashKey(value.Row{v})
+		if _, dup := a.seen[k]; dup {
+			return nil
+		}
+		a.seen[k] = struct{}{}
+	}
+	a.count++
+	switch node.Name {
+	case "SUM", "AVG":
+		switch v.Kind() {
+		case value.KindInt:
+			a.sumInt += v.AsInt()
+			a.sum += float64(v.AsInt())
+		case value.KindFloat:
+			a.allInt = false
+			a.sum += v.AsFloat()
+		default:
+			return fmt.Errorf("sql: %s over non-numeric %s", node.Name, v.Kind())
+		}
+	case "MIN":
+		if !a.started || value.Compare(v, a.min) < 0 {
+			a.min = v
+		}
+	case "MAX":
+		if !a.started || value.Compare(v, a.max) > 0 {
+			a.max = v
+		}
+	}
+	a.started = true
+	return nil
+}
+
+func finalize(a *aggAccum, node *sqlparse.FuncCall) value.Value {
+	switch node.Name {
+	case "COUNT":
+		return value.Int(a.count)
+	case "SUM":
+		if a.count == 0 {
+			return value.Null
+		}
+		if a.allInt {
+			return value.Int(a.sumInt)
+		}
+		return value.Float(a.sum)
+	case "AVG":
+		if a.count == 0 {
+			return value.Null
+		}
+		return value.Float(a.sum / float64(a.count))
+	case "MIN":
+		if !a.started {
+			return value.Null
+		}
+		return a.min
+	case "MAX":
+		if !a.started {
+			return value.Null
+		}
+		return a.max
+	default:
+		return value.Null
+	}
+}
+
+func distinct(rows []value.Row, envs []*env) ([]value.Row, []*env) {
+	seen := make(map[string]struct{}, len(rows))
+	outR := rows[:0]
+	var outE []*env
+	for i, r := range rows {
+		k := hashKey(r)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		outR = append(outR, r)
+		if envs != nil {
+			outE = append(outE, envs[i])
+		}
+	}
+	return outR, outE
+}
+
+// orderBy sorts rows in place. Order expressions referencing an output
+// column name or alias use the output value; anything else evaluates against
+// the row's source environment.
+func (ex *Executor) orderBy(specs []sqlparse.OrderItem, outNames []string, rows []value.Row, envs []*env) error {
+	type keyed struct {
+		row  value.Row
+		env  *env
+		keys value.Row
+	}
+	ks := make([]keyed, len(rows))
+	for i := range rows {
+		keys := make(value.Row, len(specs))
+		for j, spec := range specs {
+			v, err := ex.orderKey(spec.Expr, outNames, rows[i], envs[i])
+			if err != nil {
+				return err
+			}
+			keys[j] = v
+		}
+		ks[i] = keyed{row: rows[i], env: envs[i], keys: keys}
+	}
+	sort.SliceStable(ks, func(a, b int) bool {
+		for j, spec := range specs {
+			c := value.Compare(ks[a].keys[j], ks[b].keys[j])
+			if c == 0 {
+				continue
+			}
+			if spec.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	for i := range ks {
+		rows[i] = ks[i].row
+		if envs != nil {
+			envs[i] = ks[i].env
+		}
+	}
+	return nil
+}
+
+func (ex *Executor) orderKey(expr sqlparse.Expr, outNames []string, row value.Row, e *env) (value.Value, error) {
+	if ref, ok := expr.(*sqlparse.ColumnRef); ok && ref.Table == "" {
+		for i, n := range outNames {
+			if strings.EqualFold(n, ref.Column) {
+				return row[i], nil
+			}
+		}
+	}
+	// ORDER BY 1 / 2 (positional).
+	if lit, ok := expr.(*sqlparse.Literal); ok && lit.Val.Kind() == value.KindInt {
+		pos := int(lit.Val.AsInt())
+		if pos >= 1 && pos <= len(row) {
+			return row[pos-1], nil
+		}
+	}
+	if e == nil {
+		return value.Null, fmt.Errorf("sql: cannot resolve ORDER BY expression %q", expr)
+	}
+	return eval(e, expr)
+}
+
+func (ex *Executor) applyLimitOffset(sel *sqlparse.Select, rows []value.Row) ([]value.Row, error) {
+	evalInt := func(e sqlparse.Expr) (int, error) {
+		v, err := eval(&env{args: ex.Args}, e)
+		if err != nil {
+			return 0, err
+		}
+		if v.Kind() != value.KindInt {
+			return 0, fmt.Errorf("sql: LIMIT/OFFSET must be an integer")
+		}
+		return int(v.AsInt()), nil
+	}
+	if sel.Offset != nil {
+		off, err := evalInt(sel.Offset)
+		if err != nil {
+			return nil, err
+		}
+		if off < 0 {
+			off = 0
+		}
+		if off >= len(rows) {
+			rows = nil
+		} else {
+			rows = rows[off:]
+		}
+	}
+	if sel.Limit != nil {
+		lim, err := evalInt(sel.Limit)
+		if err != nil {
+			return nil, err
+		}
+		if lim >= 0 && lim < len(rows) {
+			rows = rows[:lim]
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,379 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// Expr is any SQL expression node.
+type Expr interface {
+	expr()
+	// String renders the expression in SQL-ish syntax for diagnostics and
+	// provenance logging.
+	String() string
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+// ColumnDef is one column in a CREATE TABLE.
+type ColumnDef struct {
+	Name       string
+	Type       value.Kind
+	PrimaryKey bool
+	NotNull    bool
+}
+
+// CreateTable is CREATE TABLE [IF NOT EXISTS] name (...).
+type CreateTable struct {
+	Name        string
+	IfNotExists bool
+	Columns     []ColumnDef
+	PrimaryKey  []string // explicit PRIMARY KEY (a, b) clause, if any
+}
+
+// CreateIndex is CREATE [UNIQUE] INDEX name ON table (cols).
+type CreateIndex struct {
+	Name    string
+	Table   string
+	Columns []string
+	Unique  bool
+}
+
+// DropTable is DROP TABLE [IF EXISTS] name.
+type DropTable struct {
+	Name     string
+	IfExists bool
+}
+
+// Insert is INSERT INTO t [(cols)] VALUES (...), (...).
+type Insert struct {
+	Table   string
+	Columns []string
+	Rows    [][]Expr
+}
+
+// Update is UPDATE t SET col = expr, ... [WHERE expr].
+type Update struct {
+	Table string
+	Set   []Assignment
+	Where Expr // nil when absent
+}
+
+// Assignment is one SET clause element.
+type Assignment struct {
+	Column string
+	Value  Expr
+}
+
+// Delete is DELETE FROM t [WHERE expr].
+type Delete struct {
+	Table string
+	Where Expr
+}
+
+// JoinKind distinguishes join operators.
+type JoinKind uint8
+
+// Join kinds.
+const (
+	JoinInner JoinKind = iota
+	JoinLeft
+	JoinCross
+)
+
+// TableRef is one table in a FROM clause with an optional alias.
+type TableRef struct {
+	Table string
+	Alias string // "" when none; effective name is Alias or Table
+}
+
+// EffectiveName returns the name by which columns reference this table.
+func (t TableRef) EffectiveName() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Table
+}
+
+// JoinClause is one joined table with its condition.
+type JoinClause struct {
+	Kind  JoinKind
+	Table TableRef
+	On    Expr // nil for CROSS or comma joins without ON
+}
+
+// SelectItem is one projection; Star marks `*` or `alias.*`.
+type SelectItem struct {
+	Expr      Expr
+	Alias     string
+	Star      bool
+	StarTable string // for alias.*
+}
+
+// OrderItem is one ORDER BY element.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// Select is a full SELECT statement.
+type Select struct {
+	Distinct bool
+	Items    []SelectItem
+	From     *TableRef    // nil for FROM-less selects (SELECT 1+1)
+	Joins    []JoinClause // joined tables in order
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    Expr // nil when absent
+	Offset   Expr
+}
+
+// Begin, Commit, Rollback are transaction-control statements.
+type (
+	// Begin starts an explicit transaction.
+	Begin struct{}
+	// Commit commits an explicit transaction.
+	Commit struct{}
+	// Rollback aborts an explicit transaction.
+	Rollback struct{}
+)
+
+func (*CreateTable) stmt() {}
+func (*CreateIndex) stmt() {}
+func (*DropTable) stmt()   {}
+func (*Insert) stmt()      {}
+func (*Update) stmt()      {}
+func (*Delete) stmt()      {}
+func (*Select) stmt()      {}
+func (*Begin) stmt()       {}
+func (*Commit) stmt()      {}
+func (*Rollback) stmt()    {}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// Literal is a constant value.
+type Literal struct{ Val value.Value }
+
+// Placeholder is a positional `?` parameter; Index is zero-based.
+type Placeholder struct{ Index int }
+
+// ColumnRef references a column, optionally qualified by a table alias.
+type ColumnRef struct {
+	Table  string // "" when unqualified
+	Column string
+}
+
+// BinaryOp codes for BinaryExpr.
+type BinaryOp uint8
+
+// Binary operators.
+const (
+	OpEq BinaryOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpAnd
+	OpOr
+	OpConcat
+	OpLike
+)
+
+var binaryOpNames = map[BinaryOp]string{
+	OpEq: "=", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%",
+	OpAnd: "AND", OpOr: "OR", OpConcat: "||", OpLike: "LIKE",
+}
+
+// BinaryExpr is a binary operation.
+type BinaryExpr struct {
+	Op          BinaryOp
+	Left, Right Expr
+}
+
+// UnaryExpr is NOT expr or -expr.
+type UnaryExpr struct {
+	Op      byte // '-' or '!' (NOT)
+	Operand Expr
+}
+
+// IsNullExpr is expr IS [NOT] NULL.
+type IsNullExpr struct {
+	Operand Expr
+	Negate  bool
+}
+
+// InExpr is expr [NOT] IN (list).
+type InExpr struct {
+	Operand Expr
+	List    []Expr
+	Negate  bool
+}
+
+// BetweenExpr is expr [NOT] BETWEEN lo AND hi.
+type BetweenExpr struct {
+	Operand, Lo, Hi Expr
+	Negate          bool
+}
+
+// FuncCall is a function or aggregate invocation. Star marks COUNT(*).
+type FuncCall struct {
+	Name     string // uppercased
+	Args     []Expr
+	Star     bool
+	Distinct bool
+}
+
+func (*Literal) expr()     {}
+func (*Placeholder) expr() {}
+func (*ColumnRef) expr()   {}
+func (*BinaryExpr) expr()  {}
+func (*UnaryExpr) expr()   {}
+func (*IsNullExpr) expr()  {}
+func (*InExpr) expr()      {}
+func (*BetweenExpr) expr() {}
+func (*FuncCall) expr()    {}
+
+func (e *Literal) String() string     { return e.Val.String() }
+func (e *Placeholder) String() string { return "?" }
+func (e *ColumnRef) String() string {
+	if e.Table != "" {
+		return e.Table + "." + e.Column
+	}
+	return e.Column
+}
+func (e *BinaryExpr) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.Left, binaryOpNames[e.Op], e.Right)
+}
+func (e *UnaryExpr) String() string {
+	if e.Op == '!' {
+		return fmt.Sprintf("(NOT %s)", e.Operand)
+	}
+	return fmt.Sprintf("(-%s)", e.Operand)
+}
+func (e *IsNullExpr) String() string {
+	if e.Negate {
+		return fmt.Sprintf("(%s IS NOT NULL)", e.Operand)
+	}
+	return fmt.Sprintf("(%s IS NULL)", e.Operand)
+}
+func (e *InExpr) String() string {
+	parts := make([]string, len(e.List))
+	for i, x := range e.List {
+		parts[i] = x.String()
+	}
+	op := "IN"
+	if e.Negate {
+		op = "NOT IN"
+	}
+	return fmt.Sprintf("(%s %s (%s))", e.Operand, op, strings.Join(parts, ", "))
+}
+func (e *BetweenExpr) String() string {
+	op := "BETWEEN"
+	if e.Negate {
+		op = "NOT BETWEEN"
+	}
+	return fmt.Sprintf("(%s %s %s AND %s)", e.Operand, op, e.Lo, e.Hi)
+}
+func (e *FuncCall) String() string {
+	if e.Star {
+		return e.Name + "(*)"
+	}
+	parts := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		parts[i] = a.String()
+	}
+	prefix := ""
+	if e.Distinct {
+		prefix = "DISTINCT "
+	}
+	return e.Name + "(" + prefix + strings.Join(parts, ", ") + ")"
+}
+
+// AggregateFuncs is the set of aggregate function names the executor
+// understands; the parser uses it to validate GROUP BY contexts lazily (the
+// executor performs the real checks).
+var AggregateFuncs = map[string]bool{
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+}
+
+// HasAggregate reports whether the expression tree contains an aggregate
+// function call.
+func HasAggregate(e Expr) bool {
+	switch x := e.(type) {
+	case nil:
+		return false
+	case *FuncCall:
+		if AggregateFuncs[x.Name] {
+			return true
+		}
+		for _, a := range x.Args {
+			if HasAggregate(a) {
+				return true
+			}
+		}
+	case *BinaryExpr:
+		return HasAggregate(x.Left) || HasAggregate(x.Right)
+	case *UnaryExpr:
+		return HasAggregate(x.Operand)
+	case *IsNullExpr:
+		return HasAggregate(x.Operand)
+	case *InExpr:
+		if HasAggregate(x.Operand) {
+			return true
+		}
+		for _, a := range x.List {
+			if HasAggregate(a) {
+				return true
+			}
+		}
+	case *BetweenExpr:
+		return HasAggregate(x.Operand) || HasAggregate(x.Lo) || HasAggregate(x.Hi)
+	}
+	return false
+}
+
+// Walk visits every expression node in e, depth first.
+func Walk(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch x := e.(type) {
+	case *BinaryExpr:
+		Walk(x.Left, fn)
+		Walk(x.Right, fn)
+	case *UnaryExpr:
+		Walk(x.Operand, fn)
+	case *IsNullExpr:
+		Walk(x.Operand, fn)
+	case *InExpr:
+		Walk(x.Operand, fn)
+		for _, a := range x.List {
+			Walk(a, fn)
+		}
+	case *BetweenExpr:
+		Walk(x.Operand, fn)
+		Walk(x.Lo, fn)
+		Walk(x.Hi, fn)
+	case *FuncCall:
+		for _, a := range x.Args {
+			Walk(a, fn)
+		}
+	}
+}

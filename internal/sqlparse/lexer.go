@@ -1,0 +1,235 @@
+// Package sqlparse implements the SQL front end used by both the production
+// database and the TROD provenance database: a hand-written lexer, an AST,
+// and a recursive-descent parser.
+//
+// The dialect covers the subset of SQL that the paper's application
+// workloads and debugging queries need: CREATE TABLE / CREATE INDEX / DROP
+// TABLE, INSERT, SELECT (joins — including the paper's "FROM a AS x, b AS y
+// ON ..." comma-join-with-ON form — WHERE, GROUP BY, HAVING, ORDER BY,
+// LIMIT/OFFSET, aggregates, DISTINCT), UPDATE, DELETE, and positional `?`
+// placeholders.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexical tokens.
+type TokenKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokInt
+	TokFloat
+	TokString
+	TokPlaceholder // ?
+	TokSymbol      // operators and punctuation
+)
+
+// Token is one lexical token with its source position (byte offset).
+type Token struct {
+	Kind TokenKind
+	Text string // uppercased for keywords; raw otherwise
+	Pos  int
+}
+
+// keywords recognised by the lexer. Identifiers matching these (case
+// insensitively) become TokKeyword tokens with uppercase Text.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "INSERT": true, "INTO": true,
+	"VALUES": true, "UPDATE": true, "SET": true, "DELETE": true, "CREATE": true,
+	"TABLE": true, "INDEX": true, "DROP": true, "PRIMARY": true, "KEY": true,
+	"ON": true, "AND": true, "OR": true, "NOT": true, "NULL": true, "IS": true,
+	"IN": true, "LIKE": true, "BETWEEN": true, "AS": true, "JOIN": true,
+	"INNER": true, "LEFT": true, "OUTER": true, "CROSS": true,
+	"GROUP": true, "BY": true, "HAVING": true, "ORDER": true, "ASC": true,
+	"DESC": true, "LIMIT": true, "OFFSET": true, "DISTINCT": true,
+	"TRUE": true, "FALSE": true, "INTEGER": true, "INT": true, "FLOAT": true,
+	"REAL": true, "TEXT": true, "VARCHAR": true, "BOOL": true, "BOOLEAN": true,
+	"BYTES": true, "BLOB": true, "BEGIN": true, "COMMIT": true, "ROLLBACK": true,
+	"IF": true, "EXISTS": true, "UNIQUE": true, "COUNT": true, "DEFAULT": true,
+}
+
+// Lexer splits SQL text into tokens.
+type Lexer struct {
+	src string
+	pos int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer { return &Lexer{src: src} }
+
+// Next returns the next token, or an error for malformed input.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpaceAndComments()
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c == '?':
+		l.pos++
+		return Token{Kind: TokPlaceholder, Text: "?", Pos: start}, nil
+	case c == '\'':
+		return l.lexString()
+	case c == '"' || c == '`':
+		return l.lexQuotedIdent(c)
+	case isDigit(c) || (c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
+		return l.lexNumber()
+	case isIdentStart(c):
+		return l.lexIdent()
+	default:
+		return l.lexSymbol()
+	}
+}
+
+// Tokenize lexes the whole input.
+func Tokenize(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.pos += 2
+			for l.pos+1 < len(l.src) && !(l.src[l.pos] == '*' && l.src[l.pos+1] == '/') {
+				l.pos++
+			}
+			l.pos += 2
+			if l.pos > len(l.src) {
+				l.pos = len(l.src)
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (l *Lexer) lexString() (Token, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' { // escaped quote
+				sb.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return Token{Kind: TokString, Text: sb.String(), Pos: start}, nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return Token{}, fmt.Errorf("sql: unterminated string literal at offset %d", start)
+}
+
+func (l *Lexer) lexQuotedIdent(quote byte) (Token, error) {
+	start := l.pos
+	l.pos++
+	idStart := l.pos
+	for l.pos < len(l.src) && l.src[l.pos] != quote {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return Token{}, fmt.Errorf("sql: unterminated quoted identifier at offset %d", start)
+	}
+	text := l.src[idStart:l.pos]
+	l.pos++
+	return Token{Kind: TokIdent, Text: text, Pos: start}, nil
+}
+
+func (l *Lexer) lexNumber() (Token, error) {
+	start := l.pos
+	isFloat := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if isDigit(c) {
+			l.pos++
+			continue
+		}
+		if c == '.' && !isFloat {
+			isFloat = true
+			l.pos++
+			continue
+		}
+		if (c == 'e' || c == 'E') && l.pos+1 < len(l.src) &&
+			(isDigit(l.src[l.pos+1]) || l.src[l.pos+1] == '+' || l.src[l.pos+1] == '-') {
+			isFloat = true
+			l.pos += 2
+			continue
+		}
+		break
+	}
+	kind := TokInt
+	if isFloat {
+		kind = TokFloat
+	}
+	return Token{Kind: kind, Text: l.src[start:l.pos], Pos: start}, nil
+}
+
+func (l *Lexer) lexIdent() (Token, error) {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	upper := strings.ToUpper(text)
+	if keywords[upper] {
+		return Token{Kind: TokKeyword, Text: upper, Pos: start}, nil
+	}
+	return Token{Kind: TokIdent, Text: text, Pos: start}, nil
+}
+
+var twoCharSymbols = map[string]bool{
+	"<=": true, ">=": true, "!=": true, "<>": true, "||": true,
+}
+
+func (l *Lexer) lexSymbol() (Token, error) {
+	start := l.pos
+	if l.pos+1 < len(l.src) {
+		two := l.src[l.pos : l.pos+2]
+		if twoCharSymbols[two] {
+			l.pos += 2
+			return Token{Kind: TokSymbol, Text: two, Pos: start}, nil
+		}
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '(', ')', ',', '*', '+', '-', '/', '%', '=', '<', '>', '.', ';':
+		l.pos++
+		return Token{Kind: TokSymbol, Text: string(c), Pos: start}, nil
+	}
+	return Token{}, fmt.Errorf("sql: unexpected character %q at offset %d", rune(c), start)
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || unicode.IsLetter(rune(c)) }
+func isIdentPart(c byte) bool  { return isIdentStart(c) || isDigit(c) }

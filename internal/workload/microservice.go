@@ -1,0 +1,209 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/db"
+	"repro/internal/provenance"
+	"repro/internal/runtime"
+)
+
+// MicroserviceSchema is a small social-network app in the style of the
+// microservice benchmarks (DeathStarBench-like) the paper's prototype was
+// measured on (§3.7): users, posts, follows, and timelines assembled by a
+// workflow of handlers.
+const MicroserviceSchema = `
+CREATE TABLE users (userId INTEGER PRIMARY KEY, name TEXT, posts INTEGER, followers INTEGER);
+CREATE TABLE posts (postId INTEGER PRIMARY KEY, userId INTEGER, body TEXT);
+CREATE TABLE follows (follower INTEGER, followee INTEGER, PRIMARY KEY (follower, followee));
+CREATE INDEX posts_by_user ON posts (userId);
+`
+
+// MicroserviceTables traces all three tables.
+var MicroserviceTables = provenance.TableMap{
+	"users":   "UserEvents",
+	"posts":   "PostEvents",
+	"follows": "FollowEvents",
+}
+
+// SetupMicroservice creates the schema and seeds nUsers users with a sparse
+// follow graph (deterministic from seed).
+func SetupMicroservice(d *db.DB, nUsers int, seed int64) error {
+	if err := d.ExecScript(MicroserviceSchema); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	tx := d.Begin()
+	for i := 1; i <= nUsers; i++ {
+		if _, err := tx.Exec(`INSERT INTO users VALUES (?, ?, 0, 0)`, i, fmt.Sprintf("user%d", i)); err != nil {
+			tx.Rollback()
+			return err
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	tx = d.Begin()
+	for i := 1; i <= nUsers; i++ {
+		for f := 0; f < 3; f++ {
+			other := 1 + rng.Intn(nUsers)
+			if other == i {
+				continue
+			}
+			rows, err := tx.Query(`SELECT follower FROM follows WHERE follower = ? AND followee = ?`, i, other)
+			if err != nil {
+				tx.Rollback()
+				return err
+			}
+			if len(rows.Rows) > 0 {
+				continue
+			}
+			if _, err := tx.Exec(`INSERT INTO follows VALUES (?, ?)`, i, other); err != nil {
+				tx.Rollback()
+				return err
+			}
+		}
+	}
+	return tx.Commit()
+}
+
+// RegisterMicroservice installs the benchmark's handlers. createPost is a
+// two-transaction workflow (insert post + bump the author's counter);
+// readTimeline joins follows and posts; follow updates two tables through
+// an RPC to a second handler — a representative request mix.
+func RegisterMicroservice(app *runtime.App) {
+	app.Register("createPost", func(c *runtime.Ctx, args runtime.Args) (any, error) {
+		user, body, postID := args.Int("userId"), args.String("body"), args.Int("postId")
+		if err := c.Txn("insertPost", func(tx *db.Tx) error {
+			_, err := tx.Exec(`INSERT INTO posts VALUES (?, ?, ?)`, postID, user, body)
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		if err := c.Txn("bumpCounter", func(tx *db.Tx) error {
+			rows, err := tx.Query(`SELECT posts FROM users WHERE userId = ?`, user)
+			if err != nil {
+				return err
+			}
+			if len(rows.Rows) == 0 {
+				return fmt.Errorf("createPost: no user %d", user)
+			}
+			_, err = tx.Exec(`UPDATE users SET posts = ? WHERE userId = ?`, rows.Rows[0][0].AsInt()+1, user)
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		return postID, nil
+	})
+
+	app.Register("readPost", func(c *runtime.Ctx, args runtime.Args) (any, error) {
+		rows, err := c.Query("selectPost", `SELECT body FROM posts WHERE postId = ?`, args.Int("postId"))
+		if err != nil {
+			return nil, err
+		}
+		if len(rows.Rows) == 0 {
+			return nil, nil
+		}
+		return rows.Rows[0][0].AsText(), nil
+	})
+
+	app.Register("readTimeline", func(c *runtime.Ctx, args runtime.Args) (any, error) {
+		// Assemble the timeline the way a real microservice does: fetch the
+		// followee list by primary key, then each followee's recent posts
+		// through the posts_by_user index — point/prefix reads only.
+		user := args.Int("userId")
+		count := 0
+		err := c.Txn("timeline", func(tx *db.Tx) error {
+			follows, err := tx.Query(`SELECT followee FROM follows WHERE follower = ?`, user)
+			if err != nil {
+				return err
+			}
+			for _, f := range follows.Rows {
+				posts, err := tx.Query(`SELECT postId FROM posts WHERE userId = ? ORDER BY postId DESC LIMIT 5`, f[0].AsInt())
+				if err != nil {
+					return err
+				}
+				count += len(posts.Rows)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return count, nil
+	})
+
+	app.Register("follow", func(c *runtime.Ctx, args runtime.Args) (any, error) {
+		follower, followee := args.Int("userId"), args.Int("followee")
+		if err := c.Txn("insertFollow", func(tx *db.Tx) error {
+			rows, err := tx.Query(`SELECT follower FROM follows WHERE follower = ? AND followee = ?`, follower, followee)
+			if err != nil {
+				return err
+			}
+			if len(rows.Rows) > 0 {
+				return nil
+			}
+			_, err = tx.Exec(`INSERT INTO follows VALUES (?, ?)`, follower, followee)
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		// Bump the followee's counter via RPC — the workflow shape the
+		// paper's microservice apps have.
+		return c.Call("bumpFollowers", runtime.Args{"userId": followee})
+	})
+
+	app.Register("bumpFollowers", func(c *runtime.Ctx, args runtime.Args) (any, error) {
+		user := args.Int("userId")
+		err := c.Txn("bumpFollowers", func(tx *db.Tx) error {
+			rows, err := tx.Query(`SELECT followers FROM users WHERE userId = ?`, user)
+			if err != nil {
+				return err
+			}
+			if len(rows.Rows) == 0 {
+				return nil
+			}
+			_, err = tx.Exec(`UPDATE users SET followers = ? WHERE userId = ?`, rows.Rows[0][0].AsInt()+1, user)
+			return err
+		})
+		return nil, err
+	})
+}
+
+// RequestMix generates a deterministic stream of n benchmark requests:
+// 40% createPost, 30% readPost, 20% readTimeline, 10% follow. It returns
+// handler names with matching argument sets.
+func RequestMix(n, nUsers int, seed int64) ([]string, []runtime.Args) {
+	rng := rand.New(rand.NewSource(seed))
+	handlers := make([]string, n)
+	args := make([]runtime.Args, n)
+	postID := int64(0)
+	for i := 0; i < n; i++ {
+		user := int64(1 + rng.Intn(nUsers))
+		switch r := rng.Intn(10); {
+		case r < 4:
+			postID++
+			handlers[i] = "createPost"
+			args[i] = runtime.Args{"userId": user, "postId": postID, "body": fmt.Sprintf("post %d by %d", postID, user)}
+		case r < 7:
+			handlers[i] = "readPost"
+			ref := int64(1)
+			if postID > 0 {
+				ref = 1 + rng.Int63n(postID)
+			}
+			args[i] = runtime.Args{"postId": ref}
+		case r < 9:
+			handlers[i] = "readTimeline"
+			args[i] = runtime.Args{"userId": user}
+		default:
+			handlers[i] = "follow"
+			other := int64(1 + rng.Intn(nUsers))
+			if other == user {
+				other = user%int64(nUsers) + 1
+			}
+			args[i] = runtime.Args{"userId": user, "followee": other}
+		}
+	}
+	return handlers, args
+}

@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/db"
+	"repro/internal/provenance"
+	"repro/internal/runtime"
+)
+
+// ProfileSchema models the user-profile service of the paper's §4.2 access
+// control patterns: profiles owned by users, and a documents table holding
+// sensitive data for the exfiltration case study.
+const ProfileSchema = `
+CREATE TABLE profiles (userName TEXT PRIMARY KEY, bio TEXT, updatedBy TEXT);
+CREATE TABLE documents (docId INTEGER PRIMARY KEY, owner TEXT, secret TEXT);
+CREATE TABLE outbox (msgId INTEGER PRIMARY KEY, recipient TEXT, body TEXT);
+`
+
+// ProfileTables maps the profile service's tables to provenance event
+// tables; ProfileEvents matches the name in the paper's §4.2 query.
+var ProfileTables = provenance.TableMap{
+	"profiles":  "ProfileEvents",
+	"documents": "DocumentEvents",
+	"outbox":    "OutboxEvents",
+}
+
+// SetupProfiles creates the schema and seed users.
+func SetupProfiles(d *db.DB) error {
+	if err := d.ExecScript(ProfileSchema); err != nil {
+		return err
+	}
+	return d.ExecScript(`
+		INSERT INTO profiles VALUES ('alice', 'hi, alice here', 'alice'), ('bob', 'bob!', 'bob');
+		INSERT INTO documents VALUES (1, 'alice', 'alice-api-key'), (2, 'bob', 'bob-api-key');
+	`)
+}
+
+// RegisterProfiles installs the profile service handlers. updateProfile is
+// intentionally missing an ownership check (the User Profiles pattern
+// violation of §4.2): any caller may update any profile, and the UpdatedBy
+// column records who actually did it — which is exactly what the paper's
+// detection query keys on.
+func RegisterProfiles(app *runtime.App) {
+	app.Register("updateProfile", func(c *runtime.Ctx, args runtime.Args) (any, error) {
+		target, caller, bio := args.String("userName"), args.String("caller"), args.String("bio")
+		_, err := c.Exec("DB.update", `UPDATE profiles SET bio = ?, updatedBy = ? WHERE userName = ?`, bio, caller, target)
+		if err != nil {
+			return nil, err
+		}
+		return true, nil
+	})
+
+	app.Register("viewProfile", func(c *runtime.Ctx, args runtime.Args) (any, error) {
+		rows, err := c.Query("DB.executeQuery", `SELECT bio FROM profiles WHERE userName = ?`, args.String("userName"))
+		if err != nil {
+			return nil, err
+		}
+		if len(rows.Rows) == 0 {
+			return nil, fmt.Errorf("viewProfile: no such user")
+		}
+		return rows.Rows[0][0].AsText(), nil
+	})
+
+	// readDocument reads a (possibly sensitive) document; like the paper's
+	// compromised handler it does not verify the caller's ownership.
+	app.Register("readDocument", func(c *runtime.Ctx, args runtime.Args) (any, error) {
+		rows, err := c.Query("DB.executeQuery", `SELECT secret FROM documents WHERE docId = ?`, args.Int("docId"))
+		if err != nil {
+			return nil, err
+		}
+		if len(rows.Rows) == 0 {
+			return nil, fmt.Errorf("readDocument: no such document")
+		}
+		return rows.Rows[0][0].AsText(), nil
+	})
+
+	// sendMessage writes to the outbox (the exfiltration channel: the
+	// outbox is drained to the outside world).
+	app.Register("sendMessage", func(c *runtime.Ctx, args runtime.Args) (any, error) {
+		err := c.Txn("DB.insert", func(tx *db.Tx) error {
+			rows, err := tx.Query(`SELECT COALESCE(MAX(msgId), 0) FROM outbox`)
+			if err != nil {
+				return err
+			}
+			_, err = tx.Exec(`INSERT INTO outbox VALUES (?, ?, ?)`, rows.Rows[0][0].AsInt()+1, args.String("recipient"), args.String("body"))
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.External("smtp", args.String("recipient"))
+		return true, nil
+	})
+
+	// exfiltrate is the attack workflow of §4.2: a seemingly valid entry
+	// handler that moves stolen data laterally through handler RPCs —
+	// readDocument → sendMessage — before it leaves over a legitimate
+	// channel.
+	app.Register("exfiltrate", func(c *runtime.Ctx, args runtime.Args) (any, error) {
+		secret, err := c.Call("readDocument", runtime.Args{"docId": args.Int("docId")})
+		if err != nil {
+			return nil, err
+		}
+		return c.Call("sendMessage", runtime.Args{
+			"recipient": args.String("dropbox"),
+			"body":      secret.(string),
+		})
+	})
+}

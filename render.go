@@ -1,0 +1,30 @@
+package trod
+
+import (
+	"strings"
+	"text/tabwriter"
+)
+
+// FormatRows renders a query result as an aligned text table, in the style
+// of the paper's Table 1 / Table 2 listings.
+func FormatRows(rows *Rows) string {
+	var sb strings.Builder
+	w := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	if len(rows.Columns) > 0 {
+		w.Write([]byte(strings.Join(rows.Columns, "\t") + "\n"))
+		sep := make([]string, len(rows.Columns))
+		for i, c := range rows.Columns {
+			sep[i] = strings.Repeat("-", len(c))
+		}
+		w.Write([]byte(strings.Join(sep, "\t") + "\n"))
+	}
+	for _, r := range rows.Rows {
+		parts := make([]string, len(r))
+		for i, v := range r {
+			parts[i] = v.Display()
+		}
+		w.Write([]byte(strings.Join(parts, "\t") + "\n"))
+	}
+	w.Flush()
+	return sb.String()
+}
