@@ -12,12 +12,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	trod "repro"
 	"repro/internal/experiments"
@@ -29,10 +31,17 @@ var (
 	users     = flag.Int("users", 100, "E1/A1 user count")
 	maxEvents = flag.Int("maxevents", 500_000, "E2 largest event-count scale")
 	bulkRows  = flag.Int("bulkrows", 100_000, "A2 bulk table size")
+	jsonOut   = flag.String("json", "", "write a BENCH_*.json perf snapshot (E1 memory pair + E2 sweep) to this path and exit")
 )
 
 func main() {
 	flag.Parse()
+	if *jsonOut != "" {
+		if err := writeSnapshot(*jsonOut); err != nil {
+			log.Fatalf("snapshot: %v", err)
+		}
+		return
+	}
 	which := strings.ToLower(*expFlag)
 	run := func(name string, fn func() error) {
 		if which != "all" && which != name {
@@ -67,6 +76,76 @@ func main() {
 			os.Exit(2)
 		}
 	}
+}
+
+// Snapshot is the machine-readable perf record committed as BENCH_<n>.json.
+// Successive PRs append snapshots so the perf trajectory of the two headline
+// hot paths (E1 tracing overhead, E2 query latency) stays recorded; compare
+// the e2[].query_ms series and e1.trace_cost_us_per_req across files.
+type Snapshot struct {
+	GeneratedAt string       `json:"generated_at"`
+	Requests    int          `json:"e1_requests"`
+	E1          SnapshotE1   `json:"e1"`
+	E2          []SnapshotE2 `json:"e2"`
+}
+
+// SnapshotE1 is the tracing-overhead record (in-memory engine).
+type SnapshotE1 struct {
+	BaseP50Us        float64 `json:"base_p50_us"`
+	TracedP50Us      float64 `json:"traced_p50_us"`
+	TraceCostUsPerRq float64 `json:"trace_cost_us_per_req"`
+	OverheadPct      float64 `json:"overhead_pct"`
+}
+
+// SnapshotE2 is one scale point of the declarative-query latency sweep.
+type SnapshotE2 struct {
+	Events  int     `json:"events"`
+	LoadMs  float64 `json:"load_ms"`
+	QueryMs float64 `json:"query_ms"`
+	AggMs   float64 `json:"agg_ms"`
+}
+
+func writeSnapshot(path string) error {
+	// Snapshot mode favours turnaround: the default request count is reduced
+	// to 2000, but an explicitly passed -requests is honoured as given.
+	reqs := 2000
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "requests" {
+			reqs = *requests
+		}
+	})
+	mem, err := experiments.RunE1Pair(experiments.EngineMemory, reqs, *users, false)
+	if err != nil {
+		return err
+	}
+	scales := []int{10_000, 50_000, 200_000}
+	points, err := experiments.RunE2(scales)
+	if err != nil {
+		return err
+	}
+	snap := Snapshot{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Requests:    reqs,
+		E1: SnapshotE1{
+			BaseP50Us:        mem.Off.P50Us,
+			TracedP50Us:      mem.On.P50Us,
+			TraceCostUsPerRq: mem.PerReqUs,
+			OverheadPct:      mem.OverheadPct,
+		},
+	}
+	for _, p := range points {
+		snap.E2 = append(snap.E2, SnapshotE2{Events: p.Events, LoadMs: p.LoadMs, QueryMs: p.QueryMs, AggMs: p.AggMs})
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
 }
 
 func runE1() error {

@@ -106,6 +106,10 @@ type DB struct {
 	stmtMu    sync.RWMutex
 	stmtCache map[string]sqlparse.Statement
 
+	// plans caches compiled physical plans keyed by (query text, schema
+	// epoch); see plancache.go.
+	plans *planCache
+
 	// readTraceLimit caps read-provenance rows collected per statement
 	// (0 = unlimited). The tracer sets it from its configuration to bound
 	// request-path tracing cost on scan-heavy statements.
@@ -121,6 +125,7 @@ func Open(opts Options) (*DB, error) {
 		store:     storage.NewStore(),
 		mode:      opts.Mode,
 		stmtCache: make(map[string]sqlparse.Statement),
+		plans:     newPlanCache(0),
 	}
 	if opts.Mode == Memory {
 		return db, nil
@@ -197,7 +202,11 @@ func (db *DB) SetHooks(h Hooks) { db.hooks = h }
 // (0 = unlimited). Must be set before concurrent use.
 func (db *DB) SetReadTraceLimit(n int) { db.readTraceLimit = n }
 
+// stmtCacheCap bounds distinct parsed query texts (see planCache for why).
+const stmtCacheCap = 4096
+
 // parse returns the cached AST for query, parsing at most once per text.
+// The cache is size-capped with a wholesale reset, mirroring the plan cache.
 func (db *DB) parse(query string) (sqlparse.Statement, error) {
 	db.stmtMu.RLock()
 	stmt, ok := db.stmtCache[query]
@@ -210,6 +219,9 @@ func (db *DB) parse(query string) (sqlparse.Statement, error) {
 		return nil, err
 	}
 	db.stmtMu.Lock()
+	if len(db.stmtCache) >= stmtCacheCap {
+		db.stmtCache = make(map[string]sqlparse.Statement, stmtCacheCap/4)
+	}
 	db.stmtCache[query] = stmt
 	db.stmtMu.Unlock()
 	return stmt, nil
@@ -314,8 +326,15 @@ func (db *DB) exec(meta TxMeta, query string, args ...any) (*Rows, error) {
 	}
 	var res *Rows
 	err = db.runWithRetry(meta, func(tx *Tx) error {
-		var err error
-		res, err = tx.execParsed(stmt, query, vals)
+		// Re-validate the plan per attempt: a cache hit is a lock-free-ish
+		// map lookup, and concurrent DDL between attempts (epoch bump)
+		// re-plans instead of running a stale catalog snapshot — matching
+		// the pre-plan-cache behaviour of resolving tables on every attempt.
+		plan, err := db.planFor(query, stmt)
+		if err != nil {
+			return err
+		}
+		res, err = tx.execPlanned(stmt, plan, query, vals)
 		return err
 	})
 	if err != nil {
@@ -344,7 +363,7 @@ func (db *DB) ExecScript(script string) error {
 			continue
 		}
 		err := db.runWithRetry(TxMeta{}, func(tx *Tx) error {
-			_, err := tx.execParsed(stmt, "", nil)
+			_, err := tx.execPlanned(stmt, nil, "", nil)
 			return err
 		})
 		if err != nil {
@@ -440,7 +459,14 @@ func (tx *Tx) Exec(query string, args ...any) (*Rows, error) {
 	if err != nil {
 		return nil, err
 	}
-	return tx.execParsed(stmt, query, vals)
+	var plan *sqlexec.Plan
+	if isPlannable(stmt) {
+		plan, err = tx.db.planFor(query, stmt)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return tx.execPlanned(stmt, plan, query, vals)
 }
 
 // Query is Exec for reads.
@@ -448,7 +474,10 @@ func (tx *Tx) Query(query string, args ...any) (*Rows, error) {
 	return tx.Exec(query, args...)
 }
 
-func (tx *Tx) execParsed(stmt sqlparse.Statement, query string, vals []value.Value) (*Rows, error) {
+// execPlanned runs one statement, preferring a cached physical plan; a nil
+// plan falls back to transient compilation (script statements, transaction
+// control).
+func (tx *Tx) execPlanned(stmt sqlparse.Statement, plan *sqlexec.Plan, query string, vals []value.Value) (*Rows, error) {
 	// Without interposition hooks there is no consumer for statement
 	// traces; skip the bookkeeping entirely so an untraced deployment pays
 	// nothing (the tracing-off baseline of experiment E1).
@@ -468,7 +497,13 @@ func (tx *Tx) execParsed(stmt sqlparse.Statement, query string, vals []value.Val
 			trace.Reads = append(trace.Reads, ReadEvent{Table: table, Row: row.Clone()})
 		}
 	}
-	res, err := ex.Exec(stmt)
+	var res *Rows
+	var err error
+	if plan != nil {
+		res, err = ex.Run(plan)
+	} else {
+		res, err = ex.Exec(stmt)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -561,7 +596,7 @@ func (db *DB) Flush() error {
 // TROD replay and retroactive-programming engines use it to build
 // development databases from restored snapshots.
 func NewFromStore(s *storage.Store) *DB {
-	return &DB{store: s, mode: Memory, stmtCache: make(map[string]sqlparse.Statement)}
+	return &DB{store: s, mode: Memory, stmtCache: make(map[string]sqlparse.Statement), plans: newPlanCache(0)}
 }
 
 // CloneAt materialises a full copy of the database as of snapshot seq — the

@@ -1,0 +1,121 @@
+package db
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sqlexec"
+	"repro/internal/sqlparse"
+)
+
+// planCache caches compiled physical plans keyed by query text. Each entry
+// records the storage schema epoch it was compiled under; a lookup whose
+// epoch no longer matches is a miss, so any DDL (CREATE TABLE, CREATE INDEX,
+// DROP TABLE) invalidates every cached plan lazily and the next execution
+// re-plans against the new catalog.
+//
+// The cache is size-capped with a wholesale reset on overflow: long-running
+// traced applications that generate query text (string-built filters, ad-hoc
+// debugging queries) must not grow memory without bound, and a full reset is
+// cheaper and simpler than LRU bookkeeping on the per-statement hot path.
+type planCache struct {
+	mu      sync.RWMutex
+	cap     int
+	entries map[string]planEntry
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	resets atomic.Uint64
+}
+
+type planEntry struct {
+	epoch uint64
+	plan  *sqlexec.Plan
+}
+
+// defaultPlanCacheCap bounds distinct cached query texts. OLTP workloads use
+// a small fixed statement set; anything near this limit is generated text.
+const defaultPlanCacheCap = 4096
+
+func newPlanCache(capacity int) *planCache {
+	if capacity <= 0 {
+		capacity = defaultPlanCacheCap
+	}
+	return &planCache{cap: capacity, entries: make(map[string]planEntry)}
+}
+
+// get returns the cached plan for query when it was compiled at epoch.
+func (c *planCache) get(query string, epoch uint64) (*sqlexec.Plan, bool) {
+	c.mu.RLock()
+	e, ok := c.entries[query]
+	c.mu.RUnlock()
+	if ok && e.epoch == epoch {
+		c.hits.Add(1)
+		return e.plan, true
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// put stores a freshly compiled plan, resetting the cache wholesale when the
+// capacity is reached (which also drops any stale-epoch entries).
+func (c *planCache) put(query string, epoch uint64, p *sqlexec.Plan) {
+	c.mu.Lock()
+	if _, exists := c.entries[query]; !exists && len(c.entries) >= c.cap {
+		c.entries = make(map[string]planEntry, c.cap/4)
+		c.resets.Add(1)
+	}
+	c.entries[query] = planEntry{epoch: epoch, plan: p}
+	c.mu.Unlock()
+}
+
+func (c *planCache) size() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}
+
+// PlanCacheStats reports plan-cache effectiveness counters. Hits are
+// executions that reused a compiled plan (no re-parse, no re-classification);
+// misses include first compilations and epoch invalidations; resets counts
+// wholesale evictions triggered by the size cap.
+type PlanCacheStats struct {
+	Hits   uint64
+	Misses uint64
+	Resets uint64
+	Size   int
+}
+
+// PlanCacheStats returns the database's plan-cache counters.
+func (db *DB) PlanCacheStats() PlanCacheStats {
+	return PlanCacheStats{
+		Hits:   db.plans.hits.Load(),
+		Misses: db.plans.misses.Load(),
+		Resets: db.plans.resets.Load(),
+		Size:   db.plans.size(),
+	}
+}
+
+// planFor returns the cached physical plan for (query, current schema epoch),
+// compiling and caching it on miss. stmt must be the parsed form of query.
+func (db *DB) planFor(query string, stmt sqlparse.Statement) (*sqlexec.Plan, error) {
+	epoch := db.store.SchemaEpoch()
+	if p, ok := db.plans.get(query, epoch); ok {
+		return p, nil
+	}
+	p, err := sqlexec.Compile(stmt, db.store)
+	if err != nil {
+		return nil, err
+	}
+	db.plans.put(query, epoch, p)
+	return p, nil
+}
+
+// isPlannable reports whether a statement kind goes through the plan cache.
+func isPlannable(stmt sqlparse.Statement) bool {
+	switch stmt.(type) {
+	case *sqlparse.Select, *sqlparse.Insert, *sqlparse.Update, *sqlparse.Delete:
+		return true
+	}
+	return false
+}

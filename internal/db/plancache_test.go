@@ -1,0 +1,168 @@
+package db
+
+import (
+	"testing"
+)
+
+// TestPlanCacheHits asserts that repeated execution of the same query text
+// reuses the compiled plan: one miss (the compilation), then only hits.
+func TestPlanCacheHits(t *testing.T) {
+	d := MustOpenMemory()
+	defer d.Close()
+	if err := d.ExecScript(`CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Exec(`INSERT INTO t (id, v) VALUES (?, ?)`, 1, "a"); err != nil {
+		t.Fatal(err)
+	}
+
+	base := d.PlanCacheStats()
+	const q = `SELECT v FROM t WHERE id = ?`
+	for i := 0; i < 3; i++ {
+		res, err := d.Query(q, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 1 || res.Rows[0][0].AsText() != "a" {
+			t.Fatalf("iteration %d: unexpected result %+v", i, res.Rows)
+		}
+	}
+	st := d.PlanCacheStats()
+	if got := st.Misses - base.Misses; got != 1 {
+		t.Fatalf("want exactly 1 plan-cache miss (the compile), got %d", got)
+	}
+	if got := st.Hits - base.Hits; got != 2 {
+		t.Fatalf("want 2 plan-cache hits, got %d", got)
+	}
+
+	// The same query text through an explicit transaction also hits.
+	tx := d.Begin()
+	if _, err := tx.Query(q, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	st2 := d.PlanCacheStats()
+	if st2.Hits != st.Hits+1 {
+		t.Fatalf("explicit-transaction execution should hit the plan cache: %+v -> %+v", st, st2)
+	}
+}
+
+// TestPlanCacheInvalidationCreateIndex asserts that DDL issued between two
+// executions of the same query text forces a re-plan (the new index becomes
+// usable) and that results stay correct.
+func TestPlanCacheInvalidationCreateIndex(t *testing.T) {
+	d := MustOpenMemory()
+	defer d.Close()
+	if err := d.ExecScript(`CREATE TABLE t (id INTEGER PRIMARY KEY, k INTEGER, v TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if _, err := d.Exec(`INSERT INTO t (id, k, v) VALUES (?, ?, ?)`, i, i%3, "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const q = `SELECT COUNT(*) FROM t WHERE k = ?`
+	res1, err := d.Query(q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := d.PlanCacheStats()
+
+	if _, err := d.Exec(`CREATE INDEX t_k ON t (k)`); err != nil {
+		t.Fatal(err)
+	}
+
+	res2, err := d.Query(q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := d.PlanCacheStats()
+	if after.Misses != before.Misses+1 {
+		t.Fatalf("CREATE INDEX must invalidate the cached plan: misses %d -> %d", before.Misses, after.Misses)
+	}
+	if got, want := res2.Rows[0][0].AsInt(), res1.Rows[0][0].AsInt(); got != want {
+		t.Fatalf("post-DDL result changed: %d != %d", got, want)
+	}
+	if got, want := res2.Rows[0][0].AsInt(), int64(10); got != want {
+		t.Fatalf("COUNT = %d, want %d", got, want)
+	}
+
+	// The re-planned statement is cached again.
+	if _, err := d.Query(q, 2); err != nil {
+		t.Fatal(err)
+	}
+	final := d.PlanCacheStats()
+	if final.Hits != after.Hits+1 {
+		t.Fatalf("re-planned statement should be cached: hits %d -> %d", after.Hits, final.Hits)
+	}
+}
+
+// TestPlanCacheInvalidationDropTable asserts that dropping and re-creating a
+// table re-plans the same query text against the new catalog.
+func TestPlanCacheInvalidationDropTable(t *testing.T) {
+	d := MustOpenMemory()
+	defer d.Close()
+	if err := d.ExecScript(`CREATE TABLE t (id INTEGER PRIMARY KEY, k INTEGER)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Exec(`INSERT INTO t (id, k) VALUES (1, 10)`); err != nil {
+		t.Fatal(err)
+	}
+	const q = `SELECT k FROM t WHERE id = ?`
+	res, err := d.Query(q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].AsInt() != 10 {
+		t.Fatalf("want 10, got %v", res.Rows[0][0])
+	}
+
+	if _, err := d.Exec(`DROP TABLE t`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Query(q, 1); err == nil {
+		t.Fatal("query against dropped table must fail, stale plan was reused")
+	}
+
+	// Recreate with a different physical layout: the same query text must
+	// re-plan (new column offsets) and return the new data.
+	if err := d.ExecScript(`CREATE TABLE t (extra TEXT, id INTEGER PRIMARY KEY, k INTEGER)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Exec(`INSERT INTO t (extra, id, k) VALUES ('e', 1, 77)`); err != nil {
+		t.Fatal(err)
+	}
+	res, err = d.Query(q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].AsInt() != 77 {
+		t.Fatalf("re-planned query against recreated table: want 77, got %v", res.Rows[0][0])
+	}
+}
+
+// TestPlanCacheCapReset asserts the wholesale reset that bounds memory for
+// generated query text.
+func TestPlanCacheCapReset(t *testing.T) {
+	c := newPlanCache(2)
+	c.put("a", 0, nil)
+	c.put("b", 0, nil)
+	if c.size() != 2 {
+		t.Fatalf("size = %d, want 2", c.size())
+	}
+	c.put("c", 0, nil) // over capacity: wholesale reset, then insert
+	if got := c.resets.Load(); got != 1 {
+		t.Fatalf("resets = %d, want 1", got)
+	}
+	if c.size() != 1 {
+		t.Fatalf("size after reset = %d, want 1", c.size())
+	}
+	// Re-putting an existing key at capacity must not reset.
+	c.put("c", 1, nil)
+	if got := c.resets.Load(); got != 1 {
+		t.Fatalf("update of existing entry reset the cache")
+	}
+}

@@ -101,10 +101,14 @@ type Writer struct {
 	appCols map[string][]schema.Column // app table (lower) -> columns
 	// evTables caches resolved schema.Table handles per destination.
 	evTables map[string]*schema.Table // lowercased app table -> event table schema
-	execTbl  *schema.Table
-	reqTbl   *schema.Table
-	edgeTbl  *schema.Table
-	extTbl   *schema.Table
+	// dests memoizes destination lookups per exact table-name spelling so the
+	// per-event hot path (appendTxn/appendWrite) avoids strings.ToLower; a nil
+	// entry marks an untraced table. Guarded by mu (ApplyBatch holds it).
+	dests   map[string]*dest
+	execTbl *schema.Table
+	reqTbl  *schema.Table
+	edgeTbl *schema.Table
+	extTbl  *schema.Table
 	// mu serialises ApplyBatch: the tracer's background flusher and an
 	// explicit Flush may drain concurrently, and the synthetic-ID counters
 	// plus the single-writer commit assumption require exclusion.
@@ -123,6 +127,7 @@ func Setup(prov *db.DB, appDB *db.DB, tables TableMap) (*Writer, error) {
 		tables:   tables.normalize(),
 		appCols:  make(map[string][]schema.Column),
 		evTables: make(map[string]*schema.Table),
+		dests:    make(map[string]*dest),
 	}
 	ddl := `
 	CREATE TABLE IF NOT EXISTS Executions (
@@ -228,6 +233,27 @@ func sqlTypeName(k value.Kind) string {
 	}
 }
 
+// dest bundles the resolved destination for one traced application table.
+type dest struct {
+	evTbl   *schema.Table
+	appCols []schema.Column
+}
+
+// dest resolves the provenance destination for an application table name,
+// lowercasing at most once per distinct spelling. Returns nil for untraced
+// tables. Callers must hold w.mu.
+func (w *Writer) dest(table string) *dest {
+	d, ok := w.dests[table]
+	if !ok {
+		key := strings.ToLower(table)
+		if evTbl := w.evTables[key]; evTbl != nil {
+			d = &dest{evTbl: evTbl, appCols: w.appCols[key]}
+		}
+		w.dests[table] = d
+	}
+	return d
+}
+
 // DB returns the provenance database for direct declarative debugging.
 func (w *Writer) DB() *db.DB { return w.prov }
 
@@ -331,12 +357,11 @@ func (w *Writer) appendTxn(changes []storage.Change, ev *Event) ([]storage.Chang
 		st := &tr.Stmts[si]
 		for ri := range st.Reads {
 			rd := &st.Reads[ri]
-			key := strings.ToLower(rd.Table)
-			evTbl := w.evTables[key]
-			if evTbl == nil {
+			d := w.dest(rd.Table)
+			if d == nil {
 				continue
 			}
-			changes, err = w.appendEvent(changes, evTbl, key, int64(tr.TxnID), int64(tr.Snapshot), "Read", st.Query, rd.Row)
+			changes, err = w.appendEvent(changes, d, int64(tr.TxnID), int64(tr.Snapshot), "Read", st.Query, rd.Row)
 			if err != nil {
 				return nil, err
 			}
@@ -346,20 +371,19 @@ func (w *Writer) appendTxn(changes []storage.Change, ev *Event) ([]storage.Chang
 }
 
 func (w *Writer) appendWrite(changes []storage.Change, ev *Event) ([]storage.Change, error) {
-	key := strings.ToLower(ev.Change.Table)
-	evTbl := w.evTables[key]
-	if evTbl == nil {
+	d := w.dest(ev.Change.Table)
+	if d == nil {
 		return changes, nil
 	}
 	row := ev.Change.After
 	if ev.Change.Op == storage.OpDelete {
 		row = ev.Change.Before
 	}
-	return w.appendEvent(changes, evTbl, key, int64(ev.TxnID), int64(ev.Seq), ev.Change.Op.String(), "", row)
+	return w.appendEvent(changes, d, int64(ev.TxnID), int64(ev.Seq), ev.Change.Op.String(), "", row)
 }
 
-func (w *Writer) appendEvent(changes []storage.Change, evTbl *schema.Table, appKey string, txnID, seq int64, typ, query string, row value.Row) ([]storage.Change, error) {
-	cols := w.appCols[appKey]
+func (w *Writer) appendEvent(changes []storage.Change, d *dest, txnID, seq int64, typ, query string, row value.Row) ([]storage.Change, error) {
+	cols := d.appCols
 	w.evSeq++
 	out := make(value.Row, 0, 5+len(cols))
 	out = append(out, value.Int(int64(w.evSeq)), value.Int(txnID), value.Int(seq), value.Text(typ), value.Text(query))
@@ -370,7 +394,7 @@ func (w *Writer) appendEvent(changes []storage.Change, evTbl *schema.Table, appK
 			out = append(out, row[i])
 		}
 	}
-	return w.appendRow(changes, evTbl, out)
+	return w.appendRow(changes, d.evTbl, out)
 }
 
 // --- query helpers -------------------------------------------------------------

@@ -22,36 +22,60 @@ type colInfo struct {
 
 // env is the evaluation environment for one tuple: slot metadata, slot
 // values, statement arguments, and (during aggregate output) the computed
-// aggregate values keyed by node identity.
+// aggregate values keyed by node identity. slots carries the plan's
+// precomputed column-reference resolutions (nil for transient environments);
+// references not in slots fall back to dynamic resolution.
 type env struct {
-	cols []colInfo
-	vals value.Row
-	args []value.Value
-	aggs map[*sqlparse.FuncCall]value.Value
+	cols  []colInfo
+	vals  value.Row
+	args  []value.Value
+	aggs  map[*sqlparse.FuncCall]value.Value
+	slots map[*sqlparse.ColumnRef]int
 }
 
-// resolve finds the slot for a column reference; ambiguous unqualified names
-// are an error.
-func (e *env) resolve(ref *sqlparse.ColumnRef) (int, error) {
+// lookupSlot resolves ref against a layout, returning the slot and the match
+// count (0 = unknown, 1 = resolved, >1 = ambiguous). It is the single
+// column-matching rule shared by plan-time registration (resolveIn) and
+// runtime resolution (env.resolve), so the two can never diverge.
+func lookupSlot(ref *sqlparse.ColumnRef, cols []colInfo) (int, int) {
 	tbl := strings.ToLower(ref.Table)
 	col := strings.ToLower(ref.Column)
-	found := -1
-	for i, c := range e.cols {
+	found, matches := -1, 0
+	for i, c := range cols {
 		if c.column != col {
 			continue
 		}
 		if tbl != "" && c.source != tbl {
 			continue
 		}
-		if found >= 0 {
-			return 0, fmt.Errorf("sql: ambiguous column reference %q", ref.String())
+		matches++
+		if matches > 1 {
+			return 0, matches
 		}
 		found = i
 	}
-	if found < 0 {
-		return 0, fmt.Errorf("sql: unknown column %q", ref.String())
+	if matches == 0 {
+		return 0, 0
 	}
-	return found, nil
+	return found, 1
+}
+
+// resolve finds the slot for a column reference; ambiguous unqualified names
+// are an error. Plan-compiled references hit the slots map and skip the
+// per-call lowercasing and layout scan entirely.
+func (e *env) resolve(ref *sqlparse.ColumnRef) (int, error) {
+	if i, ok := e.slots[ref]; ok {
+		return i, nil
+	}
+	idx, matches := lookupSlot(ref, e.cols)
+	switch matches {
+	case 1:
+		return idx, nil
+	case 0:
+		return 0, fmt.Errorf("sql: unknown column %q", ref.String())
+	default:
+		return 0, fmt.Errorf("sql: ambiguous column reference %q", ref.String())
+	}
 }
 
 // eval evaluates an expression over the environment.

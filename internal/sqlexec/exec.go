@@ -2,73 +2,52 @@ package sqlexec
 
 import (
 	"fmt"
-	"strings"
 
-	"repro/internal/schema"
 	"repro/internal/sqlparse"
 	"repro/internal/value"
 )
 
-// Exec dispatches a parsed DML or query statement. DDL and transaction
-// control are handled by the db facade, not here.
+// Exec dispatches a parsed DML or query statement, compiling a transient
+// plan. DDL and transaction control are handled by the db facade, not here;
+// callers that cache plans (the db facade) use Compile + Run instead.
 func (ex *Executor) Exec(stmt sqlparse.Statement) (*Result, error) {
-	switch s := stmt.(type) {
-	case *sqlparse.Select:
-		return ex.Select(s)
-	case *sqlparse.Insert:
-		return ex.Insert(s)
-	case *sqlparse.Update:
-		return ex.Update(s)
-	case *sqlparse.Delete:
-		return ex.Delete(s)
+	p, err := Compile(stmt, ex.Store)
+	if err != nil {
+		return nil, err
+	}
+	return ex.Run(p)
+}
+
+// Run executes a compiled plan inside the executor's transaction.
+func (ex *Executor) Run(p *Plan) (*Result, error) {
+	switch {
+	case p.sel != nil:
+		return ex.runSelectPlan(p.sel)
+	case p.ins != nil:
+		return ex.runInsert(p.ins)
+	case p.upd != nil:
+		return ex.runUpdate(p.upd)
+	case p.del != nil:
+		return ex.runDelete(p.del)
 	default:
-		return nil, fmt.Errorf("sql: statement %T not executable inside a transaction", stmt)
+		return nil, fmt.Errorf("sql: empty plan")
 	}
 }
 
-// Insert executes an INSERT statement.
-func (ex *Executor) Insert(ins *sqlparse.Insert) (*Result, error) {
-	tbl := ex.Store.Table(ins.Table)
-	if tbl == nil {
-		return nil, fmt.Errorf("sql: unknown table %q", ins.Table)
-	}
-	// Map the column list (or implicit full list) to physical positions.
-	var positions []int
-	if len(ins.Columns) == 0 {
-		positions = make([]int, len(tbl.Columns))
-		for i := range positions {
-			positions[i] = i
-		}
-	} else {
-		positions = make([]int, len(ins.Columns))
-		seen := make(map[int]bool, len(ins.Columns))
-		for i, name := range ins.Columns {
-			pos := tbl.ColumnIndex(name)
-			if pos < 0 {
-				return nil, fmt.Errorf("sql: table %q has no column %q", ins.Table, name)
-			}
-			if seen[pos] {
-				return nil, fmt.Errorf("sql: column %q listed twice", name)
-			}
-			seen[pos] = true
-			positions[i] = pos
-		}
-	}
+// runInsert executes a compiled INSERT.
+func (ex *Executor) runInsert(p *insertPlan) (*Result, error) {
 	e := &env{args: ex.Args}
 	count := 0
-	for _, exprs := range ins.Rows {
-		if len(exprs) != len(positions) {
-			return nil, fmt.Errorf("sql: INSERT expects %d values, got %d", len(positions), len(exprs))
-		}
-		row := nullRow(len(tbl.Columns))
+	for _, exprs := range p.rows {
+		row := nullRow(len(p.tbl.Columns))
 		for i, expr := range exprs {
 			v, err := eval(e, expr)
 			if err != nil {
 				return nil, err
 			}
-			row[positions[i]] = v
+			row[p.positions[i]] = v
 		}
-		if err := ex.Tx.Insert(tbl, row); err != nil {
+		if err := ex.Tx.Insert(p.tbl, row); err != nil {
 			return nil, err
 		}
 		count++
@@ -76,80 +55,48 @@ func (ex *Executor) Insert(ins *sqlparse.Insert) (*Result, error) {
 	return &Result{RowsAffected: count}, nil
 }
 
-// matchRows runs the single-table WHERE machinery shared by UPDATE and
+// matchPlanRows runs the single-table WHERE scan shared by UPDATE and
 // DELETE, returning the matched physical rows (materialised before any
 // mutation).
-func (ex *Executor) matchRows(table string, where sqlparse.Expr) (*schema.Table, []value.Row, error) {
-	tbl := ex.Store.Table(table)
-	if tbl == nil {
-		return nil, nil, fmt.Errorf("sql: unknown table %q", table)
-	}
-	s := &source{
-		ref:   sqlparse.TableRef{Table: table},
-		tbl:   tbl,
-		alias: strings.ToLower(tbl.Name),
-	}
-	for _, c := range splitConjuncts(where, nil) {
-		// Validate column references resolve on this table.
-		if _, err := refSources(c, []*source{s}); err != nil {
-			return nil, nil, err
-		}
-		s.filters = append(s.filters, c)
-	}
+func (ex *Executor) matchPlanRows(src *planSource, slots map[*sqlparse.ColumnRef]int) ([]value.Row, error) {
 	var rows []value.Row
-	if err := ex.scanSource(s, func(row value.Row) (bool, error) {
+	if err := ex.scanPlanSource(src, slots, func(row value.Row) (bool, error) {
 		rows = append(rows, row.Clone())
 		return true, nil
 	}); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	return tbl, rows, nil
+	return rows, nil
 }
 
-// Update executes an UPDATE statement. Updating primary-key columns is
+// runUpdate executes a compiled UPDATE. Updating primary-key columns is
 // supported and is executed as delete+insert.
-func (ex *Executor) Update(upd *sqlparse.Update) (*Result, error) {
-	tbl, rows, err := ex.matchRows(upd.Table, upd.Where)
+func (ex *Executor) runUpdate(p *updatePlan) (*Result, error) {
+	rows, err := ex.matchPlanRows(p.src, p.slots)
 	if err != nil {
 		return nil, err
 	}
-	// Resolve SET targets once.
-	targets := make([]int, len(upd.Set))
-	pkChanged := false
-	for i, a := range upd.Set {
-		pos := tbl.ColumnIndex(a.Column)
-		if pos < 0 {
-			return nil, fmt.Errorf("sql: table %q has no column %q", upd.Table, a.Column)
-		}
-		targets[i] = pos
-		if tbl.IsPKColumn(pos) {
-			pkChanged = true
-		}
-	}
-	cols := make([]colInfo, len(tbl.Columns))
-	for i, c := range tbl.Columns {
-		cols[i] = colInfo{source: strings.ToLower(tbl.Name), column: strings.ToLower(c.Name)}
-	}
 	count := 0
+	e := env{cols: p.cols, args: ex.Args, slots: p.slots}
 	for _, old := range rows {
-		e := &env{cols: cols, vals: old, args: ex.Args}
+		e.vals = old
 		newRow := old.Clone()
-		for i, a := range upd.Set {
-			v, err := eval(e, a.Value)
+		for i, a := range p.set {
+			v, err := eval(&e, a.Value)
 			if err != nil {
 				return nil, err
 			}
-			newRow[targets[i]] = v
+			newRow[p.targets[i]] = v
 		}
-		if pkChanged && tbl.EncodePrimaryKey(newRow) != tbl.EncodePrimaryKey(old) {
-			if _, err := ex.Tx.Delete(tbl, tbl.EncodePrimaryKey(old)); err != nil {
+		if p.pkChanged && p.tbl.EncodePrimaryKey(newRow) != p.tbl.EncodePrimaryKey(old) {
+			if _, err := ex.Tx.Delete(p.tbl, p.tbl.EncodePrimaryKey(old)); err != nil {
 				return nil, err
 			}
-			if err := ex.Tx.Insert(tbl, newRow); err != nil {
+			if err := ex.Tx.Insert(p.tbl, newRow); err != nil {
 				return nil, err
 			}
 		} else {
-			if err := ex.Tx.Update(tbl, newRow); err != nil {
+			if err := ex.Tx.Update(p.tbl, newRow); err != nil {
 				return nil, err
 			}
 		}
@@ -158,15 +105,15 @@ func (ex *Executor) Update(upd *sqlparse.Update) (*Result, error) {
 	return &Result{RowsAffected: count}, nil
 }
 
-// Delete executes a DELETE statement.
-func (ex *Executor) Delete(del *sqlparse.Delete) (*Result, error) {
-	tbl, rows, err := ex.matchRows(del.Table, del.Where)
+// runDelete executes a compiled DELETE.
+func (ex *Executor) runDelete(p *deletePlan) (*Result, error) {
+	rows, err := ex.matchPlanRows(p.src, p.slots)
 	if err != nil {
 		return nil, err
 	}
 	count := 0
 	for _, row := range rows {
-		found, err := ex.Tx.Delete(tbl, tbl.EncodePrimaryKey(row))
+		found, err := ex.Tx.Delete(p.tbl, p.tbl.EncodePrimaryKey(row))
 		if err != nil {
 			return nil, err
 		}

@@ -1,7 +1,9 @@
 package sqlexec
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -30,6 +32,10 @@ type Executor struct {
 	Store  *storage.Store
 	Args   []value.Value
 	OnRead ReadFn
+
+	// keyBuf is reused scratch for hash-join, grouping, and distinct key
+	// encoding; it keeps the hot loops free of per-row string concatenation.
+	keyBuf []byte
 }
 
 func (ex *Executor) observeRead(table string, row value.Row) {
@@ -38,18 +44,9 @@ func (ex *Executor) observeRead(table string, row value.Row) {
 	}
 }
 
-// --- FROM sources and conjunct analysis --------------------------------------
-
-// source is one table in the FROM clause, with its resolved schema, alias,
-// pushed-down filters, and join info.
-type source struct {
-	ref      sqlparse.TableRef
-	tbl      *schema.Table
-	alias    string // lowercased effective name
-	filters  []sqlparse.Expr
-	joinKind sqlparse.JoinKind // how this source joins the accumulated left side
-	leftOn   []sqlparse.Expr   // ON conjuncts for LEFT joins (must stay at join)
-}
+// errStopIteration is the sink's signal that enough rows were produced
+// (LIMIT reached); it stops the pipeline without reporting an error.
+var errStopIteration = errors.New("sqlexec: stop iteration")
 
 // splitConjuncts flattens an AND tree.
 func splitConjuncts(e sqlparse.Expr, out []sqlparse.Expr) []sqlparse.Expr {
@@ -63,208 +60,45 @@ func splitConjuncts(e sqlparse.Expr, out []sqlparse.Expr) []sqlparse.Expr {
 	return out
 }
 
-// refSources returns the set of source aliases an expression references.
-// Unqualified columns resolve against the sources' schemas.
-func refSources(e sqlparse.Expr, sources []*source) (map[string]bool, error) {
-	out := make(map[string]bool)
-	var walkErr error
-	sqlparse.Walk(e, func(n sqlparse.Expr) {
-		ref, ok := n.(*sqlparse.ColumnRef)
-		if !ok || walkErr != nil {
-			return
-		}
-		if ref.Table != "" {
-			alias := strings.ToLower(ref.Table)
-			found := false
-			for _, s := range sources {
-				if s.alias == alias {
-					found = true
-					break
-				}
-			}
-			if !found {
-				walkErr = fmt.Errorf("sql: unknown table alias %q", ref.Table)
-				return
-			}
-			out[alias] = true
-			return
-		}
-		matches := 0
-		var matchAlias string
-		for _, s := range sources {
-			if s.tbl.ColumnIndex(ref.Column) >= 0 {
-				matches++
-				matchAlias = s.alias
-			}
-		}
-		switch matches {
-		case 0:
-			walkErr = fmt.Errorf("sql: unknown column %q", ref.Column)
-		case 1:
-			out[matchAlias] = true
-		default:
-			walkErr = fmt.Errorf("sql: ambiguous column %q", ref.Column)
-		}
-	})
-	return out, walkErr
-}
-
-// buildSources resolves the FROM clause against the catalog.
-func (ex *Executor) buildSources(sel *sqlparse.Select) ([]*source, error) {
-	var sources []*source
-	add := func(ref sqlparse.TableRef, kind sqlparse.JoinKind) error {
-		tbl := ex.Store.Table(ref.Table)
-		if tbl == nil {
-			return fmt.Errorf("sql: unknown table %q", ref.Table)
-		}
-		alias := strings.ToLower(ref.EffectiveName())
-		for _, s := range sources {
-			if s.alias == alias {
-				return fmt.Errorf("sql: duplicate table alias %q", ref.EffectiveName())
-			}
-		}
-		sources = append(sources, &source{ref: ref, tbl: tbl, alias: alias, joinKind: kind})
-		return nil
-	}
-	if err := add(*sel.From, sqlparse.JoinInner); err != nil {
-		return nil, err
-	}
-	for _, j := range sel.Joins {
-		if err := add(j.Table, j.Kind); err != nil {
-			return nil, err
-		}
-	}
-	return sources, nil
-}
-
-// classifyConjuncts distributes WHERE and inner-join ON conjuncts: a
-// conjunct referencing exactly one source is pushed to that source's scan
-// (unless that source is the nullable side of a LEFT join); everything else
-// becomes a join/post filter evaluated once its sources are all available.
-type pendingFilter struct {
-	expr sqlparse.Expr
-	need map[string]bool
-}
-
-func classifyConjuncts(sel *sqlparse.Select, sources []*source) ([]pendingFilter, error) {
-	var all []sqlparse.Expr
-	all = splitConjuncts(sel.Where, all)
-	for i, j := range sel.Joins {
-		if j.On == nil {
-			continue
-		}
-		if j.Kind == sqlparse.JoinLeft {
-			sources[i+1].leftOn = splitConjuncts(j.On, nil)
-			continue
-		}
-		all = splitConjuncts(j.On, all)
-	}
-	var pending []pendingFilter
-	for _, c := range all {
-		refs, err := refSources(c, sources)
-		if err != nil {
-			return nil, err
-		}
-		pushed := false
-		if len(refs) == 1 {
-			for alias := range refs {
-				for _, s := range sources {
-					if s.alias == alias && s.joinKind != sqlparse.JoinLeft {
-						s.filters = append(s.filters, c)
-						pushed = true
-					}
-				}
-			}
-		}
-		if !pushed {
-			pending = append(pending, pendingFilter{expr: c, need: refs})
-		}
-	}
-	return pending, nil
-}
-
 // --- single-source scans -------------------------------------------------------
 
-// eqBound is an equality constraint col = constant usable for key bounds.
-type eqBound struct {
-	col int
-	val value.Value
-}
-
-// extractEqBounds finds filters of the form col = literal/placeholder (in
-// either order) on this source, returning them keyed by column position and
-// the remaining filters.
-func (ex *Executor) extractEqBounds(s *source) (map[int]value.Value, []sqlparse.Expr, error) {
-	bounds := make(map[int]value.Value)
-	var rest []sqlparse.Expr
-	for _, f := range s.filters {
-		b, ok := f.(*sqlparse.BinaryExpr)
-		if !ok || b.Op != sqlparse.OpEq {
-			rest = append(rest, f)
-			continue
-		}
-		colRef, constExpr := b.Left, b.Right
-		if _, isCol := colRef.(*sqlparse.ColumnRef); !isCol {
-			colRef, constExpr = b.Right, b.Left
-		}
-		cr, isCol := colRef.(*sqlparse.ColumnRef)
-		if !isCol || !isConstExpr(constExpr) {
-			rest = append(rest, f)
-			continue
-		}
-		pos := s.tbl.ColumnIndex(cr.Column)
-		if pos < 0 {
-			rest = append(rest, f)
-			continue
-		}
-		v, err := eval(&env{args: ex.Args}, constExpr)
+// scanPlanSource streams the source's rows (after pushed filters) into fn,
+// choosing the best access path: PK point/prefix/range, secondary index
+// prefix/range, or full scan. Equality and range bounds are planned
+// structurally at compile time and evaluated (against the statement
+// arguments) here. fn receives the physical row and returns false to stop.
+func (ex *Executor) scanPlanSource(s *planSource, slots map[*sqlparse.ColumnRef]int, fn func(value.Row) (bool, error)) error {
+	// Evaluate planned equality bounds for this execution.
+	var bounds map[int]value.Value
+	for _, b := range s.eqBounds {
+		v, err := eval(&env{args: ex.Args}, b.expr)
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
-		coerced, err := schema.Coerce(v, s.tbl.Columns[pos].Type)
+		coerced, err := schema.Coerce(v, s.tbl.Columns[b.col].Type)
 		if err != nil {
-			// Type-incompatible constant: the filter can never match, but
-			// keep it as a residual filter so semantics stay SQL-like.
-			rest = append(rest, f)
+			// Type-incompatible constant: the filter can never match, but the
+			// residual predicate keeps semantics SQL-like without a bound.
 			continue
 		}
-		if _, dup := bounds[pos]; dup {
-			rest = append(rest, f) // contradictory or duplicate; filter residually
-			continue
+		if bounds == nil {
+			bounds = make(map[int]value.Value, len(s.eqBounds))
 		}
-		bounds[pos] = coerced
-		rest = append(rest, f) // keep the filter too: cheap, and guards coercion edge cases
-	}
-	return bounds, rest, nil
-}
-
-func isConstExpr(e sqlparse.Expr) bool {
-	switch e.(type) {
-	case *sqlparse.Literal, *sqlparse.Placeholder:
-		return true
-	default:
-		return false
-	}
-}
-
-// scanSource streams the source's rows (after pushed filters) into fn,
-// choosing the best access path: PK point/prefix, secondary index prefix, or
-// full scan. fn receives the physical row.
-func (ex *Executor) scanSource(s *source, fn func(value.Row) (bool, error)) error {
-	bounds, residual, err := ex.extractEqBounds(s)
-	if err != nil {
-		return err
+		bounds[b.col] = coerced
 	}
 
+	fe := env{cols: s.cols, args: ex.Args, slots: slots}
 	emit := func(row value.Row) (bool, error) {
-		e := &env{cols: sourceCols(s), vals: row, args: ex.Args}
-		for _, f := range residual {
-			ok, err := evalPredicate(e, f)
-			if err != nil {
-				return false, err
-			}
-			if !ok {
-				return true, nil
+		if len(s.residual) > 0 {
+			fe.vals = row
+			for _, f := range s.residual {
+				ok, err := evalPredicate(&fe, f)
+				if err != nil {
+					return false, err
+				}
+				if !ok {
+					return true, nil
+				}
 			}
 		}
 		ex.observeRead(s.tbl.Name, row)
@@ -279,38 +113,128 @@ func (ex *Executor) scanSource(s *source, fn func(value.Row) (bool, error)) erro
 		}
 		pkPrefixLen++
 	}
-	if pkPrefixLen > 0 {
-		prefixVals := make(value.Row, pkPrefixLen)
-		for i := 0; i < pkPrefixLen; i++ {
-			prefixVals[i] = bounds[s.tbl.PKCols[i]]
+	if pkPrefixLen == len(s.tbl.PKCols) {
+		// Point lookup.
+		buf := make([]byte, 0, 48)
+		for _, c := range s.tbl.PKCols {
+			buf = value.EncodeKey(buf, bounds[c])
 		}
-		prefix := schema.EncodeKeyTuple(prefixVals)
-		if pkPrefixLen == len(s.tbl.PKCols) {
-			// Point lookup.
-			row, found, err := ex.Tx.Get(s.tbl.Name, prefix)
-			if err != nil {
+		row, found, err := ex.Tx.Get(s.tbl.Name, string(buf))
+		if err != nil {
+			return err
+		}
+		if found {
+			if _, err := emit(row); err != nil {
 				return err
 			}
-			if found {
-				if _, err := emit(row); err != nil {
-					return err
-				}
-			}
-			return nil
 		}
-		return ex.txScan(s.tbl.Name, prefix, prefix+"\xff", emit)
+		return nil
+	}
+	if pkPrefixLen > 0 {
+		buf := make([]byte, 0, 48)
+		for _, c := range s.tbl.PKCols[:pkPrefixLen] {
+			buf = value.EncodeKey(buf, bounds[c])
+		}
+		prefix := string(buf)
+		lo, hi, err := ex.rangeKeyBounds(s, s.tbl.PKCols, pkPrefixLen, prefix)
+		if err != nil {
+			return err
+		}
+		return ex.txScan(s.tbl.Name, lo, hi, emit)
 	}
 
-	// Secondary index prefix. Safe only when the transaction has no local
-	// writes on the table (the index is not overlay-aware); the read range
-	// is recorded conservatively as a full-table scan for OCC validation.
+	// No PK equality prefix. Secondary indexes are safe only when the
+	// transaction has no local writes on the table (the index is not
+	// overlay-aware); the read range is recorded conservatively as a
+	// full-table scan for OCC validation. Access-path priority: index
+	// equality lookup, then PK range scan, then index range scan, full scan.
+	var ix *schema.Index
+	var eqLen int
 	if !ex.Tx.HasWrites(s.tbl.Name) {
-		if ix, prefixVals := ex.pickIndex(s, bounds); ix != nil {
-			return ex.indexScan(s, ix, prefixVals, emit)
+		ix, eqLen = pickPlanIndex(s, bounds)
+	}
+	if ix != nil && eqLen > 0 {
+		// A selective index equality lookup beats a PK range scan (e.g.
+		// "WHERE id > cursor AND email = ?" should probe the email index).
+		return ex.indexScan(s, ix, eqLen, bounds, emit)
+	}
+	if s.hasRangeOn(s.tbl.PKCols[0]) {
+		lo, hi, err := ex.rangeKeyBounds(s, s.tbl.PKCols, 0, "")
+		if err != nil {
+			return err
 		}
+		return ex.txScan(s.tbl.Name, lo, hi, emit)
+	}
+	if ix != nil {
+		return ex.indexScan(s, ix, eqLen, bounds, emit)
 	}
 
 	return ex.txScan(s.tbl.Name, "", "", emit)
+}
+
+// hasRangeOn reports whether a range bound was planned on column col.
+func (s *planSource) hasRangeOn(col int) bool {
+	for _, r := range s.ranges {
+		if r.col == col {
+			return true
+		}
+	}
+	return false
+}
+
+// rangeKeyBounds computes the [lo, hi) key interval for a scan over keyCols
+// with an encoded equality prefix of prefixLen columns, narrowing it with any
+// range bounds planned on the next key column. hi == "" means unbounded.
+// Bounds are conservative: every row matching the source predicates lies
+// inside the interval (the residual filters decide exactly).
+func (ex *Executor) rangeKeyBounds(s *planSource, keyCols []int, prefixLen int, prefix string) (string, string, error) {
+	lo := prefix
+	hi := ""
+	if prefix != "" {
+		hi = prefix + "\xff"
+	}
+	if prefixLen >= len(keyCols) {
+		return lo, hi, nil
+	}
+	next := keyCols[prefixLen]
+	for _, r := range s.ranges {
+		if r.col != next {
+			continue
+		}
+		v, err := eval(&env{args: ex.Args}, r.expr)
+		if err != nil {
+			return "", "", err
+		}
+		coerced, err := schema.Coerce(v, s.tbl.Columns[next].Type)
+		if err != nil || coerced.IsNull() {
+			continue // residual filter decides; no narrowing possible
+		}
+		if coerced.Kind() == value.KindFloat && math.IsNaN(coerced.AsFloat()) {
+			continue // NaN does not order; leave the interval alone
+		}
+		enc := prefix + string(value.EncodeKey(nil, coerced))
+		switch r.op {
+		case sqlparse.OpGt:
+			// Every key whose column equals the bound starts with enc and
+			// continues with a tag byte < 0xff, so enc+"\xff" skips them all.
+			if cand := enc + "\xff"; cand > lo {
+				lo = cand
+			}
+		case sqlparse.OpGe:
+			if enc > lo {
+				lo = enc
+			}
+		case sqlparse.OpLt:
+			if hi == "" || enc < hi {
+				hi = enc
+			}
+		case sqlparse.OpLe:
+			if cand := enc + "\xff"; hi == "" || cand < hi {
+				hi = cand
+			}
+		}
+	}
+	return lo, hi, nil
 }
 
 // txScan adapts Txn.Scan to an error-propagating callback.
@@ -330,36 +254,51 @@ func (ex *Executor) txScan(table, lo, hi string, emit func(value.Row) (bool, err
 	return err
 }
 
-// pickIndex chooses the secondary index with the longest equality prefix.
-func (ex *Executor) pickIndex(s *source, bounds map[int]value.Value) (*schema.Index, value.Row) {
+// pickPlanIndex chooses the secondary index with the longest equality
+// prefix, falling back to an index whose first column carries a range bound.
+func pickPlanIndex(s *planSource, bounds map[int]value.Value) (*schema.Index, int) {
 	var best *schema.Index
-	var bestVals value.Row
-	for _, ix := range ex.Store.Indexes(s.tbl.Name) {
-		var vals value.Row
+	bestLen := 0
+	for _, ix := range s.indexes {
+		n := 0
 		for _, c := range ix.Columns {
-			v, ok := bounds[c]
-			if !ok {
+			if _, ok := bounds[c]; !ok {
 				break
 			}
-			vals = append(vals, v)
+			n++
 		}
-		if len(vals) > len(bestVals) {
-			best = ix
-			bestVals = vals
+		if n > bestLen {
+			best, bestLen = ix, n
 		}
 	}
-	if best == nil || len(bestVals) == 0 {
-		return nil, nil
+	if best != nil {
+		return best, bestLen
 	}
-	return best, bestVals
+	for _, ix := range s.indexes {
+		if s.hasRangeOn(ix.Columns[0]) {
+			return ix, 0
+		}
+	}
+	return nil, 0
 }
 
-func (ex *Executor) indexScan(s *source, ix *schema.Index, prefixVals value.Row, emit func(value.Row) (bool, error)) error {
-	prefix := ix.EncodeIndexPrefix(prefixVals)
-	// Conservative OCC range: the whole table (see scanSource).
+func (ex *Executor) indexScan(s *planSource, ix *schema.Index, eqLen int, bounds map[int]value.Value, emit func(value.Row) (bool, error)) error {
+	var prefix string
+	if eqLen > 0 {
+		buf := make([]byte, 0, 48)
+		for _, c := range ix.Columns[:eqLen] {
+			buf = value.EncodeKey(buf, bounds[c])
+		}
+		prefix = string(buf)
+	}
+	lo, hi, err := ex.rangeKeyBounds(s, ix.Columns, eqLen, prefix)
+	if err != nil {
+		return err
+	}
+	// Conservative OCC range: the whole table (see scanPlanSource).
 	ex.Tx.ReadSet().AddRange(s.tbl.Name, "", "")
 	var pks []string
-	if err := ex.Store.IndexScanRange(s.tbl.Name, ix.Name, prefix, prefix+"\xff", ex.Tx.Snapshot(), func(_, pk string) bool {
+	if err := ex.Store.IndexScanRange(s.tbl.Name, ix.Name, lo, hi, ex.Tx.Snapshot(), func(_, pk string) bool {
 		pks = append(pks, pk)
 		return true
 	}); err != nil {
@@ -384,14 +323,6 @@ func (ex *Executor) indexScan(s *source, ix *schema.Index, prefixVals value.Row,
 	return nil
 }
 
-func sourceCols(s *source) []colInfo {
-	cols := make([]colInfo, len(s.tbl.Columns))
-	for i, c := range s.tbl.Columns {
-		cols[i] = colInfo{source: s.alias, column: strings.ToLower(c.Name)}
-	}
-	return cols
-}
-
 // --- joins -----------------------------------------------------------------------
 
 // equiPair is a hash-joinable condition left.col = right.col.
@@ -400,136 +331,9 @@ type equiPair struct {
 	rightPos int // column in right source row
 }
 
-// runSelect executes the join/filter pipeline, streaming joined tuples into
-// sink. Used by both SELECT and (for its WHERE handling) DML row collection.
-func (ex *Executor) runSelect(sel *sqlparse.Select, sink func(e *env) error) ([]colInfo, error) {
-	if sel.From == nil {
-		// FROM-less SELECT: a single empty tuple.
-		e := &env{args: ex.Args}
-		return nil, sink(e)
-	}
-	sources, err := ex.buildSources(sel)
-	if err != nil {
-		return nil, err
-	}
-	pending, err := classifyConjuncts(sel, sources)
-	if err != nil {
-		return nil, err
-	}
-	ex.reorderSources(sel, sources)
-
-	// Accumulated tuple layout starts with source 0.
-	cols := sourceCols(sources[0])
-	// Materialise the left side progressively. Starting tuples: source 0 rows.
-	var tuples []value.Row
-	if err := ex.scanSource(sources[0], func(row value.Row) (bool, error) {
-		tuples = append(tuples, row)
-		return true, nil
-	}); err != nil {
-		return nil, err
-	}
-	have := map[string]bool{sources[0].alias: true}
-	tuples, pending, err = ex.applyReadyFilters(tuples, cols, pending, have)
-	if err != nil {
-		return nil, err
-	}
-
-	for si := 1; si < len(sources); si++ {
-		s := sources[si]
-		rightCols := sourceCols(s)
-		newCols := append(append([]colInfo{}, cols...), rightCols...)
-		have[s.alias] = true
-
-		// Find pending filters that become ready at this join and reference
-		// the new source: these are join conditions.
-		var joinConds []sqlparse.Expr
-		var stillPending []pendingFilter
-		for _, pf := range pending {
-			ready := true
-			for a := range pf.need {
-				if !have[a] {
-					ready = false
-					break
-				}
-			}
-			if ready && pf.need[s.alias] {
-				joinConds = append(joinConds, pf.expr)
-			} else {
-				stillPending = append(stillPending, pf)
-			}
-		}
-		pending = stillPending
-
-		var err error
-		if s.joinKind == sqlparse.JoinLeft {
-			tuples, err = ex.leftJoin(tuples, cols, s, rightCols, newCols, joinConds)
-		} else {
-			tuples, err = ex.innerJoin(tuples, cols, s, rightCols, newCols, joinConds)
-		}
-		if err != nil {
-			return nil, err
-		}
-		cols = newCols
-		tuples, pending, err = ex.applyReadyFilters(tuples, cols, pending, have)
-		if err != nil {
-			return nil, err
-		}
-	}
-	if len(pending) > 0 {
-		return nil, fmt.Errorf("sql: filter %q references unavailable sources", pending[0].expr)
-	}
-	for _, tup := range tuples {
-		if err := sink(&env{cols: cols, vals: tup, args: ex.Args}); err != nil {
-			return nil, err
-		}
-	}
-	return cols, nil
-}
-
-func (ex *Executor) applyReadyFilters(tuples []value.Row, cols []colInfo, pending []pendingFilter, have map[string]bool) ([]value.Row, []pendingFilter, error) {
-	var ready []sqlparse.Expr
-	var rest []pendingFilter
-	for _, pf := range pending {
-		ok := true
-		for a := range pf.need {
-			if !have[a] {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			ready = append(ready, pf.expr)
-		} else {
-			rest = append(rest, pf)
-		}
-	}
-	if len(ready) == 0 {
-		return tuples, rest, nil
-	}
-	out := tuples[:0]
-	for _, tup := range tuples {
-		e := &env{cols: cols, vals: tup, args: ex.Args}
-		keep := true
-		for _, f := range ready {
-			ok, err := evalPredicate(e, f)
-			if err != nil {
-				return nil, nil, err
-			}
-			if !ok {
-				keep = false
-				break
-			}
-		}
-		if keep {
-			out = append(out, tup)
-		}
-	}
-	return out, rest, nil
-}
-
 // extractEquiPairs finds hash-joinable conds among joinConds; the remainder
 // are residual conditions.
-func extractEquiPairs(conds []sqlparse.Expr, leftCols []colInfo, s *source) ([]equiPair, []sqlparse.Expr) {
+func extractEquiPairs(conds []sqlparse.Expr, leftCols []colInfo, s *planSource) ([]equiPair, []sqlparse.Expr) {
 	var pairs []equiPair
 	var residual []sqlparse.Expr
 	findLeft := func(ref *sqlparse.ColumnRef) int {
@@ -578,54 +382,13 @@ func extractEquiPairs(conds []sqlparse.Expr, leftCols []colInfo, s *source) ([]e
 	return pairs, residual
 }
 
-func hashKey(vals value.Row) string {
-	return string(value.EncodeKeyRow(nil, vals))
-}
-
-// reorderSources moves the most selective source (most pushed-down
-// filters, ties broken by equality bounds) to the front so joins can drive
-// from the small side. Reordering is skipped when any join is LEFT (not
-// symmetric) or the projection contains a star (column order is
-// user-visible).
-func (ex *Executor) reorderSources(sel *sqlparse.Select, sources []*source) {
-	if len(sources) < 2 {
-		return
-	}
-	for _, it := range sel.Items {
-		if it.Star {
-			return
-		}
-	}
-	for _, s := range sources {
-		if s.joinKind == sqlparse.JoinLeft {
-			return
-		}
-	}
-	best := 0
-	for i, s := range sources {
-		if len(s.filters) > len(sources[best].filters) {
-			best = i
-		}
-		_ = s
-	}
-	if best == 0 {
-		return
-	}
-	picked := sources[best]
-	copy(sources[1:best+1], sources[0:best])
-	sources[0] = picked
-	for _, s := range sources {
-		s.joinKind = sqlparse.JoinInner
-	}
-}
-
 // lookupJoinThreshold caps the driving-side size for index-nested-loop
 // joins; beyond it a hash join's single scan wins.
 const lookupJoinThreshold = 1024
 
 // pkLookupPlan returns, when the equi-join pairs cover the right table's
 // full primary key, the PK column positions in pair order; otherwise nil.
-func pkLookupPlan(pairs []equiPair, s *source) []equiPair {
+func pkLookupPlan(pairs []equiPair, s *planSource) []equiPair {
 	if len(pairs) == 0 {
 		return nil
 	}
@@ -651,26 +414,54 @@ func pkLookupPlan(pairs []equiPair, s *source) []equiPair {
 			return nil
 		}
 	}
+	// Two conjuncts targeting the same PK column (a.x = t.id AND a.y = t.id)
+	// would leave one unevaluated on the lookup path; fall back to the hash
+	// join, which checks every pair.
+	if len(ordered) != len(pairs) {
+		return nil
+	}
 	return ordered
 }
 
-func (ex *Executor) innerJoin(tuples []value.Row, leftCols []colInfo, s *source, rightCols, newCols []colInfo, conds []sqlparse.Expr) ([]value.Row, error) {
-	pairs, residual := extractEquiPairs(conds, leftCols, s)
-
-	// Index-nested-loop join: when the accumulated side is small and the
-	// join key is the right table's primary key, fetch matches with point
-	// lookups instead of scanning the right table (this is what makes the
-	// paper's provenance queries independent of log size).
-	if ordered := pkLookupPlan(pairs, s); ordered != nil &&
-		len(tuples) <= lookupJoinThreshold &&
-		len(tuples)*4 < ex.Store.ApproxRows(s.tbl.Name) &&
-		len(s.filters) == 0 {
-		return ex.lookupJoin(tuples, s, ordered, residual, newCols)
+// encodePairKey appends the hash-join key for row's pair columns into buf;
+// left selects leftPos (accumulated tuple) vs rightPos (right-source row).
+// ok is false when any key value is NULL (NULL never equi-joins).
+func encodePairKey(buf []byte, row value.Row, pairs []equiPair, left bool) ([]byte, bool) {
+	for _, p := range pairs {
+		pos := p.rightPos
+		if left {
+			pos = p.leftPos
+		}
+		v := row[pos]
+		if v.IsNull() {
+			return buf, false
+		}
+		buf = value.EncodeKey(buf, v)
 	}
+	return buf, true
+}
 
-	evalResidual := func(tup value.Row) (bool, error) {
-		e := &env{cols: newCols, vals: tup, args: ex.Args}
-		for _, f := range residual {
+// joinTuple concatenates left and right into one exactly-sized tuple.
+func joinTuple(left, right value.Row) value.Row {
+	tup := make(value.Row, 0, len(left)+len(right))
+	return append(append(tup, left...), right...)
+}
+
+// runPlan executes the compiled join/filter pipeline, streaming final tuples
+// into sink. sink may return errStopIteration to end the pipeline early
+// (LIMIT); the env passed to sink is valid only for the duration of the call.
+func (ex *Executor) runPlan(p *selectPlan, sink func(e *env) error) error {
+	if p.fromless {
+		// FROM-less SELECT: a single empty tuple.
+		e := &env{args: ex.Args, slots: p.slots}
+		if err := sink(e); err != nil && err != errStopIteration {
+			return err
+		}
+		return nil
+	}
+	s0 := p.sources[0]
+	stage0 := func(e *env) (bool, error) {
+		for _, f := range p.stage0 {
 			ok, err := evalPredicate(e, f)
 			if err != nil {
 				return false, err
@@ -682,39 +473,152 @@ func (ex *Executor) innerJoin(tuples []value.Row, leftCols []colInfo, s *source,
 		return true, nil
 	}
 
-	var out []value.Row
-	if len(pairs) > 0 {
-		// Hash join: build on the right source.
-		build := make(map[string][]value.Row)
-		if err := ex.scanSource(s, func(row value.Row) (bool, error) {
-			key := make(value.Row, len(pairs))
-			for i, p := range pairs {
-				if row[p.rightPos].IsNull() {
-					return true, nil // NULL never equi-joins
-				}
-				key[i] = row[p.rightPos]
+	if len(p.joins) == 0 {
+		// Single-source select: stream rows straight through the sink; LIMIT
+		// can stop the scan itself.
+		se := env{cols: s0.cols, args: ex.Args, slots: p.slots}
+		return ex.scanPlanSource(s0, p.slots, func(row value.Row) (bool, error) {
+			se.vals = row
+			ok, err := stage0(&se)
+			if err != nil {
+				return false, err
 			}
-			k := hashKey(key)
+			if !ok {
+				return true, nil
+			}
+			if err := sink(&se); err != nil {
+				if err == errStopIteration {
+					return false, nil
+				}
+				return false, err
+			}
+			return true, nil
+		})
+	}
+
+	// Materialise the left side progressively. Starting tuples: source 0 rows.
+	var tuples []value.Row
+	se := env{cols: s0.cols, args: ex.Args, slots: p.slots}
+	if err := ex.scanPlanSource(s0, p.slots, func(row value.Row) (bool, error) {
+		if len(p.stage0) > 0 {
+			se.vals = row
+			ok, err := stage0(&se)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return true, nil
+			}
+		}
+		tuples = append(tuples, row)
+		return true, nil
+	}); err != nil {
+		return err
+	}
+
+	for _, step := range p.joins {
+		var err error
+		if step.src.joinKind == sqlparse.JoinLeft {
+			tuples, err = ex.leftJoinStep(step, tuples, p.slots)
+		} else {
+			tuples, err = ex.innerJoinStep(step, tuples, p.slots)
+		}
+		if err != nil {
+			return err
+		}
+		if len(step.post) > 0 {
+			pe := env{cols: step.newCols, args: ex.Args, slots: p.slots}
+			out := tuples[:0]
+			for _, tup := range tuples {
+				pe.vals = tup
+				keep := true
+				for _, f := range step.post {
+					ok, err := evalPredicate(&pe, f)
+					if err != nil {
+						return err
+					}
+					if !ok {
+						keep = false
+						break
+					}
+				}
+				if keep {
+					out = append(out, tup)
+				}
+			}
+			tuples = out
+		}
+	}
+
+	fe := env{cols: p.cols, args: ex.Args, slots: p.slots}
+	for _, tup := range tuples {
+		fe.vals = tup
+		if err := sink(&fe); err != nil {
+			if err == errStopIteration {
+				return nil
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+func (ex *Executor) innerJoinStep(step *joinStep, tuples []value.Row, slots map[*sqlparse.ColumnRef]int) ([]value.Row, error) {
+	s := step.src
+
+	// Index-nested-loop join: when the accumulated side is small and the
+	// join key is the right table's primary key, fetch matches with point
+	// lookups instead of scanning the right table (this is what makes the
+	// paper's provenance queries independent of log size).
+	if step.pkLookup != nil &&
+		len(tuples) <= lookupJoinThreshold &&
+		len(tuples)*4 < ex.Store.ApproxRows(s.tbl.Name) &&
+		len(s.residual) == 0 {
+		return ex.lookupJoinStep(step, tuples, slots)
+	}
+
+	re := env{cols: step.newCols, args: ex.Args, slots: slots}
+	evalResidual := func(tup value.Row) (bool, error) {
+		re.vals = tup
+		for _, f := range step.residual {
+			ok, err := evalPredicate(&re, f)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+
+	var out []value.Row
+	if len(step.pairs) > 0 {
+		// Hash join: build on the right source, probe with the accumulated
+		// tuples. Keys are encoded into a reused buffer; map lookups with
+		// string(buf) do not allocate.
+		build := make(map[string][]value.Row)
+		buf := ex.keyBuf
+		if err := ex.scanPlanSource(s, slots, func(row value.Row) (bool, error) {
+			var ok bool
+			buf, ok = encodePairKey(buf[:0], row, step.pairs, false)
+			if !ok {
+				return true, nil // NULL never equi-joins
+			}
+			k := string(buf)
 			build[k] = append(build[k], row)
 			return true, nil
 		}); err != nil {
 			return nil, err
 		}
 		for _, left := range tuples {
-			key := make(value.Row, len(pairs))
-			null := false
-			for i, p := range pairs {
-				if left[p.leftPos].IsNull() {
-					null = true
-					break
-				}
-				key[i] = left[p.leftPos]
-			}
-			if null {
+			var ok bool
+			buf, ok = encodePairKey(buf[:0], left, step.pairs, true)
+			if !ok {
 				continue
 			}
-			for _, right := range build[hashKey(key)] {
-				tup := append(append(value.Row{}, left...), right...)
+			for _, right := range build[string(buf)] {
+				tup := joinTuple(left, right)
 				ok, err := evalResidual(tup)
 				if err != nil {
 					return nil, err
@@ -724,12 +628,13 @@ func (ex *Executor) innerJoin(tuples []value.Row, leftCols []colInfo, s *source,
 				}
 			}
 		}
+		ex.keyBuf = buf
 		return out, nil
 	}
 
 	// Nested loop: materialise right side once.
 	var rights []value.Row
-	if err := ex.scanSource(s, func(row value.Row) (bool, error) {
+	if err := ex.scanPlanSource(s, slots, func(row value.Row) (bool, error) {
 		rights = append(rights, row)
 		return true, nil
 	}); err != nil {
@@ -737,7 +642,7 @@ func (ex *Executor) innerJoin(tuples []value.Row, leftCols []colInfo, s *source,
 	}
 	for _, left := range tuples {
 		for _, right := range rights {
-			tup := append(append(value.Row{}, left...), right...)
+			tup := joinTuple(left, right)
 			ok, err := evalResidual(tup)
 			if err != nil {
 				return nil, err
@@ -750,15 +655,18 @@ func (ex *Executor) innerJoin(tuples []value.Row, leftCols []colInfo, s *source,
 	return out, nil
 }
 
-// lookupJoin probes the right table by primary key for each accumulated
+// lookupJoinStep probes the right table by primary key for each accumulated
 // tuple. The right source must have no pushed-down filters (they would
 // otherwise be skipped); residual conditions still apply.
-func (ex *Executor) lookupJoin(tuples []value.Row, s *source, ordered []equiPair, residual []sqlparse.Expr, newCols []colInfo) ([]value.Row, error) {
+func (ex *Executor) lookupJoinStep(step *joinStep, tuples []value.Row, slots map[*sqlparse.ColumnRef]int) ([]value.Row, error) {
+	s := step.src
 	var out []value.Row
-	keyVals := make(value.Row, len(ordered))
+	keyVals := make(value.Row, len(step.pkLookup))
+	re := env{cols: step.newCols, args: ex.Args, slots: slots}
+	buf := ex.keyBuf
 	for _, left := range tuples {
 		null := false
-		for i, p := range ordered {
+		for i, p := range step.pkLookup {
 			v := left[p.leftPos]
 			if v.IsNull() {
 				null = true
@@ -774,8 +682,8 @@ func (ex *Executor) lookupJoin(tuples []value.Row, s *source, ordered []equiPair
 		if null {
 			continue
 		}
-		key := schema.EncodeKeyTuple(keyVals)
-		row, found, err := ex.Tx.Get(s.tbl.Name, key)
+		buf = value.EncodeKeyRow(buf[:0], keyVals)
+		row, found, err := ex.Tx.Get(s.tbl.Name, string(buf))
 		if err != nil {
 			return nil, err
 		}
@@ -783,11 +691,11 @@ func (ex *Executor) lookupJoin(tuples []value.Row, s *source, ordered []equiPair
 			continue
 		}
 		ex.observeRead(s.tbl.Name, row)
-		tup := append(append(value.Row{}, left...), row...)
-		e := &env{cols: newCols, vals: tup, args: ex.Args}
+		tup := joinTuple(left, row)
+		re.vals = tup
 		keep := true
-		for _, f := range residual {
-			ok, err := evalPredicate(e, f)
+		for _, f := range step.residual {
+			ok, err := evalPredicate(&re, f)
 			if err != nil {
 				return nil, err
 			}
@@ -800,31 +708,29 @@ func (ex *Executor) lookupJoin(tuples []value.Row, s *source, ordered []equiPair
 			out = append(out, tup)
 		}
 	}
+	ex.keyBuf = buf
 	return out, nil
 }
 
-func (ex *Executor) leftJoin(tuples []value.Row, leftCols []colInfo, s *source, rightCols, newCols []colInfo, extraConds []sqlparse.Expr) ([]value.Row, error) {
-	// LEFT JOIN: the ON conjuncts (s.leftOn) decide matching; unmatched left
-	// tuples are null-extended. extraConds (WHERE conjuncts that became
-	// ready here) are applied after null extension.
-	conds := s.leftOn
-	pairs, residual := extractEquiPairs(conds, leftCols, s)
+func (ex *Executor) leftJoinStep(step *joinStep, tuples []value.Row, slots map[*sqlparse.ColumnRef]int) ([]value.Row, error) {
+	// LEFT JOIN: the ON conjuncts decide matching; unmatched left tuples are
+	// null-extended. WHERE conjuncts that became ready here (step.post) are
+	// applied by the caller after null extension.
+	s := step.src
 
 	var rights []value.Row
-	build := make(map[string][]value.Row)
-	if err := ex.scanSource(s, func(row value.Row) (bool, error) {
-		if len(pairs) > 0 {
-			key := make(value.Row, len(pairs))
-			skip := false
-			for i, p := range pairs {
-				if row[p.rightPos].IsNull() {
-					skip = true
-					break
-				}
-				key[i] = row[p.rightPos]
-			}
-			if !skip {
-				build[hashKey(key)] = append(build[hashKey(key)], row)
+	var build map[string][]value.Row
+	buf := ex.keyBuf
+	if len(step.pairs) > 0 {
+		build = make(map[string][]value.Row)
+	}
+	if err := ex.scanPlanSource(s, slots, func(row value.Row) (bool, error) {
+		if len(step.pairs) > 0 {
+			var ok bool
+			buf, ok = encodePairKey(buf[:0], row, step.pairs, false)
+			if ok {
+				k := string(buf)
+				build[k] = append(build[k], row)
 			}
 			return true, nil
 		}
@@ -834,15 +740,16 @@ func (ex *Executor) leftJoin(tuples []value.Row, leftCols []colInfo, s *source, 
 		return nil, err
 	}
 
-	nulls := make(value.Row, len(rightCols))
+	nulls := make(value.Row, len(s.cols))
 	for i := range nulls {
 		nulls[i] = value.Null
 	}
 
+	re := env{cols: step.newCols, args: ex.Args, slots: slots}
 	matchResidual := func(tup value.Row) (bool, error) {
-		e := &env{cols: newCols, vals: tup, args: ex.Args}
-		for _, f := range residual {
-			ok, err := evalPredicate(e, f)
+		re.vals = tup
+		for _, f := range step.residual {
+			ok, err := evalPredicate(&re, f)
 			if err != nil {
 				return false, err
 			}
@@ -857,24 +764,17 @@ func (ex *Executor) leftJoin(tuples []value.Row, leftCols []colInfo, s *source, 
 	for _, left := range tuples {
 		matched := false
 		candidates := rights
-		if len(pairs) > 0 {
-			key := make(value.Row, len(pairs))
-			null := false
-			for i, p := range pairs {
-				if left[p.leftPos].IsNull() {
-					null = true
-					break
-				}
-				key[i] = left[p.leftPos]
-			}
-			if null {
+		if len(step.pairs) > 0 {
+			var ok bool
+			buf, ok = encodePairKey(buf[:0], left, step.pairs, true)
+			if !ok {
 				candidates = nil
 			} else {
-				candidates = build[hashKey(key)]
+				candidates = build[string(buf)]
 			}
 		}
 		for _, right := range candidates {
-			tup := append(append(value.Row{}, left...), right...)
+			tup := joinTuple(left, right)
 			ok, err := matchResidual(tup)
 			if err != nil {
 				return nil, err
@@ -885,72 +785,52 @@ func (ex *Executor) leftJoin(tuples []value.Row, leftCols []colInfo, s *source, 
 			}
 		}
 		if !matched {
-			joined = append(joined, append(append(value.Row{}, left...), nulls...))
+			joined = append(joined, joinTuple(left, nulls))
 		}
 	}
-
-	// Post-join WHERE conjuncts.
-	if len(extraConds) == 0 {
-		return joined, nil
-	}
-	out := joined[:0]
-	for _, tup := range joined {
-		e := &env{cols: newCols, vals: tup, args: ex.Args}
-		keep := true
-		for _, f := range extraConds {
-			ok, err := evalPredicate(e, f)
-			if err != nil {
-				return nil, err
-			}
-			if !ok {
-				keep = false
-				break
-			}
-		}
-		if keep {
-			out = append(out, tup)
-		}
-	}
-	return out, nil
+	ex.keyBuf = buf
+	return joined, nil
 }
 
 // --- SELECT top level ---------------------------------------------------------
 
-// Select executes a SELECT statement.
+// Select executes a SELECT statement, compiling a transient plan. Callers
+// with a plan cache use Run instead.
 func (ex *Executor) Select(sel *sqlparse.Select) (*Result, error) {
-	// Expand projection items against the sources (needs source resolution
-	// for stars) — handled inside project().
+	p, err := compileSelect(sel, ex.Store)
+	if err != nil {
+		return nil, err
+	}
+	return ex.runSelectPlan(p)
+}
+
+func (ex *Executor) runSelectPlan(p *selectPlan) (*Result, error) {
+	if p.streamable() {
+		return ex.runStreaming(p)
+	}
+
 	var tuples []*env
-	cols, err := ex.runSelect(sel, func(e *env) error {
-		// Copy: runSelect may reuse env backing (it doesn't today, but the
-		// contract is per-call ownership).
-		tuples = append(tuples, &env{cols: e.cols, vals: e.vals, args: e.args})
+	if err := ex.runPlan(p, func(e *env) error {
+		// Copy: the env backing is reused between sink calls.
+		tuples = append(tuples, &env{cols: e.cols, vals: e.vals, args: e.args, slots: e.slots})
 		return nil
-	})
-	if err != nil {
+	}); err != nil {
 		return nil, err
 	}
-
-	items, outNames, err := expandItems(sel, cols)
-	if err != nil {
-		return nil, err
-	}
-
-	aggNodes := collectAggregates(sel, items)
-	grouped := len(sel.GroupBy) > 0 || len(aggNodes) > 0
 
 	var outRows []value.Row
 	var outEnvs []*env // environment per output row, for ORDER BY fallback
+	var err error
 
-	if grouped {
-		outRows, outEnvs, err = ex.aggregate(sel, items, aggNodes, tuples, cols)
+	if p.grouped {
+		outRows, outEnvs, err = ex.aggregate(p, tuples)
 		if err != nil {
 			return nil, err
 		}
 	} else {
 		for _, e := range tuples {
-			row := make(value.Row, len(items))
-			for i, it := range items {
+			row := make(value.Row, len(p.items))
+			for i, it := range p.items {
 				v, err := eval(e, it)
 				if err != nil {
 					return nil, err
@@ -962,21 +842,58 @@ func (ex *Executor) Select(sel *sqlparse.Select) (*Result, error) {
 		}
 	}
 
-	if sel.Distinct {
-		outRows, outEnvs = distinct(outRows, outEnvs)
+	if p.sel.Distinct {
+		outRows, outEnvs = ex.distinct(outRows, outEnvs)
 	}
 
-	if len(sel.OrderBy) > 0 {
-		if err := ex.orderBy(sel.OrderBy, outNames, outRows, outEnvs); err != nil {
+	if len(p.orderBy) > 0 {
+		if err := ex.orderRows(p, outRows, outEnvs); err != nil {
 			return nil, err
 		}
 	}
 
-	outRows, err = ex.applyLimitOffset(sel, outRows)
+	outRows, err = ex.applyLimitOffset(p.sel, outRows)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Columns: outNames, Rows: outRows}, nil
+	return &Result{Columns: p.names, Rows: outRows}, nil
+}
+
+// runStreaming projects rows as the pipeline produces them (no ordering,
+// grouping, or distinct pass), applying OFFSET/LIMIT incrementally so LIMIT
+// can stop the underlying scan early.
+func (ex *Executor) runStreaming(p *selectPlan) (*Result, error) {
+	off, lim, err := ex.evalLimitOffset(p.sel)
+	if err != nil {
+		return nil, err
+	}
+	if lim == 0 {
+		return &Result{Columns: p.names}, nil
+	}
+	var outRows []value.Row
+	err = ex.runPlan(p, func(e *env) error {
+		if off > 0 {
+			off-- // skip before projecting: OFFSET rows are never evaluated
+			return nil
+		}
+		row := make(value.Row, len(p.items))
+		for i, it := range p.items {
+			v, err := eval(e, it)
+			if err != nil {
+				return err
+			}
+			row[i] = v
+		}
+		outRows = append(outRows, row)
+		if lim > 0 && len(outRows) >= lim {
+			return errStopIteration
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Columns: p.names, Rows: outRows}, nil
 }
 
 // expandItems resolves stars and computes output column names.
@@ -1049,45 +966,47 @@ type aggAccum struct {
 }
 
 // aggregate groups tuples and evaluates aggregate projections.
-func (ex *Executor) aggregate(sel *sqlparse.Select, items []sqlparse.Expr, aggNodes []*sqlparse.FuncCall, tuples []*env, cols []colInfo) ([]value.Row, []*env, error) {
+func (ex *Executor) aggregate(p *selectPlan, tuples []*env) ([]value.Row, []*env, error) {
+	sel := p.sel
 	type group struct {
 		first  *env
 		accums []*aggAccum
-		key    value.Row
 	}
 	groups := make(map[string]*group)
 	var order []string
 
+	buf := ex.keyBuf
 	for _, e := range tuples {
-		keyVals := make(value.Row, len(sel.GroupBy))
-		for i, g := range sel.GroupBy {
+		buf = buf[:0]
+		for _, g := range sel.GroupBy {
 			v, err := eval(e, g)
 			if err != nil {
 				return nil, nil, err
 			}
-			keyVals[i] = v
+			buf = value.EncodeKey(buf, v)
 		}
-		k := hashKey(keyVals)
-		grp, ok := groups[k]
+		grp, ok := groups[string(buf)]
 		if !ok {
-			grp = &group{first: e, key: keyVals, accums: make([]*aggAccum, len(aggNodes))}
+			k := string(buf)
+			grp = &group{first: e, accums: make([]*aggAccum, len(p.aggNodes))}
 			for i := range grp.accums {
 				grp.accums[i] = &aggAccum{allInt: true}
 			}
 			groups[k] = grp
 			order = append(order, k)
 		}
-		for i, node := range aggNodes {
+		for i, node := range p.aggNodes {
 			if err := accumulate(grp.accums[i], node, e); err != nil {
 				return nil, nil, err
 			}
 		}
 	}
+	ex.keyBuf = buf
 
 	// A grouped query with no GROUP BY and no input rows still yields one
 	// row of aggregates over the empty set.
 	if len(groups) == 0 && len(sel.GroupBy) == 0 {
-		grp := &group{first: &env{cols: cols, vals: nullRow(len(cols)), args: ex.Args}, accums: make([]*aggAccum, len(aggNodes))}
+		grp := &group{first: &env{cols: p.cols, vals: nullRow(len(p.cols)), args: ex.Args, slots: p.slots}, accums: make([]*aggAccum, len(p.aggNodes))}
 		for i := range grp.accums {
 			grp.accums[i] = &aggAccum{allInt: true}
 		}
@@ -1099,11 +1018,11 @@ func (ex *Executor) aggregate(sel *sqlparse.Select, items []sqlparse.Expr, aggNo
 	var outEnvs []*env
 	for _, k := range order {
 		grp := groups[k]
-		aggVals := make(map[*sqlparse.FuncCall]value.Value, len(aggNodes))
-		for i, node := range aggNodes {
+		aggVals := make(map[*sqlparse.FuncCall]value.Value, len(p.aggNodes))
+		for i, node := range p.aggNodes {
 			aggVals[node] = finalize(grp.accums[i], node)
 		}
-		ge := &env{cols: grp.first.cols, vals: grp.first.vals, args: ex.Args, aggs: aggVals}
+		ge := &env{cols: grp.first.cols, vals: grp.first.vals, args: ex.Args, aggs: aggVals, slots: p.slots}
 		if sel.Having != nil {
 			ok, err := evalPredicate(ge, sel.Having)
 			if err != nil {
@@ -1113,8 +1032,8 @@ func (ex *Executor) aggregate(sel *sqlparse.Select, items []sqlparse.Expr, aggNo
 				continue
 			}
 		}
-		row := make(value.Row, len(items))
-		for i, it := range items {
+		row := make(value.Row, len(p.items))
+		for i, it := range p.items {
 			v, err := eval(ge, it)
 			if err != nil {
 				return nil, nil, err
@@ -1154,7 +1073,7 @@ func accumulate(a *aggAccum, node *sqlparse.FuncCall, e *env) error {
 		if a.seen == nil {
 			a.seen = make(map[string]struct{})
 		}
-		k := hashKey(value.Row{v})
+		k := string(value.EncodeKey(nil, v))
 		if _, dup := a.seen[k]; dup {
 			return nil
 		}
@@ -1218,28 +1137,30 @@ func finalize(a *aggAccum, node *sqlparse.FuncCall) value.Value {
 	}
 }
 
-func distinct(rows []value.Row, envs []*env) ([]value.Row, []*env) {
+func (ex *Executor) distinct(rows []value.Row, envs []*env) ([]value.Row, []*env) {
 	seen := make(map[string]struct{}, len(rows))
+	buf := ex.keyBuf
 	outR := rows[:0]
 	var outE []*env
 	for i, r := range rows {
-		k := hashKey(r)
-		if _, dup := seen[k]; dup {
+		buf = value.EncodeKeyRow(buf[:0], r)
+		if _, dup := seen[string(buf)]; dup {
 			continue
 		}
-		seen[k] = struct{}{}
+		seen[string(buf)] = struct{}{}
 		outR = append(outR, r)
 		if envs != nil {
 			outE = append(outE, envs[i])
 		}
 	}
+	ex.keyBuf = buf
 	return outR, outE
 }
 
-// orderBy sorts rows in place. Order expressions referencing an output
-// column name or alias use the output value; anything else evaluates against
-// the row's source environment.
-func (ex *Executor) orderBy(specs []sqlparse.OrderItem, outNames []string, rows []value.Row, envs []*env) error {
+// orderRows sorts rows in place using the compiled order keys: an output
+// column position where the spec named one (or was positional), otherwise an
+// expression evaluated against the row's source environment.
+func (ex *Executor) orderRows(p *selectPlan, rows []value.Row, envs []*env) error {
 	type keyed struct {
 		row  value.Row
 		env  *env
@@ -1247,9 +1168,17 @@ func (ex *Executor) orderBy(specs []sqlparse.OrderItem, outNames []string, rows 
 	}
 	ks := make([]keyed, len(rows))
 	for i := range rows {
-		keys := make(value.Row, len(specs))
-		for j, spec := range specs {
-			v, err := ex.orderKey(spec.Expr, outNames, rows[i], envs[i])
+		keys := make(value.Row, len(p.orderBy))
+		for j, op := range p.orderBy {
+			if op.outIdx >= 0 {
+				keys[j] = rows[i][op.outIdx]
+				continue
+			}
+			e := envs[i]
+			if e == nil {
+				return fmt.Errorf("sql: cannot resolve ORDER BY expression %q", op.expr)
+			}
+			v, err := eval(e, op.expr)
 			if err != nil {
 				return err
 			}
@@ -1258,12 +1187,12 @@ func (ex *Executor) orderBy(specs []sqlparse.OrderItem, outNames []string, rows 
 		ks[i] = keyed{row: rows[i], env: envs[i], keys: keys}
 	}
 	sort.SliceStable(ks, func(a, b int) bool {
-		for j, spec := range specs {
+		for j, op := range p.orderBy {
 			c := value.Compare(ks[a].keys[j], ks[b].keys[j])
 			if c == 0 {
 				continue
 			}
-			if spec.Desc {
+			if op.desc {
 				return c > 0
 			}
 			return c < 0
@@ -1279,40 +1208,46 @@ func (ex *Executor) orderBy(specs []sqlparse.OrderItem, outNames []string, rows 
 	return nil
 }
 
-func (ex *Executor) orderKey(expr sqlparse.Expr, outNames []string, row value.Row, e *env) (value.Value, error) {
-	if ref, ok := expr.(*sqlparse.ColumnRef); ok && ref.Table == "" {
-		for i, n := range outNames {
-			if strings.EqualFold(n, ref.Column) {
-				return row[i], nil
-			}
+// evalLimitOffset evaluates LIMIT/OFFSET expressions up front for the
+// streaming path: offset is clamped at 0; limit -1 means unbounded.
+func (ex *Executor) evalLimitOffset(sel *sqlparse.Select) (int, int, error) {
+	off := 0
+	lim := -1
+	if sel.Offset != nil {
+		v, err := ex.evalIntArg(sel.Offset)
+		if err != nil {
+			return 0, 0, err
+		}
+		if v > 0 {
+			off = v
 		}
 	}
-	// ORDER BY 1 / 2 (positional).
-	if lit, ok := expr.(*sqlparse.Literal); ok && lit.Val.Kind() == value.KindInt {
-		pos := int(lit.Val.AsInt())
-		if pos >= 1 && pos <= len(row) {
-			return row[pos-1], nil
+	if sel.Limit != nil {
+		v, err := ex.evalIntArg(sel.Limit)
+		if err != nil {
+			return 0, 0, err
+		}
+		if v >= 0 {
+			lim = v
 		}
 	}
-	if e == nil {
-		return value.Null, fmt.Errorf("sql: cannot resolve ORDER BY expression %q", expr)
+	return off, lim, nil
+}
+
+func (ex *Executor) evalIntArg(e sqlparse.Expr) (int, error) {
+	v, err := eval(&env{args: ex.Args}, e)
+	if err != nil {
+		return 0, err
 	}
-	return eval(e, expr)
+	if v.Kind() != value.KindInt {
+		return 0, fmt.Errorf("sql: LIMIT/OFFSET must be an integer")
+	}
+	return int(v.AsInt()), nil
 }
 
 func (ex *Executor) applyLimitOffset(sel *sqlparse.Select, rows []value.Row) ([]value.Row, error) {
-	evalInt := func(e sqlparse.Expr) (int, error) {
-		v, err := eval(&env{args: ex.Args}, e)
-		if err != nil {
-			return 0, err
-		}
-		if v.Kind() != value.KindInt {
-			return 0, fmt.Errorf("sql: LIMIT/OFFSET must be an integer")
-		}
-		return int(v.AsInt()), nil
-	}
 	if sel.Offset != nil {
-		off, err := evalInt(sel.Offset)
+		off, err := ex.evalIntArg(sel.Offset)
 		if err != nil {
 			return nil, err
 		}
@@ -1326,7 +1261,7 @@ func (ex *Executor) applyLimitOffset(sel *sqlparse.Select, rows []value.Row) ([]
 		}
 	}
 	if sel.Limit != nil {
-		lim, err := evalInt(sel.Limit)
+		lim, err := ex.evalIntArg(sel.Limit)
 		if err != nil {
 			return nil, err
 		}

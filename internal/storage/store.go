@@ -167,6 +167,7 @@ type Store struct {
 	catalog  map[string]*schema.Table   // lowercased table name
 	indexDef map[string][]*schema.Index // lowercased table name -> defs
 	data     map[string]*tableData
+	epoch    uint64 // bumped on every DDL; keys plan-cache validity
 	seq      uint64 // latest committed sequence
 	nextTxn  uint64
 	log      []CommitRecord
@@ -200,6 +201,7 @@ func (s *Store) CreateTable(t *schema.Table, ifNotExists bool) error {
 	}
 	s.catalog[key] = t
 	s.data[key] = &tableData{rows: newBTree[*entry](), indexes: make(map[string]*btree[*indexEntry])}
+	s.epoch++
 	if s.ddlHook != nil {
 		s.ddlHook(t.String())
 	}
@@ -220,6 +222,7 @@ func (s *Store) DropTable(name string, ifExists bool) error {
 	delete(s.catalog, key)
 	delete(s.data, key)
 	delete(s.indexDef, key)
+	s.epoch++
 	if s.ddlHook != nil {
 		s.ddlHook("DROP TABLE " + name)
 	}
@@ -262,6 +265,7 @@ func (s *Store) CreateIndex(ix *schema.Index) error {
 	}
 	td.indexes[ikey] = tree
 	s.indexDef[tkey] = append(s.indexDef[tkey], ix)
+	s.epoch++
 	if s.ddlHook != nil {
 		uniq := ""
 		if ix.Unique {
@@ -308,6 +312,17 @@ func (s *Store) Indexes(table string) []*schema.Index {
 // SetDDLHook installs a callback invoked for every DDL statement; the WAL
 // uses it to persist schema changes. Must be set before concurrent use.
 func (s *Store) SetDDLHook(fn func(string)) { s.ddlHook = fn }
+
+// SchemaEpoch returns a counter that increases on every successful DDL
+// statement (CREATE TABLE, CREATE INDEX, DROP TABLE). The SQL layer keys its
+// physical-plan cache on (query text, epoch): any schema change invalidates
+// every cached plan on its next lookup, so plans may safely bake in resolved
+// column offsets, table handles, and index choices.
+func (s *Store) SchemaEpoch() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.epoch
+}
 
 // --- sequence and transaction identity --------------------------------------
 

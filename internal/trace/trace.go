@@ -53,6 +53,11 @@ type Tracer struct {
 	err     error // first flush error, surfaced on Flush/Close
 	logical uint64
 
+	// pool recycles drained event buffers so steady-state tracing allocates
+	// no per-batch slices; buffers are cleared before pooling so they do not
+	// pin row data between flushes.
+	pool sync.Pool
+
 	wake   chan struct{}
 	done   chan struct{}
 	closed bool
@@ -145,6 +150,9 @@ func (t *Tracer) push(ev provenance.Event) {
 		return
 	}
 	t.mu.Lock()
+	if t.buf == nil {
+		t.buf = t.getBuf()
+	}
 	t.buf = append(t.buf, ev)
 	n := len(t.buf)
 	t.mu.Unlock()
@@ -173,23 +181,47 @@ func (t *Tracer) flushLoop() {
 	}
 }
 
-// drain writes out everything currently buffered.
+// drain writes out everything currently buffered, returning the drained
+// buffer to the pool afterwards.
 func (t *Tracer) drain() {
 	t.mu.Lock()
 	batch := t.buf
 	t.buf = nil
 	t.mu.Unlock()
-	if len(batch) == 0 {
+	if batch == nil {
 		return
 	}
-	atomic.AddUint64(&t.flushes, 1)
-	if err := t.writer.ApplyBatch(batch); err != nil {
-		t.mu.Lock()
-		if t.err == nil {
-			t.err = err
+	if len(batch) > 0 {
+		atomic.AddUint64(&t.flushes, 1)
+		if err := t.writer.ApplyBatch(batch); err != nil {
+			t.mu.Lock()
+			if t.err == nil {
+				t.err = err
+			}
+			t.mu.Unlock()
 		}
-		t.mu.Unlock()
 	}
+	t.putBuf(batch)
+}
+
+// getBuf returns a pooled (or fresh) event buffer.
+func (t *Tracer) getBuf() []provenance.Event {
+	if v := t.pool.Get(); v != nil {
+		return *(v.(*[]provenance.Event))
+	}
+	return make([]provenance.Event, 0, t.cfg.FlushBatch)
+}
+
+// putBuf clears and recycles a drained buffer. Buffers inflated far past the
+// flush batch size by a burst are dropped instead of pooled, so a one-time
+// spike does not pin its worst-case capacity across future flushes.
+func (t *Tracer) putBuf(buf []provenance.Event) {
+	if cap(buf) > 4*t.cfg.FlushBatch {
+		return
+	}
+	clear(buf)
+	buf = buf[:0]
+	t.pool.Put(&buf)
 }
 
 // Flush synchronously drains all buffered events and reports any flush
