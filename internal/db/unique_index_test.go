@@ -1,0 +1,121 @@
+package db
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestIntraTxnUniqueViolationRejected is the issue's end-to-end repro: one
+// transaction inserting two rows with the same unique-indexed value used to
+// commit silently, leaving the index and the table disagreeing.
+func TestIntraTxnUniqueViolationRejected(t *testing.T) {
+	d := memDB(t)
+	if err := d.ExecScript(`
+		CREATE TABLE users (id INTEGER PRIMARY KEY, email TEXT);
+		CREATE UNIQUE INDEX ux ON users (email);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	err := d.RunTx(TxMeta{}, func(tx *Tx) error {
+		if _, err := tx.Exec(`INSERT INTO users VALUES (1, 'dup@example.com')`); err != nil {
+			return err
+		}
+		_, err := tx.Exec(`INSERT INTO users VALUES (2, 'dup@example.com')`)
+		return err
+	})
+	if err == nil || !strings.Contains(err.Error(), "unique") {
+		t.Fatalf("intra-transaction duplicate must fail at commit with a unique violation, got %v", err)
+	}
+	// The table must be untouched, and — crucially — the index path and the
+	// full-scan path must agree on what exists.
+	viaIndex, err := d.Query(`SELECT id FROM users WHERE email = 'dup@example.com'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaScan, err := d.Query(`SELECT id FROM users WHERE email || '' = 'dup@example.com'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viaIndex.Rows) != 0 || len(viaScan.Rows) != 0 {
+		t.Errorf("rejected txn left rows behind: index=%d scan=%d", len(viaIndex.Rows), len(viaScan.Rows))
+	}
+}
+
+// TestDeleteReinsertUniqueKeySameTxn: freeing a unique key and re-claiming it
+// inside one transaction is legal and used to be wrongly rejected. Both pk
+// orderings matter: txn.PendingChanges sorts changes by primary key, and the
+// claiming row sorting *before* the freed one used to leave a tombstone on
+// top of the new index posting (index scan and full scan then disagreed).
+func TestDeleteReinsertUniqueKeySameTxn(t *testing.T) {
+	for name, ids := range map[string][2]int64{
+		"delete-sorts-first": {1, 2}, // delete id 1, insert id 2
+		"insert-sorts-first": {5, 2}, // delete id 5, insert id 2
+	} {
+		t.Run(name, func(t *testing.T) {
+			d := memDB(t)
+			if err := d.ExecScript(`
+				CREATE TABLE users (id INTEGER PRIMARY KEY, email TEXT);
+				CREATE UNIQUE INDEX ux ON users (email);
+			`); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := d.Exec(`INSERT INTO users VALUES (?, 'a@example.com')`, ids[0]); err != nil {
+				t.Fatal(err)
+			}
+			if err := d.RunTx(TxMeta{}, func(tx *Tx) error {
+				if _, err := tx.Exec(`DELETE FROM users WHERE id = ?`, ids[0]); err != nil {
+					return err
+				}
+				_, err := tx.Exec(`INSERT INTO users VALUES (?, 'a@example.com')`, ids[1])
+				return err
+			}); err != nil {
+				t.Fatalf("delete+reinsert of a unique key in one txn must commit: %v", err)
+			}
+			viaIndex, err := d.Query(`SELECT id FROM users WHERE email = 'a@example.com'`)
+			if err != nil {
+				t.Fatal(err)
+			}
+			viaScan, err := d.Query(`SELECT id FROM users WHERE email || '' = 'a@example.com'`)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(viaIndex.Rows) != 1 || viaIndex.Rows[0][0].AsInt() != ids[1] {
+				t.Errorf("index lookup after re-claim = %+v, want id %d", viaIndex.Rows, ids[1])
+			}
+			if len(viaScan.Rows) != 1 || viaScan.Rows[0][0].AsInt() != ids[1] {
+				t.Errorf("full scan after re-claim = %+v, want id %d", viaScan.Rows, ids[1])
+			}
+		})
+	}
+}
+
+// TestUpdateMoveUniqueKeySameTxn: UPDATE that changes the unique value plus
+// an INSERT re-using the old value within one transaction.
+func TestUpdateMoveUniqueKeySameTxn(t *testing.T) {
+	d := memDB(t)
+	if err := d.ExecScript(`
+		CREATE TABLE users (id INTEGER PRIMARY KEY, email TEXT);
+		CREATE UNIQUE INDEX ux ON users (email);
+		INSERT INTO users VALUES (1, 'old@example.com');
+	`); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RunTx(TxMeta{}, func(tx *Tx) error {
+		if _, err := tx.Exec(`UPDATE users SET email = 'new@example.com' WHERE id = 1`); err != nil {
+			return err
+		}
+		_, err := tx.Exec(`INSERT INTO users VALUES (2, 'old@example.com')`)
+		return err
+	}); err != nil {
+		t.Fatalf("re-using an updated-away unique value in one txn must commit: %v", err)
+	}
+	for email, want := range map[string]int64{"new@example.com": 1, "old@example.com": 2} {
+		res, err := d.Query(`SELECT id FROM users WHERE email = ?`, email)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 1 || res.Rows[0][0].AsInt() != want {
+			t.Errorf("email %s -> %+v, want id %d", email, res.Rows, want)
+		}
+	}
+}

@@ -393,6 +393,150 @@ func TestLikeMatcherTable(t *testing.T) {
 	}
 }
 
+// execIn runs one statement on an already-open transaction (the harness's
+// exec helpers commit per statement, which defeats overlay tests).
+func execIn(t *testing.T, h *harness, tx *txn.Txn, src string, args ...any) *Result {
+	t.Helper()
+	stmt, err := sqlparse.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	vals := make([]value.Value, len(args))
+	for i, a := range args {
+		v, err := value.FromGo(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals[i] = v
+	}
+	ex := &Executor{Tx: tx, Store: h.store, Args: vals}
+	res, err := ex.Exec(stmt)
+	if err != nil {
+		t.Fatalf("exec %q: %v", src, err)
+	}
+	return res
+}
+
+// TestIndexScanUnderLocalWritesDifferential is the overlay property test:
+// with buffered local inserts/updates/deletes pending, an index-equality
+// query must (a) still use the secondary index (precise index ranges in the
+// read set, no whole-table range) and (b) return exactly what a full-scan
+// oracle and an independent Go reference return.
+func TestIndexScanUnderLocalWritesDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	h := newHarness(t)
+	h.ddl(`CREATE TABLE q (id INTEGER PRIMARY KEY, cat TEXT, num INTEGER);
+	       CREATE INDEX q_cat ON q (cat)`)
+	ref := map[int64]string{} // id -> cat ("" = NULL)
+	for i := int64(0); i < 200; i++ {
+		if rng.Intn(10) == 0 {
+			h.exec(`INSERT INTO q VALUES (?, NULL, 0)`, i)
+			ref[i] = ""
+			continue
+		}
+		c := string(rune('a' + rng.Intn(5)))
+		h.exec(`INSERT INTO q VALUES (?, ?, ?)`, i, c, i)
+		ref[i] = c
+	}
+
+	tx := txn.Begin(h.store)
+	defer tx.Abort()
+	// Buffered mutations: fresh inserts, category moves, and deletes.
+	for i := int64(1000); i < 1040; i++ {
+		c := string(rune('a' + rng.Intn(5)))
+		execIn(t, h, tx, `INSERT INTO q VALUES (?, ?, ?)`, i, c, i)
+		ref[i] = c
+	}
+	for i := int64(0); i < 200; i += 3 {
+		if _, ok := ref[i]; !ok {
+			continue
+		}
+		c := string(rune('a' + rng.Intn(5)))
+		execIn(t, h, tx, `UPDATE q SET cat = ? WHERE id = ?`, c, i)
+		ref[i] = c
+	}
+	for i := int64(1); i < 200; i += 7 {
+		execIn(t, h, tx, `DELETE FROM q WHERE id = ?`, i)
+		delete(ref, i)
+	}
+
+	ids := func(res *Result) []int64 {
+		out := make([]int64, len(res.Rows))
+		for i, r := range res.Rows {
+			out[i] = r[0].AsInt()
+		}
+		return out
+	}
+	// Indexed queries first, so the read set can be checked before the
+	// full-scan oracle adds its whole-table range.
+	indexed := map[string][]int64{}
+	for c := 'a'; c <= 'e'; c++ {
+		indexed[string(c)] = ids(execIn(t, h, tx, `SELECT id FROM q WHERE cat = ? ORDER BY id`, string(c)))
+	}
+	rs := tx.ReadSet()
+	if len(rs.IndexRanges) == 0 {
+		t.Fatal("index-equality queries under local writes must record index ranges (index path not taken?)")
+	}
+	for _, r := range rs.Ranges {
+		if r.Table == "q" && r.Lo == "" && r.Hi == "" {
+			t.Fatal("index-equality query fell back to a whole-table scan range")
+		}
+	}
+	for c := 'a'; c <= 'e'; c++ {
+		cat := string(c)
+		// Full-scan oracle: cat || '' defeats the col-const bound extraction.
+		oracle := ids(execIn(t, h, tx, `SELECT id FROM q WHERE cat || '' = ? ORDER BY id`, cat))
+		var want []int64
+		for i := int64(0); i < 2000; i++ {
+			if ref[i] == cat {
+				want = append(want, i)
+			}
+		}
+		if fmt.Sprint(indexed[cat]) != fmt.Sprint(want) {
+			t.Errorf("cat=%s: index scan %v, reference %v", cat, indexed[cat], want)
+		}
+		if fmt.Sprint(oracle) != fmt.Sprint(want) {
+			t.Errorf("cat=%s: full-scan oracle %v, reference %v", cat, oracle, want)
+		}
+	}
+}
+
+// TestIndexScanStreamsThroughLimit: LIMIT must stop the merged index scan
+// early — observed through read provenance, which fires once per row the
+// statement actually consumed.
+func TestIndexScanStreamsThroughLimit(t *testing.T) {
+	h := newHarness(t)
+	h.ddl(`CREATE TABLE ev (id INTEGER PRIMARY KEY, kind TEXT, payload TEXT);
+	       CREATE INDEX ev_kind ON ev (kind)`)
+	for i := 0; i < 100; i++ {
+		h.exec(`INSERT INTO ev VALUES (?, 'click', ?)`, i, fmt.Sprintf("p%d", i))
+	}
+	tx := txn.Begin(h.store)
+	defer tx.Abort()
+	// A buffered write on the table must not force a full-scan fallback.
+	execIn(t, h, tx, `INSERT INTO ev VALUES (1000, 'view', 'x')`)
+
+	stmt, err := sqlparse.Parse(`SELECT payload FROM ev WHERE kind = 'click' LIMIT 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads := 0
+	ex := &Executor{Tx: tx, Store: h.store, OnRead: func(string, value.Row) { reads++ }}
+	res, err := ex.Select(stmt.(*sqlparse.Select))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("limit rows = %d", len(res.Rows))
+	}
+	if reads != 3 {
+		t.Errorf("LIMIT 3 read %d rows — index scan is not streaming", reads)
+	}
+	if len(tx.ReadSet().IndexRanges) == 0 {
+		t.Error("query did not take the index path despite buffered writes")
+	}
+}
+
 func TestConcatAndLikeNullPropagation(t *testing.T) {
 	h := newHarness(t)
 	h.ddl(`CREATE TABLE t (id INTEGER PRIMARY KEY, s TEXT)`)

@@ -143,16 +143,13 @@ func (ex *Executor) scanPlanSource(s *planSource, slots map[*sqlparse.ColumnRef]
 		return ex.txScan(s.tbl.Name, lo, hi, emit)
 	}
 
-	// No PK equality prefix. Secondary indexes are safe only when the
-	// transaction has no local writes on the table (the index is not
-	// overlay-aware); the read range is recorded conservatively as a
-	// full-table scan for OCC validation. Access-path priority: index
-	// equality lookup, then PK range scan, then index range scan, full scan.
-	var ix *schema.Index
-	var eqLen int
-	if !ex.Tx.HasWrites(s.tbl.Name) {
-		ix, eqLen = pickPlanIndex(s, bounds)
-	}
+	// No PK equality prefix. Secondary-index scans merge the transaction's
+	// buffered writes with committed postings (Txn.IndexScan), so they stay
+	// correct when the transaction has local writes on the table; the
+	// scanned interval is recorded as a precise index-key range for OCC
+	// validation. Access-path priority: index equality lookup, then PK range
+	// scan, then index range scan, full scan.
+	ix, eqLen := pickPlanIndex(s, bounds)
 	if ix != nil && eqLen > 0 {
 		// A selective index equality lookup beats a PK range scan (e.g.
 		// "WHERE id > cursor AND email = ?" should probe the email index).
@@ -295,32 +292,21 @@ func (ex *Executor) indexScan(s *planSource, ix *schema.Index, eqLen int, bounds
 	if err != nil {
 		return err
 	}
-	// Conservative OCC range: the whole table (see scanPlanSource).
-	ex.Tx.ReadSet().AddRange(s.tbl.Name, "", "")
-	var pks []string
-	if err := ex.Store.IndexScanRange(s.tbl.Name, ix.Name, lo, hi, ex.Tx.Snapshot(), func(_, pk string) bool {
-		pks = append(pks, pk)
-		return true
+	// Stream postings through the sink: rows are emitted as the merged
+	// (committed + buffered) index scan produces them, so LIMIT pushdown
+	// stops the underlying tree walk instead of buffering every match.
+	var innerErr error
+	if err := ex.Tx.IndexScan(s.tbl, ix, lo, hi, func(_ string, row value.Row) bool {
+		cont, err := emit(row)
+		if err != nil {
+			innerErr = err
+			return false
+		}
+		return cont
 	}); err != nil {
 		return err
 	}
-	for _, pk := range pks {
-		row, found, err := ex.Tx.Get(s.tbl.Name, pk)
-		if err != nil {
-			return err
-		}
-		if !found {
-			continue
-		}
-		cont, err := emit(row)
-		if err != nil {
-			return err
-		}
-		if !cont {
-			return nil
-		}
-	}
-	return nil
+	return innerErr
 }
 
 // --- joins -----------------------------------------------------------------------

@@ -61,10 +61,26 @@ type ReadRange struct {
 	Lo, Hi string
 }
 
-// ReadSet is everything a transaction observed: point reads and range scans.
+// IndexRange describes a scanned secondary-index key interval: commits whose
+// changes enter or leave [Lo, Hi) in the index's key space conflict with the
+// reader. Hi == "" means unbounded above.
+type IndexRange struct {
+	Table  string // lowercased
+	Index  string // lowercased
+	Lo, Hi string
+}
+
+// ReadSet is everything a transaction observed: point reads, primary-key
+// range scans, and secondary-index range scans. Table and index names are
+// normalised to lower case at insertion so validation cannot miss conflicts
+// for callers that pass a non-canonical spelling.
 type ReadSet struct {
-	Keys   map[string]map[string]struct{} // table -> key set
-	Ranges []ReadRange
+	Keys        map[string]map[string]struct{} // lowercased table -> key set
+	Ranges      []ReadRange
+	IndexRanges []IndexRange
+
+	// ixSeen deduplicates IndexRanges in O(1) per insertion.
+	ixSeen map[IndexRange]struct{}
 }
 
 // NewReadSet returns an empty read set.
@@ -74,6 +90,7 @@ func NewReadSet() *ReadSet {
 
 // AddKey records a point read.
 func (rs *ReadSet) AddKey(table, key string) {
+	table = strings.ToLower(table)
 	ks, ok := rs.Keys[table]
 	if !ok {
 		ks = make(map[string]struct{})
@@ -82,13 +99,30 @@ func (rs *ReadSet) AddKey(table, key string) {
 	ks[key] = struct{}{}
 }
 
-// AddRange records a scanned interval.
+// AddRange records a scanned primary-key interval.
 func (rs *ReadSet) AddRange(table, lo, hi string) {
-	rs.Ranges = append(rs.Ranges, ReadRange{Table: table, Lo: lo, Hi: hi})
+	rs.Ranges = append(rs.Ranges, ReadRange{Table: strings.ToLower(table), Lo: lo, Hi: hi})
 }
 
-// Contains reports whether the read set covers (table, key).
+// AddIndexRange records a scanned secondary-index interval. Exact duplicates
+// (the same query re-executed inside one transaction) are collapsed.
+func (rs *ReadSet) AddIndexRange(table, index, lo, hi string) {
+	ir := IndexRange{Table: strings.ToLower(table), Index: strings.ToLower(index), Lo: lo, Hi: hi}
+	if _, dup := rs.ixSeen[ir]; dup {
+		return
+	}
+	if rs.ixSeen == nil {
+		rs.ixSeen = make(map[IndexRange]struct{})
+	}
+	rs.ixSeen[ir] = struct{}{}
+	rs.IndexRanges = append(rs.IndexRanges, ir)
+}
+
+// Contains reports whether the read set covers (table, key) via a point read
+// or a primary-key range (index ranges are checked by the store, which can
+// encode a change's index keys).
 func (rs *ReadSet) Contains(table, key string) bool {
+	table = strings.ToLower(table)
 	if ks, ok := rs.Keys[table]; ok {
 		if _, hit := ks[key]; hit {
 			return true
@@ -100,6 +134,11 @@ func (rs *ReadSet) Contains(table, key string) bool {
 		}
 	}
 	return false
+}
+
+// contains reports whether key falls inside the index range.
+func (ir *IndexRange) contains(key string) bool {
+	return key >= ir.Lo && (ir.Hi == "" || key < ir.Hi)
 }
 
 // version is one MVCC version of a row: the commit sequence that created it
@@ -383,7 +422,10 @@ func (s *Store) ScanRange(table, lo, hi string, seq uint64, fn func(key string, 
 }
 
 // IndexScanRange visits index postings with index keys in [lo, hi) visible
-// at seq, yielding the referenced primary keys in index order.
+// at seq, yielding the referenced primary keys in index order. It exposes
+// raw postings (without resolving rows) for tools and tests; the executor's
+// scan path is Txn.IndexScan over IndexScanRows, which shares the same
+// posting-visibility rule below.
 func (s *Store) IndexScanRange(table, index, lo, hi string, seq uint64, fn func(indexKey, pk string) bool) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -401,6 +443,40 @@ func (s *Store) IndexScanRange(table, index, lo, hi string, seq uint64, fn func(
 			return true
 		}
 		return fn(k, pk)
+	})
+	return nil
+}
+
+// IndexScanRows visits index postings with index keys in [lo, hi) visible at
+// seq and resolves each referenced row under the same lock, streaming
+// (indexKey, pk, row) to fn in index order. This lets the transaction layer
+// merge committed postings with buffered writes without re-entering the
+// store per row (and lets LIMIT stop the scan early via fn returning false).
+func (s *Store) IndexScanRows(table, index, lo, hi string, seq uint64, fn func(indexKey, pk string, row value.Row) bool) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	td, ok := s.data[strings.ToLower(table)]
+	if !ok {
+		return fmt.Errorf("storage: unknown table %q", table)
+	}
+	tree, ok := td.indexes[strings.ToLower(index)]
+	if !ok {
+		return fmt.Errorf("storage: unknown index %q on %q", index, table)
+	}
+	tree.AscendRange(lo, hi, func(k string, e *indexEntry) bool {
+		pk, present := e.visible(seq)
+		if !present {
+			return true
+		}
+		re, ok := td.rows.Get(pk)
+		if !ok {
+			return true
+		}
+		row := re.visible(seq)
+		if row == nil {
+			return true
+		}
+		return fn(k, pk, row)
 	})
 	return nil
 }
@@ -471,6 +547,9 @@ func (s *Store) Commit(req CommitRequest) (uint64, error) {
 				if req.Reads.Contains(ch.Table, ch.Key) {
 					return 0, &ConflictError{Table: ch.Table, Key: ch.Key, Seq: rec.Seq}
 				}
+				if s.indexRangeConflict(req.Reads, &ch) {
+					return 0, &ConflictError{Table: ch.Table, Key: ch.Key, Seq: rec.Seq}
+				}
 			}
 		}
 	}
@@ -485,7 +564,6 @@ func (s *Store) Commit(req CommitRequest) (uint64, error) {
 		if !ok {
 			return 0, fmt.Errorf("storage: commit touches unknown table %q", ch.Table)
 		}
-		tbl := s.catalog[tkey]
 		cur, _ := td.rows.Get(ch.Key)
 		var curRow value.Row
 		if cur != nil {
@@ -508,19 +586,9 @@ func (s *Store) Commit(req CommitRequest) (uint64, error) {
 			// Refresh the before image to the committed truth so CDC is exact.
 			ch.Before = curRow
 		}
-		// Unique secondary index checks.
-		for _, ix := range s.indexDef[tkey] {
-			if !ix.Unique || ch.Op == OpDelete {
-				continue
-			}
-			ikey := ix.EncodeIndexKey(tbl, ch.After)
-			tree := td.indexes[strings.ToLower(ix.Name)]
-			if e, found := tree.Get(ikey); found {
-				if pk, present := e.visible(s.seq); present && pk != ch.Key {
-					return 0, fmt.Errorf("storage: unique index %q violation on table %q", ix.Name, ch.Table)
-				}
-			}
-		}
+	}
+	if err := s.validateUnique(req.Changes); err != nil {
+		return 0, err
 	}
 
 	// Apply.
@@ -528,29 +596,14 @@ func (s *Store) Commit(req CommitRequest) (uint64, error) {
 		ch := req.Changes[i]
 		tkey := strings.ToLower(ch.Table)
 		td := s.data[tkey]
-		tbl := s.catalog[tkey]
 		e, _ := td.rows.GetOrSet(ch.Key, func() *entry { return &entry{} })
 		var newRow value.Row
 		if ch.Op != OpDelete {
 			newRow = ch.After
 		}
 		e.versions = append(e.versions, version{seq: newSeq, row: newRow})
-
-		// Index maintenance.
-		for _, ix := range s.indexDef[tkey] {
-			tree := td.indexes[strings.ToLower(ix.Name)]
-			if ch.Before != nil {
-				oldK := ix.EncodeIndexKey(tbl, ch.Before)
-				ie, _ := tree.GetOrSet(oldK, func() *indexEntry { return &indexEntry{} })
-				ie.versions = append(ie.versions, indexVersion{seq: newSeq, present: false})
-			}
-			if ch.After != nil {
-				newK := ix.EncodeIndexKey(tbl, ch.After)
-				ie, _ := tree.GetOrSet(newK, func() *indexEntry { return &indexEntry{} })
-				ie.versions = append(ie.versions, indexVersion{seq: newSeq, present: true, pk: ch.Key})
-			}
-		}
 	}
+	s.applyIndexChanges(req.Changes, newSeq)
 
 	s.seq = newSeq
 	rec := CommitRecord{Seq: newSeq, TxnID: req.TxnID, Changes: req.Changes}
@@ -559,6 +612,160 @@ func (s *Store) Commit(req CommitRequest) (uint64, error) {
 		sub(rec)
 	}
 	return newSeq, nil
+}
+
+// applyIndexChanges appends index versions for one commit's changes at seq,
+// in two passes: every old-image posting is tombstoned before any new-image
+// posting is written. The order matters because a commit may free and
+// re-claim the same (unique) index key across two changes, and version
+// chains resolve equal-seq entries last-writer-wins — interleaving per
+// change would let a tombstone land on top of the new posting whenever the
+// claiming change sorts before the freeing one. Called under s.mu.
+func (s *Store) applyIndexChanges(changes []Change, seq uint64) {
+	for i := range changes {
+		ch := &changes[i]
+		if ch.Before == nil {
+			continue
+		}
+		tkey := strings.ToLower(ch.Table)
+		td := s.data[tkey]
+		tbl := s.catalog[tkey]
+		for _, ix := range s.indexDef[tkey] {
+			tree := td.indexes[strings.ToLower(ix.Name)]
+			oldK := ix.EncodeIndexKey(tbl, ch.Before)
+			ie, _ := tree.GetOrSet(oldK, func() *indexEntry { return &indexEntry{} })
+			ie.versions = append(ie.versions, indexVersion{seq: seq, present: false})
+		}
+	}
+	for i := range changes {
+		ch := &changes[i]
+		if ch.After == nil {
+			continue
+		}
+		tkey := strings.ToLower(ch.Table)
+		td := s.data[tkey]
+		tbl := s.catalog[tkey]
+		for _, ix := range s.indexDef[tkey] {
+			tree := td.indexes[strings.ToLower(ix.Name)]
+			newK := ix.EncodeIndexKey(tbl, ch.After)
+			ie, _ := tree.GetOrSet(newK, func() *indexEntry { return &indexEntry{} })
+			ie.versions = append(ie.versions, indexVersion{seq: seq, present: true, pk: ch.Key})
+		}
+	}
+}
+
+// indexRangeConflict reports whether a committed change intersects any of
+// the read set's scanned index ranges: the change's old image leaving a
+// scanned interval or its new image entering one both invalidate the read
+// (update-out and phantom-in respectively). Called under s.mu.
+func (s *Store) indexRangeConflict(rs *ReadSet, ch *Change) bool {
+	if len(rs.IndexRanges) == 0 {
+		return false
+	}
+	tkey := strings.ToLower(ch.Table)
+	defs := s.indexDef[tkey]
+	if len(defs) == 0 {
+		return false
+	}
+	tbl := s.catalog[tkey]
+	for _, ix := range defs {
+		iname := strings.ToLower(ix.Name)
+		// Encode the change's old/new keys once per index, not per range:
+		// this runs inside the serialized commit section.
+		var beforeK, afterK string
+		encoded := false
+		for i := range rs.IndexRanges {
+			ir := &rs.IndexRanges[i]
+			if ir.Table != tkey || ir.Index != iname {
+				continue
+			}
+			if !encoded {
+				if ch.Before != nil {
+					beforeK = ix.EncodeIndexKey(tbl, ch.Before)
+				}
+				if ch.After != nil {
+					afterK = ix.EncodeIndexKey(tbl, ch.After)
+				}
+				encoded = true
+			}
+			if ch.Before != nil && ir.contains(beforeK) {
+				return true
+			}
+			if ch.After != nil && ir.contains(afterK) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// validateUnique checks every unique index against the commit's *net* effect:
+// a key claimed by two different rows within the request is a violation even
+// though neither posting is committed yet, while a key whose committed owner
+// is deleted (or updated away) by this same request may be re-claimed. The
+// per-change Before images must already be refreshed to committed truth.
+// Called under s.mu.
+func (s *Store) validateUnique(changes []Change) error {
+	var freed map[string]struct{} // table \x00 index \x00 old index key
+	var claims map[string]string  // table \x00 index \x00 new index key -> claiming pk
+	for i := range changes {
+		ch := &changes[i]
+		tkey := strings.ToLower(ch.Table)
+		tbl := s.catalog[tkey]
+		for _, ix := range s.indexDef[tkey] {
+			if !ix.Unique {
+				continue
+			}
+			id := tkey + "\x00" + strings.ToLower(ix.Name) + "\x00"
+			if ch.Before != nil {
+				if freed == nil {
+					freed = make(map[string]struct{})
+				}
+				freed[id+ix.EncodeIndexKey(tbl, ch.Before)] = struct{}{}
+			}
+			if ch.Op == OpDelete {
+				continue
+			}
+			k := id + ix.EncodeIndexKey(tbl, ch.After)
+			if claims == nil {
+				claims = make(map[string]string)
+			}
+			if prev, dup := claims[k]; dup && prev != ch.Key {
+				return fmt.Errorf("storage: unique index %q violation on table %q", ix.Name, ch.Table)
+			}
+			claims[k] = ch.Key
+		}
+	}
+	if claims == nil {
+		return nil
+	}
+	// Claims not freed by this commit must be absent from (or owned by the
+	// same row in) the committed state at s.seq.
+	for i := range changes {
+		ch := &changes[i]
+		if ch.Op == OpDelete {
+			continue
+		}
+		tkey := strings.ToLower(ch.Table)
+		tbl := s.catalog[tkey]
+		td := s.data[tkey]
+		for _, ix := range s.indexDef[tkey] {
+			if !ix.Unique {
+				continue
+			}
+			ikey := ix.EncodeIndexKey(tbl, ch.After)
+			if _, ok := freed[tkey+"\x00"+strings.ToLower(ix.Name)+"\x00"+ikey]; ok {
+				continue
+			}
+			tree := td.indexes[strings.ToLower(ix.Name)]
+			if e, found := tree.Get(ikey); found {
+				if pk, present := e.visible(s.seq); present && pk != ch.Key {
+					return fmt.Errorf("storage: unique index %q violation on table %q", ix.Name, ch.Table)
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // logIndex returns the s.log position of the record with sequence seq
@@ -630,27 +837,14 @@ func (s *Store) ApplyCommitted(rec CommitRecord) error {
 		if !ok {
 			return fmt.Errorf("storage: recovery touches unknown table %q", ch.Table)
 		}
-		tbl := s.catalog[tkey]
 		e, _ := td.rows.GetOrSet(ch.Key, func() *entry { return &entry{} })
 		var newRow value.Row
 		if ch.Op != OpDelete {
 			newRow = ch.After
 		}
 		e.versions = append(e.versions, version{seq: rec.Seq, row: newRow})
-		for _, ix := range s.indexDef[tkey] {
-			tree := td.indexes[strings.ToLower(ix.Name)]
-			if ch.Before != nil {
-				oldK := ix.EncodeIndexKey(tbl, ch.Before)
-				ie, _ := tree.GetOrSet(oldK, func() *indexEntry { return &indexEntry{} })
-				ie.versions = append(ie.versions, indexVersion{seq: rec.Seq, present: false})
-			}
-			if ch.After != nil {
-				newK := ix.EncodeIndexKey(tbl, ch.After)
-				ie, _ := tree.GetOrSet(newK, func() *indexEntry { return &indexEntry{} })
-				ie.versions = append(ie.versions, indexVersion{seq: rec.Seq, present: true, pk: ch.Key})
-			}
-		}
 	}
+	s.applyIndexChanges(rec.Changes, rec.Seq)
 	s.seq = rec.Seq
 	if rec.TxnID > s.nextTxn {
 		s.nextTxn = rec.TxnID

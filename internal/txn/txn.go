@@ -89,7 +89,8 @@ func (t *Txn) CommitSeq() uint64 { return t.commitSeq }
 func (t *Txn) ReadSet() *storage.ReadSet { return t.reads }
 
 // HasWrites reports whether the transaction has buffered writes on table.
-// The executor uses it to decide whether secondary-index scans are safe.
+// (IndexScan merges buffered writes itself, so index access no longer
+// depends on this; it remains useful for diagnostics and tests.)
 func (t *Txn) HasWrites(table string) bool {
 	return len(t.writes[strings.ToLower(table)]) > 0
 }
@@ -178,6 +179,79 @@ func (t *Txn) Scan(table, lo, hi string, fn func(key string, row value.Row) bool
 	}
 	for ; li < len(localKeys); li++ {
 		if !emitLocal(localKeys[li]) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// indexPosting is one buffered row's projection into an index: its encoded
+// index key, primary key, and current local image.
+type indexPosting struct {
+	k, pk string
+	row   value.Row
+}
+
+// IndexScan visits secondary-index postings with index keys in [lo, hi) as
+// seen by this transaction: committed postings at the snapshot merged with
+// the transaction's buffered writes (read-your-writes), in index-key order.
+// Buffered rows shadow their committed images, so a local update that moves
+// a row out of the scanned range hides it and one that moves it in surfaces
+// it. fn receives the referenced primary key and the row image and returns
+// false to stop early. The scanned interval is recorded as a precise
+// index-key range for OCC validation — not a whole-table range — so writers
+// touching disjoint index ranges do not conflict with this reader.
+func (t *Txn) IndexScan(tbl *schema.Table, ix *schema.Index, lo, hi string, fn func(pk string, row value.Row) bool) error {
+	if t.state != StateActive {
+		return ErrDone
+	}
+	t.reads.AddIndexRange(tbl.Name, ix.Name, lo, hi)
+
+	// Project buffered writes into index order within [lo, hi).
+	local := t.writes[strings.ToLower(tbl.Name)]
+	var localPosts []indexPosting
+	for pk, w := range local {
+		if w.cur == nil {
+			continue
+		}
+		k := ix.EncodeIndexKey(tbl, w.cur)
+		if k >= lo && (hi == "" || k < hi) {
+			localPosts = append(localPosts, indexPosting{k: k, pk: pk, row: w.cur})
+		}
+	}
+	sort.Slice(localPosts, func(i, j int) bool {
+		if localPosts[i].k != localPosts[j].k {
+			return localPosts[i].k < localPosts[j].k
+		}
+		return localPosts[i].pk < localPosts[j].pk
+	})
+
+	li := 0
+	stopped := false
+	err := t.store.IndexScanRows(tbl.Name, ix.Name, lo, hi, t.snapshot, func(k, pk string, row value.Row) bool {
+		for li < len(localPosts) && localPosts[li].k < k {
+			if !fn(localPosts[li].pk, localPosts[li].row.Clone()) {
+				stopped = true
+				return false
+			}
+			li++
+		}
+		if _, shadowed := local[pk]; shadowed {
+			// The transaction rewrote or deleted this row; its buffered image
+			// (if still in range) is emitted from localPosts instead.
+			return true
+		}
+		if !fn(pk, row) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	if err != nil || stopped {
+		return err
+	}
+	for ; li < len(localPosts); li++ {
+		if !fn(localPosts[li].pk, localPosts[li].row.Clone()) {
 			return nil
 		}
 	}
