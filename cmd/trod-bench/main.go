@@ -7,6 +7,7 @@
 //	trod-bench -exp all              # every experiment at default scale
 //	trod-bench -exp e1 -requests 20000
 //	trod-bench -exp e2 -maxevents 1000000
+//	trod-bench -exp recovery         # cold-restart time, full replay vs checkpoint
 //	trod-bench -exp table1|table2|query|replay|retro|security|exfil|cases
 //	trod-bench -exp a1|a2|a3
 package main
@@ -26,7 +27,7 @@ import (
 )
 
 var (
-	expFlag   = flag.String("exp", "all", "experiment: all,e1,e2,table1,table2,query,replay,retro,security,exfil,cases,a1,a2,a3")
+	expFlag   = flag.String("exp", "all", "experiment: all,e1,e2,recovery,table1,table2,query,replay,retro,security,exfil,cases,a1,a2,a3")
 	requests  = flag.Int("requests", 5000, "E1/A1 request count")
 	users     = flag.Int("users", 100, "E1/A1 user count")
 	maxEvents = flag.Int("maxevents", 500_000, "E2 largest event-count scale")
@@ -55,6 +56,7 @@ func main() {
 
 	run("e1", runE1)
 	run("e2", runE2)
+	run("recovery", runRecovery)
 	run("table1", runTable1)
 	run("table2", runTable2)
 	run("query", runQuery)
@@ -69,7 +71,7 @@ func main() {
 
 	if which != "all" {
 		switch which {
-		case "e1", "e2", "table1", "table2", "query", "replay", "retro", "security", "exfil", "cases", "a1", "a2", "a3":
+		case "e1", "e2", "recovery", "table1", "table2", "query", "replay", "retro", "security", "exfil", "cases", "a1", "a2", "a3":
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *expFlag)
 			flag.Usage()
@@ -79,14 +81,27 @@ func main() {
 }
 
 // Snapshot is the machine-readable perf record committed as BENCH_<n>.json.
-// Successive PRs append snapshots so the perf trajectory of the two headline
-// hot paths (E1 tracing overhead, E2 query latency) stays recorded; compare
-// the e2[].query_ms series and e1.trace_cost_us_per_req across files.
+// Successive PRs append snapshots so the perf trajectory of the headline
+// paths (E1 tracing overhead, E2 query latency, cold-recovery time) stays
+// recorded; compare the e2[].query_ms series, e1.trace_cost_us_per_req, and
+// recovery.checkpoint_ms across files.
 type Snapshot struct {
-	GeneratedAt string       `json:"generated_at"`
-	Requests    int          `json:"e1_requests"`
-	E1          SnapshotE1   `json:"e1"`
-	E2          []SnapshotE2 `json:"e2"`
+	GeneratedAt string            `json:"generated_at"`
+	Requests    int               `json:"e1_requests"`
+	E1          SnapshotE1        `json:"e1"`
+	E2          []SnapshotE2      `json:"e2"`
+	Recovery    *SnapshotRecovery `json:"recovery,omitempty"`
+}
+
+// SnapshotRecovery records cold-recovery latency at the E2 200k-event scale:
+// full WAL replay versus checkpoint-snapshot-plus-tail.
+type SnapshotRecovery struct {
+	Events       int     `json:"events"`
+	Commits      int     `json:"commits"`
+	FullReplayMs float64 `json:"full_replay_ms"`
+	CheckpointMs float64 `json:"checkpoint_ms"`
+	TailRecords  int     `json:"tail_records"`
+	SpeedupX     float64 `json:"speedup_x"`
 }
 
 // SnapshotE1 is the tracing-overhead record (in-memory engine).
@@ -105,21 +120,53 @@ type SnapshotE2 struct {
 	AggMs   float64 `json:"agg_ms"`
 }
 
+// snapshotScales builds the E2 sweep for snapshot mode. The default ladder
+// is 10k/50k/200k; an explicit -maxevents caps the ladder and becomes its
+// largest scale, so the flag is honoured instead of silently ignored.
+// maxEvents must be positive when explicit.
+func snapshotScales(maxEvents int, explicit bool) ([]int, error) {
+	ladder := []int{10_000, 50_000, 200_000}
+	if !explicit {
+		return ladder, nil
+	}
+	if maxEvents <= 0 {
+		return nil, fmt.Errorf("-maxevents must be positive, got %d", maxEvents)
+	}
+	var scales []int
+	for _, s := range ladder {
+		if s < maxEvents {
+			scales = append(scales, s)
+		}
+	}
+	return append(scales, maxEvents), nil
+}
+
 func writeSnapshot(path string) error {
 	// Snapshot mode favours turnaround: the default request count is reduced
-	// to 2000, but an explicitly passed -requests is honoured as given.
+	// to 2000, but explicitly passed -requests/-maxevents are honoured.
 	reqs := 2000
+	explicitMax := false
 	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "requests" {
+		switch f.Name {
+		case "requests":
 			reqs = *requests
+		case "maxevents":
+			explicitMax = true
 		}
 	})
 	mem, err := experiments.RunE1Pair(experiments.EngineMemory, reqs, *users, false)
 	if err != nil {
 		return err
 	}
-	scales := []int{10_000, 50_000, 200_000}
+	scales, err := snapshotScales(*maxEvents, explicitMax)
+	if err != nil {
+		return err
+	}
 	points, err := experiments.RunE2(scales)
+	if err != nil {
+		return err
+	}
+	rp, err := experiments.RunRecoveryBench(scales[len(scales)-1])
 	if err != nil {
 		return err
 	}
@@ -135,6 +182,18 @@ func writeSnapshot(path string) error {
 	}
 	for _, p := range points {
 		snap.E2 = append(snap.E2, SnapshotE2{Events: p.Events, LoadMs: p.LoadMs, QueryMs: p.QueryMs, AggMs: p.AggMs})
+	}
+	speedup := 0.0
+	if rp.CheckpointMs > 0 {
+		speedup = rp.FullReplayMs / rp.CheckpointMs
+	}
+	snap.Recovery = &SnapshotRecovery{
+		Events:       rp.Events,
+		Commits:      rp.Commits,
+		FullReplayMs: rp.FullReplayMs,
+		CheckpointMs: rp.CheckpointMs,
+		TailRecords:  rp.TailRecords,
+		SpeedupX:     speedup,
 	}
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
@@ -201,6 +260,32 @@ func runE2() error {
 	perMillion := last.QueryMs / float64(last.Events) * 1e6
 	fmt.Printf("\nscaling: %.1f ms per million events for the debugging query\n", perMillion)
 	fmt.Printf("extrapolated to 1e9 events: %.1f s (paper reports <5 s on a server fleet)\n", perMillion*1000/1000)
+	return nil
+}
+
+func runRecovery() error {
+	fmt.Println("Recovery: cold-restart time, full WAL replay vs checkpoint+tail")
+	fmt.Println("    (checkpoints bound recovery to snapshot load + short tail replay)")
+	// Default scale is the E2 headline 200k; an explicit -maxevents is
+	// honoured as given (the flag's own default is E2's 500k sweep cap).
+	events := 200_000
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "maxevents" {
+			events = *maxEvents
+		}
+	})
+	rp, err := experiments.RunRecoveryBench(events)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nstate: %d events across %d WAL commits (+%d tail commits after checkpoint)\n",
+		rp.Events, rp.Commits, rp.TailRecords)
+	fmt.Printf("full replay:      %8.1f ms\n", rp.FullReplayMs)
+	fmt.Printf("checkpoint+tail:  %8.1f ms\n", rp.CheckpointMs)
+	fmt.Printf("checkpoint cost:  %8.1f ms (amortised, off the commit path)\n", rp.CheckpointRun)
+	if rp.CheckpointMs > 0 {
+		fmt.Printf("speedup: %.1fx\n", rp.FullReplayMs/rp.CheckpointMs)
+	}
 	return nil
 }
 

@@ -1,0 +1,47 @@
+package main
+
+import "testing"
+
+// The ROADMAP open item: snapshot mode silently ignored -maxevents. The
+// scales ladder must honour an explicit flag (capping and including it) and
+// reject nonsense, while the default stays 10k/50k/200k.
+func TestSnapshotScalesHonoursMaxEvents(t *testing.T) {
+	cases := []struct {
+		max      int
+		explicit bool
+		want     []int
+		wantErr  bool
+	}{
+		{max: 500_000, explicit: false, want: []int{10_000, 50_000, 200_000}},
+		{max: 200_000, explicit: true, want: []int{10_000, 50_000, 200_000}},
+		{max: 1_000_000, explicit: true, want: []int{10_000, 50_000, 200_000, 1_000_000}},
+		{max: 50_000, explicit: true, want: []int{10_000, 50_000}},
+		{max: 30_000, explicit: true, want: []int{10_000, 30_000}},
+		{max: 5_000, explicit: true, want: []int{5_000}},
+		{max: 0, explicit: true, wantErr: true},
+		{max: -1, explicit: true, wantErr: true},
+	}
+	for _, c := range cases {
+		got, err := snapshotScales(c.max, c.explicit)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("snapshotScales(%d, %v) = %v, want error", c.max, c.explicit, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("snapshotScales(%d, %v): %v", c.max, c.explicit, err)
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("snapshotScales(%d, %v) = %v, want %v", c.max, c.explicit, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("snapshotScales(%d, %v) = %v, want %v", c.max, c.explicit, got, c.want)
+				break
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package trod_test
 
 import (
+	"fmt"
 	"path/filepath"
 	"testing"
 
@@ -131,6 +132,112 @@ func TestDebuggingStorySurvivesRestart(t *testing.T) {
 	}
 	if post.Rows[0][0].AsInt() == 0 {
 		t.Error("post-recovery traffic not traced")
+	}
+}
+
+// TestCheckpointedDebuggingStorySurvivesRestart is the checkpointed variant
+// of the durability arc: production and provenance databases both disk-backed
+// with automatic checkpoints, the bug happens, both checkpoint, everything
+// restarts — recovery must come from the snapshots plus a short WAL tail
+// (not full replay), and the §3 declarative debugging still works.
+func TestCheckpointedDebuggingStorySurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	prodPath := filepath.Join(dir, "prod.wal")
+	provPath := filepath.Join(dir, "prov.wal")
+
+	{
+		prod, err := trod.OpenDB(trod.DBOptions{Mode: trod.ModeDisk, Path: prodPath, Sync: trod.SyncNever})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := workload.SetupMoodle(prod); err != nil {
+			t.Fatal(err)
+		}
+		prov, err := trod.OpenDB(trod.DBOptions{Mode: trod.ModeDisk, Path: provPath, Sync: trod.SyncNever,
+			CheckpointRecords: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		app := trod.NewApp(prod)
+		workload.RegisterMoodle(app)
+		tr, err := trod.AttachTracer(app, prov, trod.TraceConfig{Tables: workload.MoodleTables})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := workload.RaceSubscribe(app, "R1", "R2", "U1", "F2"); err != nil {
+			t.Fatal(err)
+		}
+		// Keep serving after the bug so the provenance WAL outgrows its
+		// checkpoint threshold and rotates automatically. Flushing the
+		// tracer every few requests turns the traffic into several distinct
+		// provenance batch commits (WAL records).
+		// Explicit request IDs: auto-generated ones (app.Invoke) restart at
+		// R1 and would collide with RaceSubscribe's R1/R2.
+		for i := 0; i < 30; i++ {
+			if _, err := app.InvokeWithReqID(fmt.Sprintf("Q%d", i), "subscribeUser",
+				trod.Args{"userId": fmt.Sprintf("U%d", 100+i), "forum": "F1"}); err != nil {
+				t.Fatal(err)
+			}
+			if i%3 == 0 {
+				if err := tr.Flush(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := tr.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		// An explicit checkpoint on the production side too.
+		if err := prod.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		if prov.WALStats().Rotations == 0 {
+			t.Fatal("provenance WAL never auto-checkpointed")
+		}
+		if err := tr.Close(); err != nil {
+			t.Fatal(err)
+		}
+		prod.Close()
+		prov.Close()
+	}
+
+	prod, err := trod.OpenDiskDBNoSync(prodPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prod.Close()
+	prov, err := trod.OpenDiskDBNoSync(provPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prov.Close()
+
+	// Both databases recovered through the snapshot fast path.
+	if info := prod.Recovery(); !info.SnapshotLoaded {
+		t.Errorf("production recovery skipped the snapshot: %+v", info)
+	}
+	if info := prov.Recovery(); !info.SnapshotLoaded {
+		t.Errorf("provenance recovery skipped the snapshot: %+v", info)
+	}
+
+	// The duplicate-subscription bug is still visible in recovered data.
+	rows, err := prod.Query(`SELECT COUNT(*) FROM forum_sub WHERE userId = 'U1' AND forum = 'F2'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Rows[0][0].AsInt() != 2 {
+		t.Fatalf("recovered duplicates = %v", rows.Rows[0][0])
+	}
+	// And the declarative debugging query still finds both writers.
+	dbg, err := prov.Query(`SELECT Timestamp, ReqId, HandlerName
+		FROM Executions as E, ForumEvents as F ON E.TxnId = F.TxnId
+		WHERE F.UserId = 'U1' AND F.Forum = 'F2' AND F.Type = 'Insert'
+		ORDER BY Timestamp ASC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dbg.Rows) != 2 {
+		t.Fatalf("debug query over checkpoint-recovered provenance = %d rows, want 2", len(dbg.Rows))
 	}
 }
 

@@ -1,0 +1,191 @@
+package crashtest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/wal"
+)
+
+// sweepOps is a deterministic mixed DML+DDL workload. Each op is exactly one
+// WAL record (one autocommit statement), so the byte offset where an op's
+// record ends is also the durability watermark at which that op was
+// acknowledged under SyncEachCommit.
+func sweepOps() []struct {
+	sql  string
+	args []any
+} {
+	type op = struct {
+		sql  string
+		args []any
+	}
+	ops := []op{
+		{sql: `CREATE TABLE users (id INTEGER PRIMARY KEY, name TEXT, age INTEGER)`},
+	}
+	for i := 1; i <= 6; i++ {
+		ops = append(ops, op{sql: `INSERT INTO users VALUES (?, ?, ?)`, args: []any{i, fmt.Sprintf("u%d", i), 20 + i}})
+	}
+	ops = append(ops, op{sql: `CREATE INDEX users_name ON users (name)`})
+	ops = append(ops,
+		op{sql: `UPDATE users SET age = 99 WHERE id = 2`},
+		op{sql: `UPDATE users SET name = 'renamed' WHERE id = 4`},
+		op{sql: `CREATE TABLE items (id INTEGER PRIMARY KEY, owner INTEGER, label TEXT)`},
+	)
+	for i := 1; i <= 4; i++ {
+		ops = append(ops, op{sql: `INSERT INTO items VALUES (?, ?, ?)`, args: []any{i, i % 3, fmt.Sprintf("item-%d", i)}})
+	}
+	ops = append(ops,
+		op{sql: `CREATE UNIQUE INDEX items_label ON items (label)`},
+		op{sql: `DELETE FROM users WHERE id = 5`},
+		op{sql: `UPDATE items SET label = 'swapped' WHERE id = 3`},
+		op{sql: `DELETE FROM items WHERE id = 1`},
+		op{sql: `INSERT INTO users VALUES (7, 'late', 40)`},
+		op{sql: `DROP TABLE items`},
+		op{sql: `INSERT INTO users VALUES (8, 'post-drop', 41)`},
+		op{sql: `UPDATE users SET age = 1 WHERE id = 1`},
+	)
+	return ops
+}
+
+// runSweepWorkload applies the ops to a SyncEachCommit disk database at
+// walPath and returns the WAL size at which each op was acknowledged
+// (ackSize[0] == 0 is the pre-workload state).
+func runSweepWorkload(t *testing.T, walPath string) []int64 {
+	t.Helper()
+	d, err := db.Open(db.Options{Mode: db.Disk, Path: walPath, Sync: wal.SyncEachCommit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	ack := []int64{0}
+	for _, op := range sweepOps() {
+		if _, err := d.Exec(op.sql, op.args...); err != nil {
+			t.Fatalf("op %q: %v", op.sql, err)
+		}
+		fi, err := os.Stat(walPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ack = append(ack, fi.Size())
+	}
+	return ack
+}
+
+// oracle replays the first k ops into a fresh in-memory database on demand,
+// advancing incrementally as the sweep's cut offset grows.
+type oracle struct {
+	t   *testing.T
+	db  *db.DB
+	ops []struct {
+		sql  string
+		args []any
+	}
+	applied int
+}
+
+func newOracle(t *testing.T) *oracle {
+	return &oracle{t: t, db: db.MustOpenMemory(), ops: sweepOps()}
+}
+
+func (o *oracle) advanceTo(k int) {
+	for o.applied < k {
+		op := o.ops[o.applied]
+		if _, err := o.db.Exec(op.sql, op.args...); err != nil {
+			o.t.Fatalf("oracle op %q: %v", op.sql, err)
+		}
+		o.applied++
+	}
+}
+
+// TestCrashPointSweepTruncate cuts the workload's WAL at every byte offset
+// and asserts that recovery yields exactly the acknowledged-op prefix: every
+// op whose record is fully below the cut is present, nothing else is, and no
+// torn state survives. This is the swept form of the durability contract —
+// an op acknowledged under SyncEachCommit has its record (and all earlier
+// ones) on disk, so no legal crash point can lose it.
+func TestCrashPointSweepTruncate(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "sweep.wal")
+	ack := runSweepWorkload(t, walPath)
+	full, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := int64(len(full)); got != ack[len(ack)-1] {
+		t.Fatalf("WAL size %d != last ack watermark %d", got, ack[len(ack)-1])
+	}
+
+	cutDir := filepath.Join(dir, "cut")
+	if err := os.Mkdir(cutDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	cutPath := filepath.Join(cutDir, "sweep.wal")
+	orc := newOracle(t)
+	defer orc.db.Close()
+	k := 0
+	for cut := int64(0); cut <= int64(len(full)); cut++ {
+		for k+1 < len(ack) && ack[k+1] <= cut {
+			k++
+		}
+		orc.advanceTo(k)
+		if err := os.WriteFile(cutPath, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rec, err := db.Open(db.Options{Mode: db.Disk, Path: cutPath, Sync: wal.SyncNever})
+		if err != nil {
+			t.Fatalf("cut %d: recovery failed: %v", cut, err)
+		}
+		if diff := StoreDiff(rec.Store(), orc.db.Store()); diff != "" {
+			t.Fatalf("cut %d (acked ops %d): recovered state diverges: %s", cut, k, diff)
+		}
+		rec.Close()
+	}
+}
+
+// TestCrashPointSweepCorrupt flips every byte of the WAL in turn and asserts
+// recovery degrades to exactly the prefix of ops before the damaged record:
+// the CRC catches the corruption, replay stops there, and the recovered
+// state matches the oracle at that prefix — no error, no torn state.
+func TestCrashPointSweepCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "sweep.wal")
+	ack := runSweepWorkload(t, walPath)
+	full, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corruptDir := filepath.Join(dir, "corrupt")
+	if err := os.Mkdir(corruptDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	corruptPath := filepath.Join(corruptDir, "sweep.wal")
+	orc := newOracle(t)
+	defer orc.db.Close()
+	buf := make([]byte, len(full))
+	k := 0
+	for i := 0; i < len(full); i++ {
+		// The record containing byte i is the one after the last ack
+		// watermark at or below i; ops up to that watermark must survive.
+		for k+1 < len(ack) && ack[k+1] <= int64(i) {
+			k++
+		}
+		orc.advanceTo(k)
+		copy(buf, full)
+		buf[i] ^= 0xFF
+		if err := os.WriteFile(corruptPath, buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rec, err := db.Open(db.Options{Mode: db.Disk, Path: corruptPath, Sync: wal.SyncNever})
+		if err != nil {
+			t.Fatalf("flip %d: recovery failed: %v", i, err)
+		}
+		if diff := StoreDiff(rec.Store(), orc.db.Store()); diff != "" {
+			t.Fatalf("flip %d (intact ops %d): recovered state diverges: %s", i, k, diff)
+		}
+		rec.Close()
+	}
+}

@@ -1,0 +1,374 @@
+package db
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/wal"
+)
+
+func openDisk(t *testing.T, path string, opts ...func(*Options)) *DB {
+	t.Helper()
+	o := Options{Mode: Disk, Path: path, Sync: wal.SyncNever}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	d, err := Open(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// findSnapshot returns the single snapshot file a checkpoint left next to
+// the WAL.
+func findSnapshot(t *testing.T, walPath string) string {
+	t.Helper()
+	snaps, err := filepath.Glob(walPath + ".snap.*")
+	if err != nil || len(snaps) != 1 {
+		t.Fatalf("snapshot files = %v, %v (want exactly one)", snaps, err)
+	}
+	return snaps[0]
+}
+
+func seedKV(t *testing.T, d *DB, from, to int) {
+	t.Helper()
+	for i := from; i <= to; i++ {
+		if _, err := d.Exec(`INSERT INTO kv VALUES (?, ?)`, i, fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func countKV(t *testing.T, d *DB) int64 {
+	t.Helper()
+	rows, err := d.Query(`SELECT COUNT(*) FROM kv`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows.Rows[0][0].AsInt()
+}
+
+// TestCheckpointBoundsRecoveryToTail: after an explicit checkpoint, a
+// reopened database recovers from the snapshot and replays only the commits
+// that landed after it.
+func TestCheckpointBoundsRecoveryToTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.wal")
+	d := openDisk(t, path)
+	if _, err := d.Exec(`CREATE TABLE kv (k INTEGER PRIMARY KEY, v TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	seedKV(t, d, 1, 20)
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	seedKV(t, d, 21, 25) // the tail: 5 commits after the checkpoint
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re := openDisk(t, path)
+	defer re.Close()
+	info := re.Recovery()
+	if !info.SnapshotLoaded {
+		t.Fatalf("snapshot not used: %+v", info)
+	}
+	if info.TailRecords != 5 {
+		t.Errorf("tail records = %d, want 5", info.TailRecords)
+	}
+	if info.TotalRecords != 6 { // checkpoint pointer + 5 tail commits
+		t.Errorf("total records = %d, want 6", info.TotalRecords)
+	}
+	if got := countKV(t, re); got != 25 {
+		t.Errorf("recovered rows = %d, want 25", got)
+	}
+	// The recovered database keeps serving and checkpointing.
+	seedKV(t, re, 26, 27)
+	if err := re.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := countKV(t, re); got != 27 {
+		t.Errorf("post-recovery rows = %d", got)
+	}
+}
+
+// TestCheckpointPreservesDDLInTailEpoch: schema changes after a checkpoint
+// live in the WAL tail and come back on recovery; schema changes before it
+// come back through the snapshot.
+func TestCheckpointPreservesSchemaAcrossGenerations(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.wal")
+	d := openDisk(t, path)
+	if _, err := d.Exec(`CREATE TABLE kv (k INTEGER PRIMARY KEY, v TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Exec(`CREATE INDEX kv_v ON kv (v)`); err != nil {
+		t.Fatal(err)
+	}
+	seedKV(t, d, 1, 5)
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-checkpoint DDL rides in the tail.
+	if _, err := d.Exec(`CREATE TABLE extra (id INTEGER PRIMARY KEY)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Exec(`INSERT INTO extra VALUES (1)`); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+
+	re := openDisk(t, path)
+	defer re.Close()
+	if !re.Recovery().SnapshotLoaded {
+		t.Fatalf("snapshot not used: %+v", re.Recovery())
+	}
+	if re.Store().Table("kv") == nil || re.Store().Table("extra") == nil {
+		t.Fatal("tables lost across checkpointed recovery")
+	}
+	if ixs := re.Store().Indexes("kv"); len(ixs) != 1 || ixs[0].Name != "kv_v" {
+		t.Fatalf("index lost: %+v", ixs)
+	}
+	rows, err := re.Query(`SELECT v FROM kv WHERE v = 'v3'`)
+	if err != nil || len(rows.Rows) != 1 {
+		t.Errorf("index query after recovery: %v, %v", rows, err)
+	}
+}
+
+// TestCheckpointAutoTrigger: crossing the record threshold rotates the log
+// without an explicit Checkpoint call, and recovery uses the snapshot.
+func TestCheckpointAutoTrigger(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.wal")
+	d := openDisk(t, path, func(o *Options) { o.CheckpointRecords = 10 })
+	if _, err := d.Exec(`CREATE TABLE kv (k INTEGER PRIMARY KEY, v TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	seedKV(t, d, 1, 40)
+	st := d.WALStats()
+	if st.Rotations == 0 {
+		t.Fatalf("no automatic checkpoint after 41 records: %+v", st)
+	}
+	if st.RecordsSinceCheckpoint > 10 {
+		t.Errorf("records since checkpoint = %d, want <= threshold", st.RecordsSinceCheckpoint)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re := openDisk(t, path)
+	defer re.Close()
+	if !re.Recovery().SnapshotLoaded {
+		t.Fatalf("recovery ignored auto checkpoint: %+v", re.Recovery())
+	}
+	if got := countKV(t, re); got != 40 {
+		t.Errorf("recovered rows = %d, want 40", got)
+	}
+}
+
+// TestCheckpointByteTriggerAndExplicitNoop covers the byte threshold and the
+// Memory-mode no-op.
+func TestCheckpointByteTrigger(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "b.wal")
+	d := openDisk(t, path, func(o *Options) { o.CheckpointBytes = 512 })
+	if _, err := d.Exec(`CREATE TABLE kv (k INTEGER PRIMARY KEY, v TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	seedKV(t, d, 1, 60) // well past 512 bytes of records
+	if d.WALStats().Rotations == 0 {
+		t.Error("byte threshold never triggered")
+	}
+	d.Close()
+
+	mem := MustOpenMemory()
+	defer mem.Close()
+	if err := mem.Checkpoint(); err != nil {
+		t.Errorf("Memory-mode Checkpoint = %v, want nil no-op", err)
+	}
+}
+
+// TestRecoveryFallsBackToOldGenerationOnCorruptSnapshot: when the snapshot
+// is damaged after a rotation, recovery replays the retained .old generation
+// plus the current log's tail — full replay instead of data loss.
+func TestRecoveryFallsBackToOldGenerationOnCorruptSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.wal")
+	d := openDisk(t, path)
+	if _, err := d.Exec(`CREATE TABLE kv (k INTEGER PRIMARY KEY, v TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	seedKV(t, d, 1, 10)
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	seedKV(t, d, 11, 12)
+	d.Close()
+
+	// Damage the snapshot.
+	snap := findSnapshot(t, path)
+	data, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(snap, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re := openDisk(t, path)
+	defer re.Close()
+	info := re.Recovery()
+	if info.SnapshotLoaded {
+		t.Fatalf("corrupt snapshot was trusted: %+v", info)
+	}
+	if info.SnapshotErr == "" {
+		t.Error("fallback reason not recorded")
+	}
+	if got := countKV(t, re); got != 12 {
+		t.Errorf("fallback recovery rows = %d, want 12", got)
+	}
+}
+
+// TestRecoveryFailsLoudlyWhenHistoryGone: corrupt snapshot AND no .old
+// generation means the pre-checkpoint history is unreachable; Open must fail
+// with a descriptive error, not return a silently truncated database.
+func TestRecoveryFailsLoudlyWhenHistoryGone(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "l.wal")
+	d := openDisk(t, path)
+	if _, err := d.Exec(`CREATE TABLE kv (k INTEGER PRIMARY KEY, v TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	seedKV(t, d, 1, 5)
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	seedKV(t, d, 6, 7)
+	d.Close()
+
+	snap := findSnapshot(t, path)
+	data, _ := os.ReadFile(snap)
+	data[len(data)/2] ^= 0xFF
+	os.WriteFile(snap, data, 0o644)
+	os.Remove(path + ".old")
+
+	_, err := Open(Options{Mode: Disk, Path: path, Sync: wal.SyncNever})
+	if err == nil {
+		t.Fatal("recovery with lost history should fail")
+	}
+	if !strings.Contains(err.Error(), "snapshot") {
+		t.Errorf("error does not explain the snapshot loss: %v", err)
+	}
+}
+
+// TestRecoveryAfterInterruptedRotation: a crash between the rotation's two
+// renames leaves no log but a complete .rotate file; Open repairs the swap
+// and recovers normally.
+func TestRecoveryAfterInterruptedRotation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "i.wal")
+	d := openDisk(t, path)
+	if _, err := d.Exec(`CREATE TABLE kv (k INTEGER PRIMARY KEY, v TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	seedKV(t, d, 1, 8)
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	seedKV(t, d, 9, 10)
+	d.Close()
+
+	// Reconstruct the mid-rotation state: the current log becomes the
+	// not-yet-renamed .rotate file and the .old generation moves back.
+	if err := os.Rename(path, path+".rotate"); err != nil {
+		t.Fatal(err)
+	}
+	// (path is now missing, exactly as between the two renames — the .old
+	// file from the real rotation still holds the full history.)
+
+	re := openDisk(t, path)
+	defer re.Close()
+	if got := countKV(t, re); got != 10 {
+		t.Errorf("repaired recovery rows = %d, want 10", got)
+	}
+}
+
+// TestCrashBetweenSnapshotWriteAndRotation: a checkpoint writes its
+// snapshot but crashes before rotating the log. The freshly written snapshot
+// must not disturb the one the log head still points to (snapshots are
+// uniquely named per sequence), so recovery proceeds normally from the older
+// snapshot plus the full tail — even after multiple earlier rotations, when
+// no full-history generation exists any more.
+func TestCrashBetweenSnapshotWriteAndRotation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.wal")
+	d := openDisk(t, path)
+	if _, err := d.Exec(`CREATE TABLE kv (k INTEGER PRIMARY KEY, v TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	seedKV(t, d, 1, 10)
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	seedKV(t, d, 11, 20)
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// After two rotations, .old starts with a checkpoint pointer — there is
+	// no full-history generation left.
+	seedKV(t, d, 21, 25)
+	// Simulate the crash window of a third checkpoint: the snapshot lands on
+	// disk, the rotation never happens.
+	data, seq := d.Store().EncodeSnapshot()
+	orphan := fmt.Sprintf("%s.snap.%d", path, seq)
+	if err := os.WriteFile(orphan, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+
+	re := openDisk(t, path)
+	defer re.Close()
+	info := re.Recovery()
+	if !info.SnapshotLoaded {
+		t.Fatalf("recovery lost the head snapshot to the orphan: %+v", info)
+	}
+	if got := countKV(t, re); got != 25 {
+		t.Errorf("rows = %d, want 25", got)
+	}
+	// The next successful checkpoint (at a later sequence) sweeps the orphan.
+	seedKV(t, re, 26, 27)
+	if err := re.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Errorf("orphan snapshot %s not cleaned up", orphan)
+	}
+}
+
+// TestRecoverySecondCheckpointGeneration: two checkpoints in sequence keep
+// recovery bounded (the newest snapshot wins) and the .old generation holds
+// the previous rotation's log, not the original full history.
+func TestRecoverySecondCheckpointGeneration(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.wal")
+	d := openDisk(t, path)
+	if _, err := d.Exec(`CREATE TABLE kv (k INTEGER PRIMARY KEY, v TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	seedKV(t, d, 1, 10)
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	seedKV(t, d, 11, 20)
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	seedKV(t, d, 21, 23)
+	d.Close()
+
+	re := openDisk(t, path)
+	defer re.Close()
+	info := re.Recovery()
+	if !info.SnapshotLoaded || info.TailRecords != 3 {
+		t.Fatalf("second-generation recovery info = %+v", info)
+	}
+	if got := countKV(t, re); got != 23 {
+		t.Errorf("rows = %d, want 23", got)
+	}
+}

@@ -13,6 +13,8 @@ package db
 import (
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -44,8 +46,34 @@ type Options struct {
 	// Path is the WAL file path (Disk mode only).
 	Path string
 	// Sync selects the WAL durability policy (Disk mode only). The default,
-	// wal.SyncEachCommit, fsyncs per commit like a real OLTP database.
+	// wal.SyncEachCommit, makes every commit durable before acknowledging it;
+	// concurrent committers share fsyncs through group commit.
 	Sync wal.SyncPolicy
+	// CheckpointBytes, when > 0, triggers an automatic checkpoint once the
+	// WAL grows past this many bytes since the last checkpoint (Disk mode).
+	// A checkpoint snapshots the full committed state next to the WAL
+	// (<path>.snap.<seq>) and truncates the log, bounding recovery time.
+	CheckpointBytes int64
+	// CheckpointRecords, when > 0, triggers an automatic checkpoint once the
+	// WAL holds this many records since the last checkpoint (Disk mode).
+	CheckpointRecords int
+}
+
+// RecoveryInfo describes what the last Open did to rebuild state.
+type RecoveryInfo struct {
+	// SnapshotLoaded reports that recovery started from a checkpoint
+	// snapshot instead of replaying the log from the beginning.
+	SnapshotLoaded bool
+	// SnapshotSeq is the commit sequence the loaded snapshot captured.
+	SnapshotSeq uint64
+	// SnapshotErr records why a checkpoint's snapshot was unusable (recovery
+	// then fell back to full replay of the retained log generations).
+	SnapshotErr string
+	// TotalRecords is the number of intact WAL records scanned.
+	TotalRecords int
+	// TailRecords is the number of records replayed after the snapshot (the
+	// WAL tail); without a snapshot it equals TotalRecords.
+	TailRecords int
 }
 
 // Rows is a query result set.
@@ -103,6 +131,26 @@ type DB struct {
 	mode  Mode
 	hooks Hooks
 
+	// walPath and sync mirror the Disk-mode options; recovery is what Open
+	// did to rebuild state from walPath.
+	walPath    string
+	syncPolicy wal.SyncPolicy
+	recovery   RecoveryInfo
+
+	// durMu/durable map a commit sequence to the WAL LSN of its record: the
+	// CDC hook stores it under the store's commit lock, and Tx.Commit
+	// consumes it to block on group-commit durability outside that lock.
+	durMu   sync.Mutex
+	durable map[uint64]int64
+
+	// ckptMu serializes checkpoints; DDL takes the read side so no schema
+	// change can slip between a snapshot and the log rotation that trusts it.
+	ckptMu      sync.RWMutex
+	ckptBytes   int64
+	ckptRecords int
+	ckptErrMu   sync.Mutex
+	ckptErr     error // last automatic-checkpoint failure, surfaced on Close
+
 	stmtMu    sync.RWMutex
 	stmtCache map[string]sqlparse.Statement
 
@@ -120,12 +168,22 @@ type DB struct {
 }
 
 // Open creates or recovers a database.
+//
+// Disk-mode recovery order: finish any interrupted log rotation, then — when
+// the log opens with a checkpoint record whose snapshot is intact — load the
+// snapshot and replay only the WAL tail. An unreadable snapshot falls back
+// to full replay of the retained log generations (<path>.old then <path>),
+// which covers crashes between snapshot write and rotation; only if the
+// pre-checkpoint history is gone too does Open fail.
 func Open(opts Options) (*DB, error) {
 	db := &DB{
-		store:     storage.NewStore(),
-		mode:      opts.Mode,
-		stmtCache: make(map[string]sqlparse.Statement),
-		plans:     newPlanCache(0),
+		store:       storage.NewStore(),
+		mode:        opts.Mode,
+		syncPolicy:  opts.Sync,
+		ckptBytes:   opts.CheckpointBytes,
+		ckptRecords: opts.CheckpointRecords,
+		stmtCache:   make(map[string]sqlparse.Statement),
+		plans:       newPlanCache(0),
 	}
 	if opts.Mode == Memory {
 		return db, nil
@@ -133,21 +191,9 @@ func Open(opts Options) (*DB, error) {
 	if opts.Path == "" {
 		return nil, errors.New("db: Disk mode requires Options.Path")
 	}
-	// Recover existing state before attaching the WAL hooks.
-	err := wal.Replay(opts.Path, func(rec wal.Record) error {
-		switch rec.Type {
-		case wal.RecordDDL:
-			stmt, err := sqlparse.Parse(rec.DDL)
-			if err != nil {
-				return fmt.Errorf("db: recovering DDL %q: %w", rec.DDL, err)
-			}
-			return db.applyDDL(stmt, true)
-		case wal.RecordCommit:
-			return db.store.ApplyCommitted(rec.Commit)
-		}
-		return nil
-	})
-	if err != nil {
+	db.walPath = opts.Path
+	db.durable = make(map[uint64]int64)
+	if err := db.recover(opts.Path); err != nil {
 		return nil, err
 	}
 	log, err := wal.Open(opts.Path, opts.Sync)
@@ -161,9 +207,275 @@ func Open(opts Options) (*DB, error) {
 		_ = log.AppendDDL(stmt)
 	})
 	db.store.SubscribeCDC(func(rec storage.CommitRecord) {
-		_ = log.AppendCommit(rec)
+		// Append under the store's commit lock so the log order matches the
+		// serialization order, but do NOT wait for durability here: the
+		// committer blocks in Tx.Commit (via waitDurable) after the lock is
+		// released, letting concurrent commits batch into one fsync.
+		lsn, err := log.AppendCommitLSN(rec)
+		if err != nil {
+			return // sticky WAL failure; surfaced by waitDurable/Close
+		}
+		if opts.Sync == wal.SyncEachCommit {
+			db.durMu.Lock()
+			db.durable[rec.Seq] = lsn
+			// Writers that commit through Store() directly never consume
+			// their entries; prune long-stale ones so the map stays bounded
+			// (a pruned entry's waiter falls back to a full WAL sync).
+			if len(db.durable) > 8192 {
+				for seq := range db.durable {
+					if seq+4096 < rec.Seq {
+						delete(db.durable, seq)
+					}
+				}
+			}
+			db.durMu.Unlock()
+		}
 	})
 	return db, nil
+}
+
+// recover rebuilds the store from the WAL (and snapshot) at path.
+func (db *DB) recover(path string) error {
+	wal.RepairRotation(path)
+	paths := []string{path}
+	if head := wal.ReadHead(path); head != nil && head.Type == wal.RecordCheckpoint {
+		// Fast path: start from the checkpoint's snapshot and replay only
+		// this log (the tail). The .old generation is pre-checkpoint history
+		// and is only needed when the snapshot is unusable.
+		st, err := storage.LoadSnapshotFile(db.resolveSnapshot(head.Checkpoint))
+		switch {
+		case err != nil:
+			db.recovery.SnapshotErr = err.Error()
+		case st.CurrentSeq() != head.Checkpoint.Seq:
+			db.recovery.SnapshotErr = fmt.Sprintf("snapshot seq %d does not match checkpoint seq %d",
+				st.CurrentSeq(), head.Checkpoint.Seq)
+		default:
+			db.store = st
+			db.recovery.SnapshotLoaded = true
+			db.recovery.SnapshotSeq = head.Checkpoint.Seq
+		}
+	}
+	if !db.recovery.SnapshotLoaded {
+		if _, err := os.Stat(path + ".old"); err == nil {
+			paths = []string{path + ".old", path}
+		}
+	}
+	for _, p := range paths {
+		if err := db.replayLog(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replayLog applies one log generation on top of the current store state.
+// Commit records at or below the store's sequence are duplicates from an
+// earlier generation (or covered by the snapshot) and are skipped.
+func (db *DB) replayLog(path string) error {
+	return wal.Replay(path, func(rec wal.Record) error {
+		db.recovery.TotalRecords++
+		switch rec.Type {
+		case wal.RecordDDL:
+			stmt, err := sqlparse.Parse(rec.DDL)
+			if err != nil {
+				return fmt.Errorf("db: recovering DDL %q: %w", rec.DDL, err)
+			}
+			db.recovery.TailRecords++
+			return db.applyDDL(stmt, true)
+		case wal.RecordCommit:
+			if rec.Commit.Seq <= db.store.CurrentSeq() {
+				return nil // duplicate of already-recovered state
+			}
+			db.recovery.TailRecords++
+			if err := db.store.ApplyCommitted(rec.Commit); err != nil {
+				if db.recovery.SnapshotErr != "" {
+					return fmt.Errorf("db: WAL tail unreachable (snapshot unusable: %s): %w",
+						db.recovery.SnapshotErr, err)
+				}
+				return err
+			}
+			return nil
+		case wal.RecordCheckpoint:
+			// Mid-replay checkpoint pointer (an .old generation head, or a
+			// second rotation). Usable only if it advances past the state
+			// replayed so far; otherwise recovery continues record by record.
+			if rec.Checkpoint.Seq <= db.store.CurrentSeq() {
+				return nil
+			}
+			st, err := storage.LoadSnapshotFile(db.resolveSnapshot(rec.Checkpoint))
+			if err == nil && st.CurrentSeq() == rec.Checkpoint.Seq {
+				db.store = st
+				db.recovery.SnapshotLoaded = true
+				db.recovery.SnapshotSeq = rec.Checkpoint.Seq
+				db.recovery.TailRecords = 0
+				return nil
+			}
+			if err == nil {
+				err = fmt.Errorf("snapshot seq %d does not match checkpoint seq %d",
+					st.CurrentSeq(), rec.Checkpoint.Seq)
+			}
+			db.recovery.SnapshotErr = err.Error()
+			return nil
+		}
+		return nil
+	})
+}
+
+// resolveSnapshot maps a checkpoint record's snapshot name (a base name) to
+// a path next to the WAL.
+func (db *DB) resolveSnapshot(cp wal.Checkpoint) string {
+	name := cp.Snapshot
+	if name == "" {
+		name = filepath.Base(db.walPath) + ".snap"
+	}
+	return filepath.Join(filepath.Dir(db.walPath), name)
+}
+
+// Recovery reports what the last Open did to rebuild state (Disk mode).
+func (db *DB) Recovery() RecoveryInfo { return db.recovery }
+
+// Log exposes the write-ahead log (nil in Memory mode); tests and tools
+// use it for stats and fault injection.
+func (db *DB) Log() *wal.Log { return db.log }
+
+// WALStats returns the WAL's counters (zero in Memory mode).
+func (db *DB) WALStats() wal.Stats {
+	if db.log == nil {
+		return wal.Stats{}
+	}
+	return db.log.Stats()
+}
+
+// waitDurable blocks until the commit record for seq is fsynced, sharing the
+// fsync with every concurrently committing transaction (group commit). Under
+// SyncNever (or in Memory mode) it returns immediately.
+func (db *DB) waitDurable(seq uint64) error {
+	if db.log == nil || db.syncPolicy != wal.SyncEachCommit {
+		return nil
+	}
+	db.durMu.Lock()
+	lsn, ok := db.durable[seq]
+	delete(db.durable, seq)
+	db.durMu.Unlock()
+	if !ok {
+		// The CDC append failed (sticky WAL error) — surface it.
+		return db.log.Sync()
+	}
+	return db.log.WaitDurable(lsn)
+}
+
+// ApplyCommit runs a pre-built storage commit through the facade's
+// durability path: the commit is validated and applied by the store, the
+// caller blocks until its WAL record is durable (group commit), and
+// checkpoint triggers fire. Batch writers that bypass the SQL layer (the
+// provenance writer) must use this instead of Store().Commit, or their
+// commits never trip automatic checkpoints.
+func (db *DB) ApplyCommit(req storage.CommitRequest) (uint64, error) {
+	seq, err := db.store.Commit(req)
+	if err != nil {
+		return 0, err
+	}
+	if err := db.waitDurable(seq); err != nil {
+		return seq, fmt.Errorf("db: commit %d not durable: %w", seq, err)
+	}
+	db.maybeCheckpoint()
+	return seq, nil
+}
+
+// Checkpoint snapshots the full committed state next to the WAL and
+// truncates the log to a checkpoint pointer plus the commits that landed
+// after the snapshot, bounding recovery to the snapshot load plus a short
+// tail. The previous log generation is kept as <path>.old so a later
+// unreadable snapshot still has a full-replay fallback. No-op in Memory
+// mode.
+func (db *DB) Checkpoint() error {
+	if db.log == nil {
+		return nil
+	}
+	db.ckptMu.Lock()
+	defer db.ckptMu.Unlock()
+	return db.checkpointLocked()
+}
+
+func (db *DB) checkpointLocked() error {
+	data, seq := db.store.EncodeSnapshot()
+	// Each checkpoint gets its own snapshot file: overwriting a single name
+	// would destroy the snapshot the current log head still points to, so a
+	// crash between this write and the rotation below would leave nothing
+	// that matches the head pointer. With unique names the previous
+	// snapshot stays valid until the rotation lands; a crash in between
+	// merely leaves an orphan file that the next checkpoint cleans up.
+	snapPath := fmt.Sprintf("%s.snap.%d", db.walPath, seq)
+	if err := storage.WriteSnapshotFile(snapPath, data); err != nil {
+		return err
+	}
+	// Read the snapshot back before truncating anything: rotation is only
+	// safe once the bytes on disk are known to decode.
+	if _, err := storage.LoadSnapshotFile(snapPath); err != nil {
+		return fmt.Errorf("db: checkpoint verification failed: %w", err)
+	}
+	// Collect the post-snapshot commit tail and rotate under the store's
+	// commit lock, so no commit can land between tail capture and rotation.
+	err := db.store.CheckpointTail(seq, func(tail []storage.CommitRecord) error {
+		return db.log.Rotate(wal.Checkpoint{Seq: seq, Snapshot: filepath.Base(snapPath)}, tail)
+	})
+	if err != nil {
+		return err
+	}
+	db.cleanupSnapshots(filepath.Base(snapPath))
+	return nil
+}
+
+// cleanupSnapshots removes snapshot files no longer reachable from either
+// log generation: everything except the snapshot just written and the one
+// the .old generation's head still points to (the fallback when the new
+// snapshot later proves unreadable). Best effort — an undeleted orphan only
+// costs disk space.
+func (db *DB) cleanupSnapshots(current string) {
+	keep := map[string]bool{current: true}
+	if old := wal.ReadHead(db.walPath + ".old"); old != nil && old.Type == wal.RecordCheckpoint && old.Checkpoint.Snapshot != "" {
+		keep[old.Checkpoint.Snapshot] = true
+	}
+	matches, err := filepath.Glob(db.walPath + ".snap*")
+	if err != nil {
+		return
+	}
+	for _, m := range matches {
+		if !keep[filepath.Base(m)] {
+			os.Remove(m)
+		}
+	}
+}
+
+// maybeCheckpoint runs an automatic checkpoint when the WAL has outgrown the
+// configured thresholds. Failures don't fail the (already durable) commit
+// that tripped the trigger; the error is kept and surfaced on Close.
+func (db *DB) maybeCheckpoint() {
+	if db.log == nil || (db.ckptBytes <= 0 && db.ckptRecords <= 0) {
+		return
+	}
+	st := db.log.Stats()
+	if (db.ckptBytes <= 0 || st.BytesSinceCheckpoint < db.ckptBytes) &&
+		(db.ckptRecords <= 0 || st.RecordsSinceCheckpoint < db.ckptRecords) {
+		return
+	}
+	if !db.ckptMu.TryLock() {
+		return // a checkpoint is already running
+	}
+	defer db.ckptMu.Unlock()
+	// Re-check under the lock: the checkpoint that just finished may have
+	// already truncated the log.
+	st = db.log.Stats()
+	if (db.ckptBytes <= 0 || st.BytesSinceCheckpoint < db.ckptBytes) &&
+		(db.ckptRecords <= 0 || st.RecordsSinceCheckpoint < db.ckptRecords) {
+		return
+	}
+	err := db.checkpointLocked()
+	db.ckptErrMu.Lock()
+	// A later successful checkpoint supersedes an earlier transient failure
+	// (the log is truncated and consistent again), so the error resets.
+	db.ckptErr = err
+	db.ckptErrMu.Unlock()
 }
 
 // MustOpenMemory returns an in-memory database, panicking on error (which
@@ -176,7 +488,9 @@ func MustOpenMemory() *DB {
 	return db
 }
 
-// Close flushes and closes the WAL.
+// Close flushes and closes the WAL. It also surfaces the last automatic
+// checkpoint failure, if any (automatic checkpoints never fail the commit
+// that triggered them).
 func (db *DB) Close() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -184,10 +498,14 @@ func (db *DB) Close() error {
 		return nil
 	}
 	db.closed = true
+	var err error
 	if db.log != nil {
-		return db.log.Close()
+		err = db.log.Close()
 	}
-	return nil
+	db.ckptErrMu.Lock()
+	ckptErr := db.ckptErr
+	db.ckptErrMu.Unlock()
+	return errors.Join(err, ckptErr)
 }
 
 // Store exposes the underlying MVCC store to the TROD layers (tracer CDC
@@ -227,8 +545,15 @@ func (db *DB) parse(query string) (sqlparse.Statement, error) {
 	return stmt, nil
 }
 
-// applyDDL executes a schema statement directly against the store.
+// applyDDL executes a schema statement directly against the store. Outside
+// recovery it holds the checkpoint lock's read side, so a schema change can
+// never land between a checkpoint's snapshot and its log rotation (the
+// rotated tail carries only commit records, not DDL).
 func (db *DB) applyDDL(stmt sqlparse.Statement, recovering bool) error {
+	if !recovering {
+		db.ckptMu.RLock()
+		defer db.ckptMu.RUnlock()
+	}
 	switch s := stmt.(type) {
 	case *sqlparse.CreateTable:
 		tbl, err := TableFromAST(s)
@@ -542,9 +867,17 @@ func statementTables(stmt sqlparse.Statement) []string {
 	}
 }
 
-// Commit commits the transaction and fires the interposition hook.
+// Commit commits the transaction and fires the interposition hook. In Disk
+// mode with per-commit sync the call returns only once the commit record is
+// fsynced; concurrent committers share the fsync (group commit).
 func (tx *Tx) Commit() error {
 	seq, err := tx.inner.Commit()
+	var durErr error
+	if err == nil && seq > tx.inner.Snapshot() {
+		// A write commit produced a WAL record; block until it is durable.
+		// Read-only commits (seq == snapshot) have nothing to sync.
+		durErr = tx.db.waitDurable(seq)
+	}
 	trace := TxnTrace{
 		TxnID:     tx.inner.ID(),
 		CommitSeq: seq,
@@ -564,6 +897,13 @@ func (tx *Tx) Commit() error {
 	if tx.db.hooks.OnCommit != nil {
 		tx.db.hooks.OnCommit(trace)
 	}
+	if durErr != nil {
+		// The commit is applied in memory but its durability could not be
+		// confirmed (sticky WAL failure). Surface it — callers must treat
+		// the database as failed.
+		return fmt.Errorf("db: commit %d not durable: %w", seq, durErr)
+	}
+	tx.db.maybeCheckpoint()
 	return nil
 }
 

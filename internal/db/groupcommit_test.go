@@ -1,0 +1,99 @@
+package db
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wal"
+)
+
+// TestGroupCommitConcurrentDurability: N goroutines commit concurrently
+// under the per-commit sync policy. Every acknowledged commit must survive a
+// crash (recovery from a byte-for-byte copy of the WAL taken after the
+// workload), and the fsync count must stay below the commit count — proof
+// that group commit actually batched concurrent committers instead of
+// serialising one fsync per transaction. Run under -race in CI.
+func TestGroupCommitConcurrentDurability(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "gc.wal")
+	d, err := Open(Options{Mode: Disk, Path: path, Sync: wal.SyncEachCommit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Exec(`CREATE TABLE kv (k TEXT PRIMARY KEY, v INTEGER)`); err != nil {
+		t.Fatal(err)
+	}
+	// On tmpfs an fsync is nearly free, so the leader's batching window can
+	// close before any follower arrives; model real disk latency so the
+	// batching assertion is deterministic.
+	d.Log().SetSyncDelayForTest(200 * time.Microsecond)
+
+	const goroutines = 8
+	const perG = 30
+	var wg sync.WaitGroup
+	acked := make([][]string, goroutines)
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				key := fmt.Sprintf("g%d-%d", g, i)
+				// Disjoint keys per goroutine: no OCC conflicts, so every
+				// Exec acknowledges exactly one durable commit.
+				if _, err := d.Exec(`INSERT INTO kv VALUES (?, ?)`, key, i); err != nil {
+					errs <- fmt.Errorf("goroutine %d commit %d: %w", g, i, err)
+					return
+				}
+				acked[g] = append(acked[g], key)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	totalCommits := uint64(goroutines*perG) + 1 // + the CREATE TABLE record
+	st := d.WALStats()
+	if st.Syncs >= totalCommits {
+		t.Errorf("fsyncs = %d for %d durable records: batching never happened", st.Syncs, totalCommits)
+	}
+	t.Logf("group commit: %d records, %d fsyncs", totalCommits, st.Syncs)
+
+	// Crash: copy the WAL bytes without closing, recover elsewhere.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashDir := filepath.Join(dir, "crash")
+	if err := os.Mkdir(crashDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	crashPath := filepath.Join(crashDir, "gc.wal")
+	if err := os.WriteFile(crashPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(Options{Mode: Disk, Path: crashPath, Sync: wal.SyncNever})
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer re.Close()
+	for g := range acked {
+		for _, key := range acked[g] {
+			rows, err := re.Query(`SELECT v FROM kv WHERE k = ?`, key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rows.Rows) != 1 {
+				t.Fatalf("acknowledged commit %q lost in recovery", key)
+			}
+		}
+	}
+	d.Close()
+}

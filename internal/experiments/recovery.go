@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/db"
+	"repro/internal/wal"
+)
+
+// RecoveryPoint is one measurement of cold-recovery time at a given scale:
+// the same committed state recovered by full WAL replay versus by loading a
+// checkpoint snapshot plus a short WAL tail.
+type RecoveryPoint struct {
+	Events        int     // row-change events in the recovered state
+	Commits       int     // WAL commit records the full-replay path processes
+	FullReplayMs  float64 // cold Open with no checkpoint
+	CheckpointMs  float64 // cold Open from snapshot + tail
+	TailRecords   int     // records replayed after the snapshot
+	CheckpointRun float64 // wall time of the Checkpoint() call itself, ms
+}
+
+// RunRecoveryBench builds a disk-backed database whose WAL holds `events`
+// row changes over an update-heavy OLTP-shaped history (each row is updated
+// ~10 times, so the live state is ~10x smaller than the change history),
+// then measures cold recovery twice: full WAL replay, and snapshot-plus-tail
+// after a checkpoint with a small post-checkpoint tail. Checkpointed
+// recovery cost is bounded by the state size while full replay pays for the
+// whole history — the gap is the ROADMAP's fast-restart requirement.
+func RunRecoveryBench(events int) (*RecoveryPoint, error) {
+	dir, err := os.MkdirTemp("", "trod-recovery")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "bench.wal")
+
+	const rowsPerCommit = 100
+	commits := events / rowsPerCommit
+	if commits < 1 {
+		commits = 1
+	}
+	keyspace := events / 10
+	if keyspace < rowsPerCommit {
+		keyspace = rowsPerCommit
+	}
+	const tailCommits = 50
+
+	d, err := db.Open(db.Options{Mode: db.Disk, Path: path, Sync: wal.SyncNever})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := d.Exec(`CREATE TABLE events (id INTEGER PRIMARY KEY, actor TEXT, kind TEXT, weight INTEGER)`); err != nil {
+		return nil, err
+	}
+	if _, err := d.Exec(`CREATE INDEX events_actor ON events (actor)`); err != nil {
+		return nil, err
+	}
+	ev := 0
+	load := func(n int) error {
+		for c := 0; c < n; c++ {
+			tx := d.Begin()
+			for r := 0; r < rowsPerCommit; r++ {
+				id := ev%keyspace + 1
+				var err error
+				if ev < keyspace {
+					_, err = tx.Exec(`INSERT INTO events VALUES (?, ?, ?, ?)`,
+						id, fmt.Sprintf("U%d", id%977), "insert", ev%17)
+				} else {
+					_, err = tx.Exec(`UPDATE events SET kind = 'update', weight = ? WHERE id = ?`, ev%17, id)
+				}
+				if err != nil {
+					tx.Rollback()
+					return err
+				}
+				ev++
+			}
+			if err := tx.Commit(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := load(commits); err != nil {
+		return nil, err
+	}
+	if err := d.Close(); err != nil {
+		return nil, err
+	}
+
+	// Cold recovery, full replay (no checkpoint exists yet).
+	t0 := time.Now()
+	re, err := db.Open(db.Options{Mode: db.Disk, Path: path, Sync: wal.SyncNever})
+	if err != nil {
+		return nil, err
+	}
+	fullMs := float64(time.Since(t0).Nanoseconds()) / 1e6
+	if re.Recovery().SnapshotLoaded {
+		re.Close()
+		return nil, fmt.Errorf("experiments: full-replay run unexpectedly found a snapshot")
+	}
+
+	// Checkpoint, add a short tail, and measure the bounded recovery.
+	tc := time.Now()
+	if err := re.Checkpoint(); err != nil {
+		re.Close()
+		return nil, err
+	}
+	ckptMs := float64(time.Since(tc).Nanoseconds()) / 1e6
+	d = re
+	if err := load(tailCommits); err != nil {
+		d.Close()
+		return nil, err
+	}
+	if err := d.Close(); err != nil {
+		return nil, err
+	}
+
+	t1 := time.Now()
+	re2, err := db.Open(db.Options{Mode: db.Disk, Path: path, Sync: wal.SyncNever})
+	if err != nil {
+		return nil, err
+	}
+	checkpointMs := float64(time.Since(t1).Nanoseconds()) / 1e6
+	info := re2.Recovery()
+	re2.Close()
+	if !info.SnapshotLoaded {
+		return nil, fmt.Errorf("experiments: checkpointed run did not use the snapshot: %+v", info)
+	}
+
+	return &RecoveryPoint{
+		Events:        ev,
+		Commits:       commits,
+		FullReplayMs:  fullMs,
+		CheckpointMs:  checkpointMs,
+		TailRecords:   info.TailRecords,
+		CheckpointRun: ckptMs,
+	}, nil
+}

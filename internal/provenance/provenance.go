@@ -282,7 +282,10 @@ func (w *Writer) ApplyBatch(events []Event) error {
 		return nil
 	}
 	store := w.prov.Store()
-	seq, err := store.Commit(storage.CommitRequest{TxnID: store.NextTxnID(), Snapshot: store.CurrentSeq(), Changes: changes})
+	// Commit through the facade so a disk-backed provenance database gets
+	// the full durability path: group-commit waiting and automatic
+	// checkpoint triggers (batches bypass the SQL layer but not the WAL).
+	seq, err := w.prov.ApplyCommit(storage.CommitRequest{TxnID: store.NextTxnID(), Snapshot: store.CurrentSeq(), Changes: changes})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,348 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// This file implements the snapshot codec for the disk-backed regime: a
+// deterministic, CRC-checked serialization of a store's full committed state
+// (catalog, index definitions, row images, commit sequence). Checkpoints
+// write a snapshot and truncate the WAL; recovery loads the newest valid
+// snapshot and replays only the WAL tail.
+//
+// Layout (all integers uvarint unless noted):
+//
+//	magic "TRODSNP1" (8 bytes)
+//	seq, nextTxn, tableCount
+//	per table, sorted by lowercased name:
+//	  name, columnCount, per column: name, kind byte, notNull byte
+//	  pkCount, per pk: column position
+//	  indexCount, per index: name, colCount, positions..., unique byte
+//	  rowCount, per row in key order: key string, EncodeRow image
+//	crc32-IEEE over everything above (4 bytes little-endian)
+//
+// Secondary indexes are not serialized; DecodeSnapshot rebuilds them from
+// the row images through the normal CreateIndex backfill, so snapshot and
+// live index construction can never diverge.
+
+// snapMagic identifies and versions the snapshot format.
+const snapMagic = "TRODSNP1"
+
+// ErrSnapshotCorrupt reports a snapshot that failed validation (bad magic,
+// truncated body, or CRC mismatch). Recovery treats it as "no snapshot" and
+// falls back to full WAL replay where possible.
+var ErrSnapshotCorrupt = errors.New("storage: snapshot corrupt")
+
+// EncodeSnapshot serializes the committed state at the current sequence and
+// returns the snapshot bytes plus the sequence they capture. The encoding is
+// deterministic: the same committed state always yields the same bytes.
+func (s *Store) EncodeSnapshot() ([]byte, uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	names := make([]string, 0, len(s.catalog))
+	for k := range s.catalog {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+
+	dst := append([]byte(nil), snapMagic...)
+	dst = binary.AppendUvarint(dst, s.seq)
+	dst = binary.AppendUvarint(dst, s.nextTxn)
+	dst = binary.AppendUvarint(dst, uint64(len(names)))
+	for _, tkey := range names {
+		tbl := s.catalog[tkey]
+		dst = snapString(dst, tbl.Name)
+		dst = binary.AppendUvarint(dst, uint64(len(tbl.Columns)))
+		for _, c := range tbl.Columns {
+			dst = snapString(dst, c.Name)
+			dst = append(dst, byte(c.Type))
+			if c.NotNull {
+				dst = append(dst, 1)
+			} else {
+				dst = append(dst, 0)
+			}
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(tbl.PKCols)))
+		for _, p := range tbl.PKCols {
+			dst = binary.AppendUvarint(dst, uint64(p))
+		}
+		defs := s.indexDef[tkey]
+		dst = binary.AppendUvarint(dst, uint64(len(defs)))
+		for _, ix := range defs {
+			dst = snapString(dst, ix.Name)
+			dst = binary.AppendUvarint(dst, uint64(len(ix.Columns)))
+			for _, c := range ix.Columns {
+				dst = binary.AppendUvarint(dst, uint64(c))
+			}
+			if ix.Unique {
+				dst = append(dst, 1)
+			} else {
+				dst = append(dst, 0)
+			}
+		}
+		td := s.data[tkey]
+		live := 0
+		td.rows.Ascend(func(_ string, e *entry) bool {
+			if e.visible(s.seq) != nil {
+				live++
+			}
+			return true
+		})
+		dst = binary.AppendUvarint(dst, uint64(live))
+		td.rows.Ascend(func(pk string, e *entry) bool {
+			row := e.visible(s.seq)
+			if row == nil {
+				return true
+			}
+			dst = snapString(dst, pk)
+			dst = value.EncodeRow(dst, row)
+			return true
+		})
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(dst))
+	return append(dst, crc[:]...), s.seq
+}
+
+// DecodeSnapshot reconstructs a Store from EncodeSnapshot bytes. The returned
+// store reports CurrentSeq equal to the snapshot's sequence and is ready to
+// have the WAL tail applied through ApplyCommitted. Validation failures
+// return ErrSnapshotCorrupt (wrapped).
+func DecodeSnapshot(data []byte) (*Store, error) {
+	if len(data) < len(snapMagic)+4 || string(data[:len(snapMagic)]) != snapMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrSnapshotCorrupt)
+	}
+	body, crc := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(body) != crc {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrSnapshotCorrupt)
+	}
+	src := body[len(snapMagic):]
+	off := 0
+	seq, off, err := snapUvarint(src, off)
+	if err != nil {
+		return nil, err
+	}
+	nextTxn, off, err := snapUvarint(src, off)
+	if err != nil {
+		return nil, err
+	}
+	nTables, off, err := snapUvarint(src, off)
+	if err != nil {
+		return nil, err
+	}
+	dst := NewStore()
+	// Rows carry the snapshot sequence and index backfill runs at it.
+	dst.seq = seq
+	dst.logBase = seq
+	dst.nextTxn = nextTxn
+	for t := uint64(0); t < nTables; t++ {
+		var name string
+		if name, off, err = snapReadString(src, off); err != nil {
+			return nil, err
+		}
+		var nCols uint64
+		if nCols, off, err = snapUvarint(src, off); err != nil {
+			return nil, err
+		}
+		cols := make([]schema.Column, nCols)
+		for i := range cols {
+			if cols[i].Name, off, err = snapReadString(src, off); err != nil {
+				return nil, err
+			}
+			if off+2 > len(src) {
+				return nil, fmt.Errorf("%w: truncated column", ErrSnapshotCorrupt)
+			}
+			cols[i].Type = value.Kind(src[off])
+			cols[i].NotNull = src[off+1] == 1
+			off += 2
+		}
+		var nPK uint64
+		if nPK, off, err = snapUvarint(src, off); err != nil {
+			return nil, err
+		}
+		pk := make([]string, nPK)
+		for i := range pk {
+			var pos uint64
+			if pos, off, err = snapUvarint(src, off); err != nil {
+				return nil, err
+			}
+			if pos >= nCols {
+				return nil, fmt.Errorf("%w: pk column out of range", ErrSnapshotCorrupt)
+			}
+			pk[i] = cols[pos].Name
+		}
+		tbl, err := schema.NewTable(name, cols, pk)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+		}
+		if err := dst.CreateTable(tbl, false); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+		}
+		var nIdx uint64
+		if nIdx, off, err = snapUvarint(src, off); err != nil {
+			return nil, err
+		}
+		indexes := make([]*schema.Index, nIdx)
+		for i := range indexes {
+			ix := &schema.Index{Table: name}
+			if ix.Name, off, err = snapReadString(src, off); err != nil {
+				return nil, err
+			}
+			var nc uint64
+			if nc, off, err = snapUvarint(src, off); err != nil {
+				return nil, err
+			}
+			ix.Columns = make([]int, nc)
+			for j := range ix.Columns {
+				var pos uint64
+				if pos, off, err = snapUvarint(src, off); err != nil {
+					return nil, err
+				}
+				if pos >= nCols {
+					return nil, fmt.Errorf("%w: index column out of range", ErrSnapshotCorrupt)
+				}
+				ix.Columns[j] = int(pos)
+			}
+			if off >= len(src) {
+				return nil, fmt.Errorf("%w: truncated index", ErrSnapshotCorrupt)
+			}
+			ix.Unique = src[off] == 1
+			off++
+			indexes[i] = ix
+		}
+		var nRows uint64
+		if nRows, off, err = snapUvarint(src, off); err != nil {
+			return nil, err
+		}
+		tkey := strings.ToLower(name)
+		td := dst.data[tkey]
+		for i := uint64(0); i < nRows; i++ {
+			var key string
+			if key, off, err = snapReadString(src, off); err != nil {
+				return nil, err
+			}
+			row, used, err := value.DecodeRow(src[off:])
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+			}
+			off += used
+			td.rows.Set(key, &entry{versions: []version{{seq: seq, row: row}}})
+		}
+		// Rebuild secondary indexes from the restored rows (backfill at seq).
+		for _, ix := range indexes {
+			if err := dst.CreateIndex(ix); err != nil {
+				return nil, fmt.Errorf("%w: rebuilding index: %v", ErrSnapshotCorrupt, err)
+			}
+		}
+	}
+	if off != len(src) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrSnapshotCorrupt, len(src)-off)
+	}
+	return dst, nil
+}
+
+// WriteSnapshotFile writes snapshot bytes to path atomically: a temp file in
+// the same directory is synced and renamed into place, so a crash leaves
+// either the old snapshot or the new one, never a torn mix.
+func WriteSnapshotFile(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: snapshot write: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("storage: snapshot write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("storage: snapshot sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("storage: snapshot close: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("storage: snapshot rename: %w", err)
+	}
+	SyncDir(filepath.Dir(path))
+	return nil
+}
+
+// LoadSnapshotFile reads and decodes the snapshot at path.
+func LoadSnapshotFile(path string) (*Store, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: snapshot read: %w", err)
+	}
+	return DecodeSnapshot(data)
+}
+
+// SyncDir fsyncs a directory so a just-renamed file survives a crash; best
+// effort because not every filesystem supports it. Shared by the snapshot
+// writer and the WAL's rotation path.
+func SyncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+}
+
+// CheckpointTail runs fn under the store's exclusive lock with the commit
+// records whose Seq is greater than from — the WAL tail a checkpoint at
+// `from` must preserve. While fn runs no commit can start, so rotating the
+// WAL inside fn cannot lose a record that raced the rotation. It fails if
+// the in-memory CDC log no longer reaches back to `from` (TruncateLog ran
+// past it), in which case the caller must leave the WAL untouched.
+func (s *Store) CheckpointTail(from uint64, fn func(tail []CommitRecord) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.logBase > from {
+		return fmt.Errorf("storage: commit log truncated to %d, cannot collect tail after %d", s.logBase, from)
+	}
+	tail := make([]CommitRecord, 0, len(s.log)-s.logIndex(from+1))
+	for i := s.logIndex(from + 1); i < len(s.log); i++ {
+		if s.log[i].Seq > from {
+			tail = append(tail, s.log[i])
+		}
+	}
+	return fn(tail)
+}
+
+func snapString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func snapUvarint(src []byte, off int) (uint64, int, error) {
+	v, n := binary.Uvarint(src[off:])
+	if n <= 0 {
+		return 0, off, fmt.Errorf("%w: bad uvarint", ErrSnapshotCorrupt)
+	}
+	return v, off + n, nil
+}
+
+func snapReadString(src []byte, off int) (string, int, error) {
+	n, off, err := snapUvarint(src, off)
+	if err != nil {
+		return "", off, err
+	}
+	if off+int(n) > len(src) {
+		return "", off, fmt.Errorf("%w: truncated string", ErrSnapshotCorrupt)
+	}
+	return string(src[off : off+int(n)]), off + int(n), nil
+}

@@ -1,0 +1,272 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/storage"
+)
+
+func TestCheckpointCodecRoundTrip(t *testing.T) {
+	for _, cp := range []Checkpoint{
+		{Seq: 0, Snapshot: ""},
+		{Seq: 42, Snapshot: "prod.wal.snap"},
+		{Seq: 1<<63 - 1, Snapshot: "x"},
+	} {
+		got, err := DecodeCheckpoint(EncodeCheckpoint(nil, cp))
+		if err != nil {
+			t.Fatalf("%+v: %v", cp, err)
+		}
+		if got != cp {
+			t.Errorf("round trip = %+v, want %+v", got, cp)
+		}
+	}
+	if _, err := DecodeCheckpoint([]byte{}); err == nil {
+		t.Error("empty checkpoint payload should fail")
+	}
+}
+
+func TestRotateTruncatesAndKeepsOldGeneration(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r.wal")
+	l, err := Open(path, SyncNever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendDDL("CREATE TABLE t (a INTEGER, PRIMARY KEY (a))"); err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(1); seq <= 5; seq++ {
+		if err := l.AppendCommit(sampleCommit(seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Checkpoint at seq 3: records 4..5 are the tail to preserve.
+	tail := []storage.CommitRecord{sampleCommit(4), sampleCommit(5)}
+	if err := l.Rotate(Checkpoint{Seq: 3, Snapshot: "r.wal.snap"}, tail); err != nil {
+		t.Fatal(err)
+	}
+
+	// The rotated log: checkpoint pointer + tail, nothing else.
+	var recs []Record
+	if err := Replay(path, func(r Record) error { recs = append(recs, r); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || recs[0].Type != RecordCheckpoint || recs[0].Checkpoint.Seq != 3 ||
+		recs[1].Commit.Seq != 4 || recs[2].Commit.Seq != 5 {
+		t.Fatalf("rotated log = %+v", recs)
+	}
+	// The old generation retains the full pre-rotation history.
+	var oldCount int
+	if err := Replay(path+".old", func(Record) error { oldCount++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if oldCount != 6 {
+		t.Errorf(".old has %d records, want 6", oldCount)
+	}
+
+	// Appends continue on the new file and survive replay.
+	if err := l.AppendCommit(sampleCommit(6)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs = recs[:0]
+	if err := Replay(path, func(r Record) error { recs = append(recs, r); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 || recs[3].Commit.Seq != 6 {
+		t.Fatalf("post-rotation append lost: %+v", recs)
+	}
+
+	st := l.Stats()
+	if st.Rotations != 1 {
+		t.Errorf("rotations = %d", st.Rotations)
+	}
+}
+
+func TestRepairRotation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "w.wal")
+
+	// Case 1: crash before the swap — stale .rotate next to an intact log.
+	if err := os.WriteFile(path, []byte("log"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path+".rotate", []byte("new"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	RepairRotation(path)
+	if _, err := os.Stat(path + ".rotate"); !os.IsNotExist(err) {
+		t.Error("stale .rotate not removed")
+	}
+	if data, _ := os.ReadFile(path); string(data) != "log" {
+		t.Error("intact log was disturbed")
+	}
+
+	// Case 2: crash between the renames — log missing, .rotate complete.
+	os.Remove(path)
+	if err := os.WriteFile(path+".rotate", []byte("new"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	RepairRotation(path)
+	if data, err := os.ReadFile(path); err != nil || string(data) != "new" {
+		t.Errorf("swap not completed: %q, %v", data, err)
+	}
+}
+
+func TestReadHead(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "h.wal")
+	if head := ReadHead(path); head != nil {
+		t.Errorf("missing log head = %+v", head)
+	}
+	l, err := Open(path, SyncNever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.append(RecordCheckpoint, EncodeCheckpoint(nil, Checkpoint{Seq: 7, Snapshot: "s"})); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendCommit(sampleCommit(8)); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	head := ReadHead(path)
+	if head == nil || head.Type != RecordCheckpoint || head.Checkpoint.Seq != 7 {
+		t.Fatalf("head = %+v", head)
+	}
+}
+
+func TestRecordEnds(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "e.wal")
+	l, err := Open(path, SyncNever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(1); seq <= 3; seq++ {
+		if err := l.AppendCommit(sampleCommit(seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	ends, err := RecordEnds(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, _ := os.Stat(path)
+	if len(ends) != 3 || ends[2] != fi.Size() {
+		t.Fatalf("ends = %v, file size %d", ends, fi.Size())
+	}
+}
+
+// countingFile counts fsyncs while behaving like a real file.
+type countingFile struct {
+	f     *os.File
+	syncs atomic.Uint64
+}
+
+func (c *countingFile) Write(p []byte) (int, error) { return c.f.Write(p) }
+func (c *countingFile) Sync() error {
+	c.syncs.Add(1)
+	return c.f.Sync()
+}
+func (c *countingFile) Close() error { return c.f.Close() }
+
+// TestGroupCommitBatchesFsyncs: concurrent AppendCommit callers under
+// SyncEachCommit must share fsyncs — with the appends positioned before the
+// leader's fsync window, the sync count stays below the commit count —
+// while every acknowledged commit is on disk (all records replayable).
+func TestGroupCommitBatchesFsyncs(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.wal")
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf := &countingFile{f: f}
+	l := NewLog(cf, SyncEachCommit)
+	l.SetSyncDelayForTest(200 * time.Microsecond)
+
+	const goroutines = 8
+	const perG = 25
+	var wg sync.WaitGroup
+	var next atomic.Uint64
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				seq := next.Add(1)
+				if err := l.AppendCommit(sampleCommit(seq)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	total := uint64(goroutines * perG)
+	syncs := cf.syncs.Load()
+	if syncs >= total {
+		t.Errorf("fsyncs = %d for %d commits: group commit did not batch", syncs, total)
+	}
+	if st := l.Stats(); st.Syncs != syncs {
+		t.Errorf("Stats().Syncs = %d, file saw %d", st.Syncs, syncs)
+	}
+	seen := make(map[uint64]bool)
+	if err := Replay(path, func(r Record) error {
+		seen[r.Commit.Seq] = true
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != int(total) {
+		t.Fatalf("recovered %d of %d acknowledged commits", len(seen), total)
+	}
+}
+
+// TestWaitDurableCoversEarlierLSN: a waiter whose record was already covered
+// by a previous fsync returns without forcing another one.
+func TestWaitDurableCoversEarlierLSN(t *testing.T) {
+	dir := t.TempDir()
+	f, err := os.OpenFile(filepath.Join(dir, "w.wal"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf := &countingFile{f: f}
+	l := NewLog(cf, SyncNever)
+	lsn1, err := l.AppendCommitLSN(sampleCommit(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn2, err := l.AppendCommitLSN(sampleCommit(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WaitDurable(lsn2); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WaitDurable(lsn1); err != nil {
+		t.Fatal(err)
+	}
+	if got := cf.syncs.Load(); got != 1 {
+		t.Errorf("fsyncs = %d, want 1 (second wait was already covered)", got)
+	}
+	l.Close()
+}

@@ -115,12 +115,29 @@ type (
 	Row = value.Row
 )
 
+// DBOptions configures OpenDB: storage mode, WAL path, sync policy, and
+// automatic checkpoint triggers (see the README "Durability" section).
+type DBOptions = db.Options
+
+// Storage modes and WAL sync policies for DBOptions.
+const (
+	ModeMemory = db.Memory
+	ModeDisk   = db.Disk
+
+	// SyncNever buffers WAL writes (durability up to the OS page cache).
+	SyncNever = wal.SyncNever
+	// SyncEachCommit makes every commit durable before acknowledging it;
+	// concurrent committers share fsyncs through group commit.
+	SyncEachCommit = wal.SyncEachCommit
+)
+
 // OpenMemoryDB returns an in-memory database (the paper's VoltDB-like
 // regime: microsecond commits, no durability).
 func OpenMemoryDB() *DB { return db.MustOpenMemory() }
 
 // OpenDiskDB returns a WAL-backed database that recovers from path on open
-// and fsyncs each commit (the paper's Postgres-like regime).
+// and makes each commit durable before acknowledging it (the paper's
+// Postgres-like regime; concurrent commits share fsyncs via group commit).
 func OpenDiskDB(path string) (*DB, error) {
 	return db.Open(db.Options{Mode: db.Disk, Path: path, Sync: wal.SyncEachCommit})
 }
@@ -130,6 +147,10 @@ func OpenDiskDB(path string) (*DB, error) {
 func OpenDiskDBNoSync(path string) (*DB, error) {
 	return db.Open(db.Options{Mode: db.Disk, Path: path, Sync: wal.SyncNever})
 }
+
+// OpenDB opens a database with full control over mode, durability policy,
+// and checkpoint triggers. DB.Checkpoint() forces a checkpoint at any time.
+func OpenDB(opts DBOptions) (*DB, error) { return db.Open(opts) }
 
 // NewApp creates an application runtime over a database.
 func NewApp(database *DB) *App { return runtime.New(database) }
