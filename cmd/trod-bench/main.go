@@ -8,6 +8,7 @@
 //	trod-bench -exp e1 -requests 20000
 //	trod-bench -exp e2 -maxevents 1000000
 //	trod-bench -exp recovery         # cold-restart time, full replay vs checkpoint
+//	trod-bench -exp server -clients 32 -ops 200   # multi-client network load
 //	trod-bench -exp table1|table2|query|replay|retro|security|exfil|cases
 //	trod-bench -exp a1|a2|a3
 package main
@@ -27,12 +28,14 @@ import (
 )
 
 var (
-	expFlag   = flag.String("exp", "all", "experiment: all,e1,e2,recovery,table1,table2,query,replay,retro,security,exfil,cases,a1,a2,a3")
+	expFlag   = flag.String("exp", "all", "experiment: all,e1,e2,recovery,server,table1,table2,query,replay,retro,security,exfil,cases,a1,a2,a3")
 	requests  = flag.Int("requests", 5000, "E1/A1 request count")
 	users     = flag.Int("users", 100, "E1/A1 user count")
 	maxEvents = flag.Int("maxevents", 500_000, "E2 largest event-count scale")
 	bulkRows  = flag.Int("bulkrows", 100_000, "A2 bulk table size")
-	jsonOut   = flag.String("json", "", "write a BENCH_*.json perf snapshot (E1 memory pair + E2 sweep) to this path and exit")
+	clients   = flag.Int("clients", 32, "server experiment: concurrent client connections")
+	ops       = flag.Int("ops", 200, "server experiment: operations per client")
+	jsonOut   = flag.String("json", "", "write a BENCH_*.json perf snapshot (E1 memory pair + E2 sweep + recovery + server load) to this path and exit")
 )
 
 func main() {
@@ -57,6 +60,7 @@ func main() {
 	run("e1", runE1)
 	run("e2", runE2)
 	run("recovery", runRecovery)
+	run("server", runServer)
 	run("table1", runTable1)
 	run("table2", runTable2)
 	run("query", runQuery)
@@ -71,7 +75,7 @@ func main() {
 
 	if which != "all" {
 		switch which {
-		case "e1", "e2", "recovery", "table1", "table2", "query", "replay", "retro", "security", "exfil", "cases", "a1", "a2", "a3":
+		case "e1", "e2", "recovery", "server", "table1", "table2", "query", "replay", "retro", "security", "exfil", "cases", "a1", "a2", "a3":
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *expFlag)
 			flag.Usage()
@@ -91,6 +95,25 @@ type Snapshot struct {
 	E1          SnapshotE1        `json:"e1"`
 	E2          []SnapshotE2      `json:"e2"`
 	Recovery    *SnapshotRecovery `json:"recovery,omitempty"`
+	Server      *SnapshotServer   `json:"server,omitempty"`
+}
+
+// SnapshotServer records the network front end's multi-client load numbers:
+// throughput and tail latency over loopback against a disk-mode database
+// with per-commit fsync, plus the group-commit evidence (WAL fsyncs issued
+// during the run stay below the commits they made durable).
+type SnapshotServer struct {
+	Clients       int     `json:"clients"`
+	OpsPerClient  int     `json:"ops_per_client"`
+	Ops           int     `json:"ops"`
+	Conflicts     int     `json:"conflicts"`
+	ThroughputOps float64 `json:"throughput_ops_per_s"`
+	P50Us         float64 `json:"p50_us"`
+	P99Us         float64 `json:"p99_us"`
+	Commits       uint64  `json:"commits"`
+	WALSyncs      uint64  `json:"wal_syncs"`
+	FsyncDelayUs  int     `json:"fsync_delay_us"`
+	GroupCommit   bool    `json:"group_commit_effective"`
 }
 
 // SnapshotRecovery records cold-recovery latency at the E2 200k-event scale:
@@ -170,6 +193,10 @@ func writeSnapshot(path string) error {
 	if err != nil {
 		return err
 	}
+	sl, err := experiments.RunServerLoad(*clients, *ops)
+	if err != nil {
+		return err
+	}
 	snap := Snapshot{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		Requests:    reqs,
@@ -194,6 +221,19 @@ func writeSnapshot(path string) error {
 		CheckpointMs: rp.CheckpointMs,
 		TailRecords:  rp.TailRecords,
 		SpeedupX:     speedup,
+	}
+	snap.Server = &SnapshotServer{
+		Clients:       sl.Clients,
+		OpsPerClient:  sl.OpsPerClient,
+		Ops:           sl.Ops,
+		Conflicts:     sl.Conflicts,
+		ThroughputOps: sl.Throughput,
+		P50Us:         sl.P50Us,
+		P99Us:         sl.P99Us,
+		Commits:       sl.Commits,
+		WALSyncs:      sl.WALSyncs,
+		FsyncDelayUs:  sl.FsyncDelayUs,
+		GroupCommit:   sl.GroupCommitEffective(),
 	}
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
@@ -286,6 +326,23 @@ func runRecovery() error {
 	if rp.CheckpointMs > 0 {
 		fmt.Printf("speedup: %.1fx\n", rp.FullReplayMs/rp.CheckpointMs)
 	}
+	return nil
+}
+
+func runServer() error {
+	fmt.Println("Server load: concurrent clients over loopback against trod-server")
+	fmt.Println("    (disk mode, fsync per commit; mixed point-read/range/update mix)")
+	fmt.Printf("workload: %d clients x %d ops (50%% point read, 25%% index range, 25%% RMW txn)\n\n", *clients, *ops)
+	res, err := experiments.RunServerLoad(*clients, *ops)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("completed ops:   %d in %.1f ms (%d commit conflicts retried)\n", res.Ops, res.DurationMs, res.Conflicts)
+	fmt.Printf("throughput:      %.0f ops/s\n", res.Throughput)
+	fmt.Printf("latency:         p50 %.0f us, p99 %.0f us\n", res.P50Us, res.P99Us)
+	fmt.Printf("durability:      %d commits acknowledged with %d WAL fsyncs (modelled fsync %dus)\n",
+		res.Commits, res.WALSyncs, res.FsyncDelayUs)
+	fmt.Printf("group commit effective (fsyncs < commits): %v\n", res.GroupCommitEffective())
 	return nil
 }
 

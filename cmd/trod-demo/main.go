@@ -34,6 +34,13 @@ func pause() {
 
 func main() {
 	flag.Parse()
+	if flag.NArg() > 0 {
+		// The demo takes no positional arguments; a stray one is almost
+		// certainly a misspelled flag and silently ignoring it hides that.
+		fmt.Fprintf(os.Stderr, "trod-demo: unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	fmt.Println("TROD demo — Transactions Make Debugging Easy (CIDR 2023)")
 	fmt.Println("=========================================================")

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestMain lets the test binary run the real main when re-executed by the
+// tests below (the demo runs to completion only when invoked on purpose).
+func TestMain(m *testing.M) {
+	if os.Getenv("TROD_DEMO_RUN_MAIN") == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+func runMain(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "TROD_DEMO_RUN_MAIN=1")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return string(out), 0
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("running main with %v: %v", args, err)
+	}
+	return string(out), ee.ExitCode()
+}
+
+// The satellite fix: stray positional arguments (almost always misspelled
+// flags) must exit non-zero with a usage message instead of being ignored.
+func TestStrayArgumentExitsWithUsage(t *testing.T) {
+	out, code := runMain(t, "step") // user meant -step
+	if code != 2 {
+		t.Fatalf("stray argument exited %d, want 2; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "unexpected arguments") || !strings.Contains(out, "Usage") {
+		t.Fatalf("missing usage message:\n%s", out)
+	}
+}
+
+func TestUnknownFlagExitsNonZero(t *testing.T) {
+	out, code := runMain(t, "-nope")
+	if code == 0 {
+		t.Fatalf("unknown flag exited 0; output:\n%s", out)
+	}
+	if !strings.Contains(out, "-nope") {
+		t.Fatalf("missing flag name in error:\n%s", out)
+	}
+}

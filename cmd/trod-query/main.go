@@ -1,12 +1,13 @@
 // trod-query is a SQL shell for TROD databases: open a WAL-backed database
-// file (production or provenance) and run queries against it, or pipe a
-// script on stdin.
+// file (production or provenance) and run queries against it, pipe a script
+// on stdin, or connect to a running trod-server with -remote.
 //
 // Usage:
 //
 //	trod-query -db path/to/db.wal "SELECT * FROM Executions LIMIT 10"
 //	echo "SELECT COUNT(*) FROM forum_sub;" | trod-query -db db.wal
 //	trod-query -db db.wal            # interactive: one statement per line
+//	trod-query -remote 127.0.0.1:7654 "SELECT * FROM t"
 package main
 
 import (
@@ -19,29 +20,80 @@ import (
 	"time"
 
 	trod "repro"
+	"repro/internal/client"
 )
 
 var (
-	dbPath = flag.String("db", "", "path to the database WAL file (required)")
+	dbPath = flag.String("db", "", "path to the database WAL file")
+	remote = flag.String("remote", "", "trod-server address to connect to instead of opening -db")
 	timing = flag.Bool("timing", false, "print per-query execution time")
 )
 
+// queryer runs one SQL statement; the local (embedded DB) and remote
+// (trod-server client) modes both satisfy it.
+type queryer interface {
+	Query(sql string, args ...any) (*trod.Rows, error)
+	Tables() []string
+	Close() error
+}
+
+type localDB struct{ d *trod.DB }
+
+func (l localDB) Query(sql string, args ...any) (*trod.Rows, error) { return l.d.Query(sql, args...) }
+func (l localDB) Tables() []string                                  { return l.d.Store().Tables() }
+func (l localDB) Close() error                                      { return l.d.Close() }
+
+type remoteDB struct{ c *client.Client }
+
+func (r remoteDB) Query(sql string, args ...any) (*trod.Rows, error) {
+	res, err := r.c.Query(sql, args...)
+	if err != nil {
+		return nil, err
+	}
+	return &trod.Rows{Columns: res.Columns, Rows: res.Rows, RowsAffected: int(res.RowsAffected)}, nil
+}
+func (r remoteDB) Tables() []string { return nil }
+func (r remoteDB) Close() error     { return r.c.Close() }
+
 func main() {
 	flag.Parse()
-	if *dbPath == "" {
-		fmt.Fprintln(os.Stderr, "trod-query: -db is required")
+	// A misplaced flag after the first positional argument would otherwise
+	// be executed as SQL and produce a baffling parse error; reject it.
+	for _, a := range flag.Args() {
+		if strings.HasPrefix(a, "-") {
+			fmt.Fprintf(os.Stderr, "trod-query: unknown flag or misplaced argument %q (flags go before queries)\n", a)
+			flag.Usage()
+			os.Exit(2)
+		}
+	}
+	var q queryer
+	switch {
+	case *remote != "" && *dbPath != "":
+		fmt.Fprintln(os.Stderr, "trod-query: -db and -remote are mutually exclusive")
+		flag.Usage()
+		os.Exit(2)
+	case *remote != "":
+		c, err := client.Dial(*remote, client.Options{})
+		if err != nil {
+			log.Fatalf("connect %s: %v", *remote, err)
+		}
+		q = remoteDB{c}
+	case *dbPath != "":
+		d, err := trod.OpenDiskDBNoSync(*dbPath)
+		if err != nil {
+			log.Fatalf("open %s: %v", *dbPath, err)
+		}
+		q = localDB{d}
+	default:
+		fmt.Fprintln(os.Stderr, "trod-query: one of -db or -remote is required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	d, err := trod.OpenDiskDBNoSync(*dbPath)
-	if err != nil {
-		log.Fatalf("open %s: %v", *dbPath, err)
-	}
-	defer d.Close()
+	defer q.Close()
 
 	if flag.NArg() > 0 {
-		for _, q := range flag.Args() {
-			if err := runOne(d, q); err != nil {
+		for _, stmt := range flag.Args() {
+			if err := runOne(q, stmt); err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -62,11 +114,15 @@ func main() {
 		case line == ".exit" || line == ".quit":
 			return
 		case line == ".tables":
-			for _, t := range d.Store().Tables() {
+			if *remote != "" {
+				fmt.Fprintln(os.Stderr, "error: .tables is not available in remote mode")
+				break
+			}
+			for _, t := range q.Tables() {
 				fmt.Println(t)
 			}
 		default:
-			if err := runOne(d, strings.TrimSuffix(line, ";")); err != nil {
+			if err := runOne(q, strings.TrimSuffix(line, ";")); err != nil {
 				fmt.Fprintln(os.Stderr, "error:", err)
 			}
 		}
@@ -79,9 +135,9 @@ func main() {
 	}
 }
 
-func runOne(d *trod.DB, q string) error {
+func runOne(q queryer, stmt string) error {
 	t0 := time.Now()
-	rows, err := d.Query(q)
+	rows, err := q.Query(stmt)
 	if err != nil {
 		return err
 	}

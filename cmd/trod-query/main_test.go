@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestMain lets the test binary run the real main when re-executed by the
+// tests below, so flag handling is exercised exactly as shipped.
+func TestMain(m *testing.M) {
+	if os.Getenv("TROD_QUERY_RUN_MAIN") == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+func runMain(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "TROD_QUERY_RUN_MAIN=1")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return string(out), 0
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("running main with %v: %v", args, err)
+	}
+	return string(out), ee.ExitCode()
+}
+
+// The satellite fix: unknown flags and misplaced flag-like arguments must
+// exit non-zero with a usage message instead of being executed as SQL (or
+// silently ignored).
+func TestUnknownFlagExitsWithUsage(t *testing.T) {
+	out, code := runMain(t, "-bogus")
+	if code == 0 {
+		t.Fatalf("unknown flag exited 0; output:\n%s", out)
+	}
+	if !strings.Contains(out, "-bogus") || !strings.Contains(out, "Usage") {
+		t.Fatalf("missing usage message for unknown flag:\n%s", out)
+	}
+}
+
+func TestMisplacedFlagAfterQueryExitsWithUsage(t *testing.T) {
+	out, code := runMain(t, "-db", "ignored.wal", "SELECT 1", "-timing")
+	if code != 2 {
+		t.Fatalf("misplaced flag exited %d, want 2; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "-timing") || !strings.Contains(out, "Usage") {
+		t.Fatalf("missing usage message for misplaced flag:\n%s", out)
+	}
+}
+
+func TestMissingDBAndRemoteExitsWithUsage(t *testing.T) {
+	out, code := runMain(t)
+	if code != 2 {
+		t.Fatalf("no -db/-remote exited %d, want 2; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "-db or -remote") {
+		t.Fatalf("missing requirement message:\n%s", out)
+	}
+}
+
+func TestDBAndRemoteMutuallyExclusive(t *testing.T) {
+	out, code := runMain(t, "-db", "x.wal", "-remote", "127.0.0.1:1")
+	if code != 2 {
+		t.Fatalf("-db with -remote exited %d, want 2; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "mutually exclusive") {
+		t.Fatalf("missing exclusivity message:\n%s", out)
+	}
+}

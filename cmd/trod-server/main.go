@@ -1,0 +1,113 @@
+// trod-server serves a TROD database over TCP: clients (cmd/trod-query
+// -remote, internal/client) speak the length-prefixed CRC-framed protocol
+// with autocommit statements, interactive transactions, and server stats.
+//
+// Usage:
+//
+//	trod-server -db path/to/db.wal                    # listen on :7654
+//	trod-server -db db.wal -addr 127.0.0.1:0 -portfile /tmp/addr
+//	trod-server -db db.wal -sync                      # fsync per commit (group commit)
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, in-flight
+// requests drain, and the WAL is checkpointed so the next start recovers
+// from a snapshot.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	trod "repro"
+	"repro/internal/db"
+	"repro/internal/server"
+	"repro/internal/wal"
+)
+
+var (
+	dbPath      = flag.String("db", "", "path to the database WAL file (required)")
+	addr        = flag.String("addr", ":7654", "listen address (port 0 picks a free port)")
+	portFile    = flag.String("portfile", "", "write the bound address to this file once listening")
+	syncEach    = flag.Bool("sync", false, "fsync each commit before acknowledging (group commit)")
+	maxConns    = flag.Int("max-conns", 64, "max concurrently served sessions")
+	queueDepth  = flag.Int("queue", 0, "admission queue depth beyond -max-conns (0 = 2*max-conns)")
+	idleTimeout = flag.Duration("idle-timeout", 2*time.Minute, "disconnect idle sessions after this long")
+	txnTimeout  = flag.Duration("txn-timeout", 15*time.Second, "abort interactive transactions open longer than this")
+	drainWait   = flag.Duration("drain", 10*time.Second, "max graceful-shutdown drain time")
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "trod-server: unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *dbPath == "" {
+		fmt.Fprintln(os.Stderr, "trod-server: -db is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	sync := wal.SyncNever
+	if *syncEach {
+		sync = wal.SyncEachCommit
+	}
+	d, err := trod.OpenDB(trod.DBOptions{Mode: db.Disk, Path: *dbPath, Sync: sync})
+	if err != nil {
+		log.Fatalf("open %s: %v", *dbPath, err)
+	}
+	defer d.Close()
+	if rec := d.Recovery(); rec.TotalRecords > 0 || rec.SnapshotLoaded {
+		log.Printf("recovered %s: snapshot=%v tail=%d records", *dbPath, rec.SnapshotLoaded, rec.TailRecords)
+	}
+
+	srv, err := server.New(server.Config{
+		DB:          d,
+		MaxConns:    *maxConns,
+		QueueDepth:  *queueDepth,
+		IdleTimeout: *idleTimeout,
+		TxnTimeout:  *txnTimeout,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen %s: %v", *addr, err)
+	}
+	log.Printf("trod-server listening on %s (db %s)", ln.Addr(), *dbPath)
+	if *portFile != "" {
+		if err := os.WriteFile(*portFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			log.Fatalf("portfile: %v", err)
+		}
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	select {
+	case sig := <-sigc:
+		log.Printf("received %v; draining sessions and checkpointing", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Fatalf("shutdown: %v", err)
+		}
+		<-done
+		st := srv.Stats()
+		log.Printf("drained cleanly: %d requests served, %d commits, %d WAL syncs",
+			st.Requests, st.Commits, st.WALSyncs)
+	case err := <-done:
+		if err != nil {
+			log.Fatalf("serve: %v", err)
+		}
+	}
+}

@@ -57,6 +57,15 @@ type Options struct {
 	// CheckpointRecords, when > 0, triggers an automatic checkpoint once the
 	// WAL holds this many records since the last checkpoint (Disk mode).
 	CheckpointRecords int
+	// CDCRetention, when > 0, releases in-memory CDC commit records after
+	// each checkpoint, keeping only the most recent CDCRetention commits
+	// behind the checkpoint sequence (Disk mode). Row version chains — and
+	// therefore time travel — are unaffected; replay windows that consume
+	// the commit log (ChangesBetween) must fit inside the retained suffix.
+	// Active transactions always pin their snapshots, so OCC validation is
+	// never truncated out from under a long-running transaction. 0 keeps the
+	// full log in memory.
+	CDCRetention int
 }
 
 // RecoveryInfo describes what the last Open did to rebuild state.
@@ -148,14 +157,13 @@ type DB struct {
 	ckptMu      sync.RWMutex
 	ckptBytes   int64
 	ckptRecords int
+	cdcRetain   int
 	ckptErrMu   sync.Mutex
 	ckptErr     error // last automatic-checkpoint failure, surfaced on Close
 
-	stmtMu    sync.RWMutex
-	stmtCache map[string]sqlparse.Statement
-
-	// plans caches compiled physical plans keyed by (query text, schema
-	// epoch); see plancache.go.
+	// plans caches parsed statements together with their compiled physical
+	// plans, keyed by query text (plan validity keyed by schema epoch); see
+	// plancache.go.
 	plans *planCache
 
 	// readTraceLimit caps read-provenance rows collected per statement
@@ -182,7 +190,7 @@ func Open(opts Options) (*DB, error) {
 		syncPolicy:  opts.Sync,
 		ckptBytes:   opts.CheckpointBytes,
 		ckptRecords: opts.CheckpointRecords,
-		stmtCache:   make(map[string]sqlparse.Statement),
+		cdcRetain:   opts.CDCRetention,
 		plans:       newPlanCache(0),
 	}
 	if opts.Mode == Memory {
@@ -423,6 +431,13 @@ func (db *DB) checkpointLocked() error {
 		return err
 	}
 	db.cleanupSnapshots(filepath.Base(snapPath))
+	// With the pre-checkpoint history durable in the snapshot, the in-memory
+	// CDC prefix is only needed by replay/time-travel windows; release
+	// everything older than the configured retention (active transactions
+	// pin their own validation windows regardless).
+	if db.cdcRetain > 0 && seq > uint64(db.cdcRetain) {
+		db.store.TruncateLog(seq - uint64(db.cdcRetain))
+	}
 	return nil
 }
 
@@ -520,28 +535,19 @@ func (db *DB) SetHooks(h Hooks) { db.hooks = h }
 // (0 = unlimited). Must be set before concurrent use.
 func (db *DB) SetReadTraceLimit(n int) { db.readTraceLimit = n }
 
-// stmtCacheCap bounds distinct parsed query texts (see planCache for why).
-const stmtCacheCap = 4096
-
 // parse returns the cached AST for query, parsing at most once per text.
-// The cache is size-capped with a wholesale reset, mirroring the plan cache.
+// Statements and plans share one capped cache entry (see plancache.go);
+// parsing is schema-independent, so the statement half of an entry stays
+// valid across DDL while the plan half is epoch-checked.
 func (db *DB) parse(query string) (sqlparse.Statement, error) {
-	db.stmtMu.RLock()
-	stmt, ok := db.stmtCache[query]
-	db.stmtMu.RUnlock()
-	if ok {
+	if stmt, ok := db.plans.stmt(query); ok {
 		return stmt, nil
 	}
 	stmt, err := sqlparse.Parse(query)
 	if err != nil {
 		return nil, err
 	}
-	db.stmtMu.Lock()
-	if len(db.stmtCache) >= stmtCacheCap {
-		db.stmtCache = make(map[string]sqlparse.Statement, stmtCacheCap/4)
-	}
-	db.stmtCache[query] = stmt
-	db.stmtMu.Unlock()
+	db.plans.put(query, stmt, nil, 0)
 	return stmt, nil
 }
 
@@ -741,6 +747,52 @@ func (db *DB) BeginMeta(meta TxMeta) *Tx {
 	}
 }
 
+// ErrTxnExpired reports an interactive transaction that exceeded its
+// deadline: the server (or another session owner) abandoned it, the
+// deadline watcher rolled it back, and every later operation on the handle
+// fails with this error. It maps to a typed protocol error on the wire.
+var ErrTxnExpired = errors.New("db: interactive transaction expired")
+
+// txGuard serializes an interactive transaction's operations against its
+// deadline watcher. Plain transactions (guard == nil) pay nothing.
+type txGuard struct {
+	mu      sync.Mutex
+	timer   *time.Timer
+	expired bool
+}
+
+// BeginInteractive starts an explicit transaction owned by a session that
+// may go quiet mid-transaction (a network client, an operator shell). If the
+// transaction is still active when timeout elapses, it is rolled back by a
+// deadline watcher — firing the OnAbort interposition hook like any abort —
+// and subsequent operations return ErrTxnExpired; onExpire (optional) runs
+// after the deadline abort, outside any database lock. A timeout <= 0
+// disables the watcher. Unlike plain Tx handles, the returned handle is safe
+// for the owning session and the watcher to race; it is still not a
+// general-purpose concurrent handle.
+func (db *DB) BeginInteractive(meta TxMeta, timeout time.Duration, onExpire func()) *Tx {
+	tx := db.BeginMeta(meta)
+	if timeout <= 0 {
+		return tx
+	}
+	g := &txGuard{}
+	tx.guard = g
+	g.timer = time.AfterFunc(timeout, func() {
+		g.mu.Lock()
+		if g.expired || tx.inner.State() != txn.StateActive {
+			g.mu.Unlock()
+			return
+		}
+		g.expired = true
+		tx.rollback()
+		g.mu.Unlock()
+		if onExpire != nil {
+			onExpire()
+		}
+	})
+	return tx
+}
+
 // BeginAt starts a read-only transaction at a historical snapshot (time
 // travel; used by the TROD replay engine).
 func (db *DB) BeginAt(seq uint64) *Tx {
@@ -754,6 +806,27 @@ type Tx struct {
 	meta  TxMeta
 	stmts []StmtTrace
 	start time.Time
+	guard *txGuard // non-nil for interactive transactions (BeginInteractive)
+}
+
+// enter takes the interactive guard (no-op for plain transactions) and
+// fails fast when the deadline watcher already rolled the transaction back.
+func (tx *Tx) enter() error {
+	if tx.guard == nil {
+		return nil
+	}
+	tx.guard.mu.Lock()
+	if tx.guard.expired {
+		tx.guard.mu.Unlock()
+		return ErrTxnExpired
+	}
+	return nil
+}
+
+func (tx *Tx) exit() {
+	if tx.guard != nil {
+		tx.guard.mu.Unlock()
+	}
 }
 
 // ID returns the TROD transaction ID.
@@ -771,8 +844,14 @@ func (tx *Tx) SetMeta(m TxMeta) { tx.meta = m }
 // Inner exposes the low-level transaction (used by the TROD replay engine).
 func (tx *Tx) Inner() *txn.Txn { return tx.inner }
 
-// Exec runs one statement inside the transaction.
+// Exec runs one statement inside the transaction. On an interactive
+// transaction it fails with ErrTxnExpired once the deadline watcher has
+// rolled the transaction back.
 func (tx *Tx) Exec(query string, args ...any) (*Rows, error) {
+	if err := tx.enter(); err != nil {
+		return nil, err
+	}
+	defer tx.exit()
 	stmt, err := tx.db.parse(query)
 	if err != nil {
 		return nil, err
@@ -869,8 +948,21 @@ func statementTables(stmt sqlparse.Statement) []string {
 
 // Commit commits the transaction and fires the interposition hook. In Disk
 // mode with per-commit sync the call returns only once the commit record is
-// fsynced; concurrent committers share the fsync (group commit).
+// fsynced; concurrent committers share the fsync (group commit). On an
+// interactive transaction whose deadline already fired, it returns
+// ErrTxnExpired (the watcher rolled the transaction back).
 func (tx *Tx) Commit() error {
+	if err := tx.enter(); err != nil {
+		return err
+	}
+	defer tx.exit()
+	if tx.guard != nil {
+		tx.guard.timer.Stop()
+	}
+	return tx.commit()
+}
+
+func (tx *Tx) commit() error {
 	seq, err := tx.inner.Commit()
 	var durErr error
 	if err == nil && seq > tx.inner.Snapshot() {
@@ -907,8 +999,21 @@ func (tx *Tx) Commit() error {
 	return nil
 }
 
-// Rollback aborts the transaction.
+// Rollback aborts the transaction. Rolling back an interactive transaction
+// that already expired is a no-op.
 func (tx *Tx) Rollback() {
+	if tx.guard != nil {
+		tx.guard.mu.Lock()
+		defer tx.guard.mu.Unlock()
+		if tx.guard.expired {
+			return
+		}
+		tx.guard.timer.Stop()
+	}
+	tx.rollback()
+}
+
+func (tx *Tx) rollback() {
 	if tx.inner.State() == txn.StateActive {
 		tx.inner.Abort()
 		if tx.db.hooks.OnAbort != nil {
@@ -936,7 +1041,7 @@ func (db *DB) Flush() error {
 // TROD replay and retroactive-programming engines use it to build
 // development databases from restored snapshots.
 func NewFromStore(s *storage.Store) *DB {
-	return &DB{store: s, mode: Memory, stmtCache: make(map[string]sqlparse.Statement), plans: newPlanCache(0)}
+	return &DB{store: s, mode: Memory, plans: newPlanCache(0)}
 }
 
 // CloneAt materialises a full copy of the database as of snapshot seq — the

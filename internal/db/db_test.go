@@ -139,11 +139,9 @@ func TestStatementCache(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	d.stmtMu.RLock()
-	n := len(d.stmtCache)
-	d.stmtMu.RUnlock()
-	if n != 2 { // CREATE + INSERT
-		t.Errorf("stmt cache size = %d, want 2", n)
+	// Statements and plans share one cache: two distinct query texts.
+	if n := d.plans.size(); n != 2 { // CREATE + INSERT
+		t.Errorf("stmt/plan cache size = %d, want 2", n)
 	}
 }
 

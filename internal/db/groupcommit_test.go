@@ -30,7 +30,7 @@ func TestGroupCommitConcurrentDurability(t *testing.T) {
 	// On tmpfs an fsync is nearly free, so the leader's batching window can
 	// close before any follower arrives; model real disk latency so the
 	// batching assertion is deterministic.
-	d.Log().SetSyncDelayForTest(200 * time.Microsecond)
+	d.Log().SetSyncDelay(200 * time.Microsecond)
 
 	const goroutines = 8
 	const perG = 30

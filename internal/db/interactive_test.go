@@ -1,0 +1,99 @@
+package db
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestInteractiveTxnDeadlineAbort pins the session-transaction contract the
+// network front end depends on: a transaction abandoned past its deadline is
+// rolled back by the watcher, its buffered writes never commit, later
+// operations (and Commit) fail with ErrTxnExpired, and the onExpire hook
+// fires exactly once.
+func TestInteractiveTxnDeadlineAbort(t *testing.T) {
+	d := MustOpenMemory()
+	defer d.Close()
+	if err := d.ExecScript(`CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+
+	var expired atomic.Int64
+	tx := d.BeginInteractive(TxMeta{ReqID: "S1"}, 20*time.Millisecond, func() { expired.Add(1) })
+	if _, err := tx.Exec(`INSERT INTO t VALUES (1, 'never')`); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for expired.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if expired.Load() != 1 {
+		t.Fatalf("onExpire fired %d times, want 1", expired.Load())
+	}
+	if _, err := tx.Exec(`INSERT INTO t VALUES (2, 'late')`); !errors.Is(err, ErrTxnExpired) {
+		t.Fatalf("Exec after deadline = %v, want ErrTxnExpired", err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrTxnExpired) {
+		t.Fatalf("Commit after deadline = %v, want ErrTxnExpired", err)
+	}
+	tx.Rollback() // must be a harmless no-op
+
+	res, err := d.Query(`SELECT COUNT(*) FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].AsInt(); got != 0 {
+		t.Fatalf("expired transaction leaked %d rows", got)
+	}
+}
+
+// TestInteractiveTxnCommitBeforeDeadline asserts a prompt commit wins the
+// race: the commit lands, the watcher never aborts, onExpire never fires.
+func TestInteractiveTxnCommitBeforeDeadline(t *testing.T) {
+	d := MustOpenMemory()
+	defer d.Close()
+	if err := d.ExecScript(`CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+
+	var expired atomic.Int64
+	tx := d.BeginInteractive(TxMeta{}, time.Hour, func() { expired.Add(1) })
+	if _, err := tx.Exec(`INSERT INTO t VALUES (1, 'kept')`); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Query(`SELECT v FROM t WHERE id = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].AsText() != "kept" {
+		t.Fatalf("committed row missing: %+v", res.Rows)
+	}
+	if expired.Load() != 0 {
+		t.Fatal("onExpire fired for a committed transaction")
+	}
+}
+
+// TestInteractiveTxnZeroTimeout asserts timeout <= 0 disables the watcher:
+// the handle behaves like a plain transaction.
+func TestInteractiveTxnZeroTimeout(t *testing.T) {
+	d := MustOpenMemory()
+	defer d.Close()
+	if err := d.ExecScript(`CREATE TABLE t (id INTEGER PRIMARY KEY)`); err != nil {
+		t.Fatal(err)
+	}
+	tx := d.BeginInteractive(TxMeta{}, 0, nil)
+	if tx.guard != nil {
+		t.Fatal("zero timeout must not install a deadline watcher")
+	}
+	if _, err := tx.Exec(`INSERT INTO t VALUES (1)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -8,11 +8,15 @@ import (
 	"repro/internal/sqlparse"
 )
 
-// planCache caches compiled physical plans keyed by query text. Each entry
-// records the storage schema epoch it was compiled under; a lookup whose
-// epoch no longer matches is a miss, so any DDL (CREATE TABLE, CREATE INDEX,
-// DROP TABLE) invalidates every cached plan lazily and the next execution
-// re-plans against the new catalog.
+// planCache caches parsed statements together with their compiled physical
+// plans in ONE capped map keyed by query text (previously two parallel
+// caches with separate caps and reset paths). Each entry holds the AST —
+// always valid, since parsing is schema-independent — plus the plan and the
+// storage schema epoch it was compiled under. A plan lookup whose epoch no
+// longer matches is a miss, so any DDL (CREATE TABLE, CREATE INDEX, DROP
+// TABLE) invalidates every cached plan lazily and the next execution
+// re-plans against the new catalog; the statement half of the entry is
+// reused as-is, saving the re-parse.
 //
 // The cache is size-capped with a wholesale reset on overflow: long-running
 // traced applications that generate query text (string-built filters, ad-hoc
@@ -21,16 +25,17 @@ import (
 type planCache struct {
 	mu      sync.RWMutex
 	cap     int
-	entries map[string]planEntry
+	entries map[string]cacheEntry
 
 	hits   atomic.Uint64
 	misses atomic.Uint64
 	resets atomic.Uint64
 }
 
-type planEntry struct {
-	epoch uint64
-	plan  *sqlexec.Plan
+type cacheEntry struct {
+	stmt  sqlparse.Statement
+	plan  *sqlexec.Plan // nil until the statement is first compiled
+	epoch uint64        // schema epoch the plan was compiled under
 }
 
 // defaultPlanCacheCap bounds distinct cached query texts. OLTP workloads use
@@ -41,15 +46,29 @@ func newPlanCache(capacity int) *planCache {
 	if capacity <= 0 {
 		capacity = defaultPlanCacheCap
 	}
-	return &planCache{cap: capacity, entries: make(map[string]planEntry)}
+	return &planCache{cap: capacity, entries: make(map[string]cacheEntry)}
 }
 
-// get returns the cached plan for query when it was compiled at epoch.
-func (c *planCache) get(query string, epoch uint64) (*sqlexec.Plan, bool) {
+// stmt returns the cached AST for query. Statement lookups do not count
+// toward the plan hit/miss counters: PlanCacheStats reports plan reuse, and
+// a statement hit with a stale plan still pays the compile.
+func (c *planCache) stmt(query string) (sqlparse.Statement, bool) {
 	c.mu.RLock()
 	e, ok := c.entries[query]
 	c.mu.RUnlock()
-	if ok && e.epoch == epoch {
+	if !ok {
+		return nil, false
+	}
+	return e.stmt, true
+}
+
+// plan returns the cached compiled plan for query when it was compiled at
+// epoch.
+func (c *planCache) plan(query string, epoch uint64) (*sqlexec.Plan, bool) {
+	c.mu.RLock()
+	e, ok := c.entries[query]
+	c.mu.RUnlock()
+	if ok && e.plan != nil && e.epoch == epoch {
 		c.hits.Add(1)
 		return e.plan, true
 	}
@@ -57,16 +76,28 @@ func (c *planCache) get(query string, epoch uint64) (*sqlexec.Plan, bool) {
 	return nil, false
 }
 
-// put stores a freshly compiled plan, resetting the cache wholesale when the
-// capacity is reached (which also drops any stale-epoch entries).
-func (c *planCache) put(query string, epoch uint64, p *sqlexec.Plan) {
+// put stores or refreshes the entry for query — the single insert/reset path
+// for both halves. A nil plan records the parse alone; a non-nil plan
+// refreshes an existing entry in place (epoch invalidation re-plans without
+// re-inserting). When a brand-new entry would exceed the capacity the cache
+// resets wholesale, which also drops any stale-epoch plans.
+func (c *planCache) put(query string, stmt sqlparse.Statement, plan *sqlexec.Plan, epoch uint64) {
 	c.mu.Lock()
-	if _, exists := c.entries[query]; !exists && len(c.entries) >= c.cap {
-		c.entries = make(map[string]planEntry, c.cap/4)
+	defer c.mu.Unlock()
+	if e, exists := c.entries[query]; exists {
+		if plan == nil {
+			return // parse raced a fuller entry; keep the compiled plan
+		}
+		e.plan = plan
+		e.epoch = epoch
+		c.entries[query] = e
+		return
+	}
+	if len(c.entries) >= c.cap {
+		c.entries = make(map[string]cacheEntry, c.cap/4)
 		c.resets.Add(1)
 	}
-	c.entries[query] = planEntry{epoch: epoch, plan: p}
-	c.mu.Unlock()
+	c.entries[query] = cacheEntry{stmt: stmt, plan: plan, epoch: epoch}
 }
 
 func (c *planCache) size() int {
@@ -78,7 +109,9 @@ func (c *planCache) size() int {
 // PlanCacheStats reports plan-cache effectiveness counters. Hits are
 // executions that reused a compiled plan (no re-parse, no re-classification);
 // misses include first compilations and epoch invalidations; resets counts
-// wholesale evictions triggered by the size cap.
+// wholesale evictions triggered by the size cap. Size counts cached query
+// texts, including statements cached without a compiled plan (transaction
+// control, DDL, script statements).
 type PlanCacheStats struct {
 	Hits   uint64
 	Misses uint64
@@ -100,14 +133,14 @@ func (db *DB) PlanCacheStats() PlanCacheStats {
 // compiling and caching it on miss. stmt must be the parsed form of query.
 func (db *DB) planFor(query string, stmt sqlparse.Statement) (*sqlexec.Plan, error) {
 	epoch := db.store.SchemaEpoch()
-	if p, ok := db.plans.get(query, epoch); ok {
+	if p, ok := db.plans.plan(query, epoch); ok {
 		return p, nil
 	}
 	p, err := sqlexec.Compile(stmt, db.store)
 	if err != nil {
 		return nil, err
 	}
-	db.plans.put(query, epoch, p)
+	db.plans.put(query, stmt, p, epoch)
 	return p, nil
 }
 

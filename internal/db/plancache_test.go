@@ -2,6 +2,8 @@ package db
 
 import (
 	"testing"
+
+	"repro/internal/sqlexec"
 )
 
 // TestPlanCacheHits asserts that repeated execution of the same query text
@@ -145,24 +147,68 @@ func TestPlanCacheInvalidationDropTable(t *testing.T) {
 }
 
 // TestPlanCacheCapReset asserts the wholesale reset that bounds memory for
-// generated query text.
+// generated query text — one reset path shared by statements and plans.
 func TestPlanCacheCapReset(t *testing.T) {
 	c := newPlanCache(2)
-	c.put("a", 0, nil)
-	c.put("b", 0, nil)
+	c.put("a", nil, nil, 0)
+	c.put("b", nil, nil, 0)
 	if c.size() != 2 {
 		t.Fatalf("size = %d, want 2", c.size())
 	}
-	c.put("c", 0, nil) // over capacity: wholesale reset, then insert
+	c.put("c", nil, nil, 0) // over capacity: wholesale reset, then insert
 	if got := c.resets.Load(); got != 1 {
 		t.Fatalf("resets = %d, want 1", got)
 	}
 	if c.size() != 1 {
 		t.Fatalf("size after reset = %d, want 1", c.size())
 	}
-	// Re-putting an existing key at capacity must not reset.
-	c.put("c", 1, nil)
+	// Refreshing an existing key at capacity must not reset.
+	c.put("c", nil, &sqlexec.Plan{}, 1)
 	if got := c.resets.Load(); got != 1 {
 		t.Fatalf("update of existing entry reset the cache")
+	}
+}
+
+// TestFoldedStmtPlanCache pins the PR 1 follow-up: the parse cache and the
+// plan cache are one map. A statement cached by a failed/unplanned execution
+// path is completed in place by the first compile; DDL invalidates only the
+// plan half (the statement survives, no re-parse); a parse-only put never
+// clobbers a compiled plan.
+func TestFoldedStmtPlanCache(t *testing.T) {
+	d := MustOpenMemory()
+	defer d.Close()
+	if err := d.ExecScript(`CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+
+	const q = `SELECT v FROM t WHERE id = ?`
+	if _, err := d.Query(q, 1); err != nil {
+		t.Fatal(err)
+	}
+	size := d.PlanCacheStats().Size
+	// Same text again: neither a second statement entry nor a second plan
+	// entry appears anywhere — one map, one entry.
+	if _, err := d.Query(q, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.PlanCacheStats().Size; got != size {
+		t.Fatalf("re-execution grew the cache: %d -> %d", size, got)
+	}
+
+	// DDL invalidates the plan (a miss) but reuses the cached statement: the
+	// entry count stays flat while the plan is recompiled in place.
+	before := d.PlanCacheStats()
+	if _, err := d.Exec(`CREATE INDEX t_v ON t (v)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Query(q, 1); err != nil {
+		t.Fatal(err)
+	}
+	after := d.PlanCacheStats()
+	if after.Misses != before.Misses+1 {
+		t.Fatalf("DDL must invalidate the plan: misses %d -> %d", before.Misses, after.Misses)
+	}
+	if after.Size != before.Size+1 { // +1 for the CREATE INDEX text itself
+		t.Fatalf("re-plan must refresh in place: size %d -> %d", before.Size, after.Size)
 	}
 }

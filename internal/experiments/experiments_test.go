@@ -166,3 +166,25 @@ func TestA3ConflictPruning(t *testing.T) {
 		t.Errorf("pruning did not reduce branches: %+v", res)
 	}
 }
+
+// TestServerLoadSmall runs the multi-client network-load experiment at a
+// small scale: every op completes, latency percentiles are sane, and write
+// commits flowed through the WAL.
+func TestServerLoadSmall(t *testing.T) {
+	res, err := RunServerLoad(4, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 4*12 {
+		t.Errorf("ops = %d, want %d", res.Ops, 4*12)
+	}
+	if res.P50Us <= 0 || res.P99Us < res.P50Us {
+		t.Errorf("bad percentiles: %+v", res)
+	}
+	if res.Commits == 0 || res.WALSyncs == 0 {
+		t.Errorf("no durable commits recorded: %+v", res)
+	}
+	if res.Throughput <= 0 {
+		t.Errorf("throughput = %v", res.Throughput)
+	}
+}

@@ -1,0 +1,409 @@
+// Package protocol defines the wire protocol spoken between trod-server and
+// its clients: a length-prefixed, CRC-framed request/response exchange over
+// a byte stream (TCP in production, net.Pipe in tests).
+//
+// Frame layout (all integers big-endian):
+//
+//	+----------------+----------------+=================+
+//	| u32 payload len| u32 CRC32(pay) |     payload     |
+//	+----------------+----------------+=================+
+//
+// The CRC (IEEE) covers the payload only; a mismatch means the stream is
+// corrupt and the connection must be dropped — frames carry no resync
+// markers. The payload is one message: a one-byte type tag followed by
+// type-specific fields encoded with uvarints, length-prefixed strings, and
+// the value package's row codec (the same primitives the WAL uses).
+//
+// The protocol is strictly request/response: the client sends one request
+// frame and reads exactly one response frame. Sessions are connection-scoped
+// — an interactive transaction opened with MsgBegin lives on its connection
+// and dies with it.
+package protocol
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/value"
+)
+
+// MsgType tags a protocol message.
+type MsgType uint8
+
+// Request messages (client -> server).
+const (
+	MsgPing MsgType = iota + 1
+	// MsgQuery and MsgExec carry one SQL statement plus bound arguments.
+	// The split mirrors db.Query/db.Exec and exists for call-site clarity;
+	// the server treats both identically.
+	MsgQuery
+	MsgExec
+	// MsgBegin opens the session's interactive transaction; MsgCommit and
+	// MsgRollback close it. At most one transaction is open per session.
+	MsgBegin
+	MsgCommit
+	MsgRollback
+	// MsgStats asks for server counters (sessions, transactions, commits,
+	// WAL fsyncs).
+	MsgStats
+)
+
+// Response messages (server -> client).
+const (
+	MsgPong MsgType = iota + 64
+	// MsgResult carries a query result set or a rows-affected count.
+	MsgResult
+	// MsgTxState acknowledges Begin (TxnID), Commit (Seq), or Rollback.
+	MsgTxState
+	MsgStatsResult
+	MsgError
+)
+
+// ErrCode classifies a server-side failure so clients can react typedly
+// (retry on conflict, back off on busy, reconnect on shutdown).
+type ErrCode uint8
+
+// Error codes.
+const (
+	CodeInternal ErrCode = iota + 1
+	// CodeBadRequest: malformed or out-of-place message.
+	CodeBadRequest
+	// CodeSQL: parse/plan/execution failure of the statement itself.
+	CodeSQL
+	// CodeConflict: OCC serialization conflict — the transaction aborted and
+	// the client should retry it from the top.
+	CodeConflict
+	// CodeTxnState: Begin inside an open transaction, or Commit/Rollback
+	// without one.
+	CodeTxnState
+	// CodeTxnExpired: the interactive transaction exceeded the server's
+	// transaction deadline and was rolled back.
+	CodeTxnExpired
+	// CodeBusy: connection limit reached and the admission queue is full (or
+	// the queue wait timed out). Back off and redial.
+	CodeBusy
+	// CodeShutdown: the server is draining; no new work is admitted.
+	CodeShutdown
+)
+
+// String names the code for error text.
+func (c ErrCode) String() string {
+	switch c {
+	case CodeInternal:
+		return "internal"
+	case CodeBadRequest:
+		return "bad-request"
+	case CodeSQL:
+		return "sql"
+	case CodeConflict:
+		return "conflict"
+	case CodeTxnState:
+		return "txn-state"
+	case CodeTxnExpired:
+		return "txn-expired"
+	case CodeBusy:
+		return "busy"
+	case CodeShutdown:
+		return "shutdown"
+	default:
+		return fmt.Sprintf("code(%d)", uint8(c))
+	}
+}
+
+// ServerError is a typed failure reported by the server. Clients receive it
+// from every API call that got an MsgError response.
+type ServerError struct {
+	Code ErrCode
+	Msg  string
+}
+
+func (e *ServerError) Error() string {
+	return fmt.Sprintf("trod-server: %s: %s", e.Code, e.Msg)
+}
+
+// IsCode reports whether err is a ServerError with the given code.
+func IsCode(err error, code ErrCode) bool {
+	var se *ServerError
+	return errors.As(err, &se) && se.Code == code
+}
+
+// IsConflict reports a retryable OCC serialization conflict.
+func IsConflict(err error) bool { return IsCode(err, CodeConflict) }
+
+// IsBusy reports an admission-control rejection.
+func IsBusy(err error) bool { return IsCode(err, CodeBusy) }
+
+// IsTxnExpired reports a deadline-aborted interactive transaction.
+func IsTxnExpired(err error) bool { return IsCode(err, CodeTxnExpired) }
+
+// Stats is the MsgStatsResult payload: a snapshot of the server's gauges
+// and counters, plus the WAL sync counter so load tests can verify group
+// commit (Syncs < Commits) over the wire.
+type Stats struct {
+	ActiveSessions uint64
+	ActiveTxns     uint64
+	QueuedConns    uint64
+	Accepted       uint64
+	RejectedBusy   uint64
+	Requests       uint64
+	Commits        uint64
+	Conflicts      uint64
+	ExpiredTxns    uint64
+	WALSyncs       uint64
+}
+
+// Message is one protocol message; Type selects which fields are meaningful
+// (mirroring wal.Record's flat-record idiom).
+type Message struct {
+	Type MsgType
+
+	// MsgQuery / MsgExec.
+	SQL  string
+	Args value.Row
+
+	// MsgResult.
+	Columns      []string
+	Rows         []value.Row
+	RowsAffected int64
+
+	// MsgTxState.
+	TxnID uint64
+	Seq   uint64
+
+	// MsgStatsResult.
+	Stats Stats
+
+	// MsgError.
+	Code ErrCode
+	Err  string
+}
+
+// MaxFrame is the default cap on a frame's payload size; a peer announcing
+// more is treated as a corrupt stream.
+const MaxFrame = 16 << 20
+
+const frameHeader = 8 // u32 length + u32 crc
+
+// maxResultColumns caps a result set's column count at decode; real SELECTs
+// project at most a few hundred columns, and the cap keeps a crafted count
+// from amplifying one payload byte into a string header each.
+const maxResultColumns = 1 << 16
+
+var crcTable = crc32.MakeTable(crc32.IEEE)
+
+// ErrFrameCorrupt reports a CRC mismatch or an impossible frame length; the
+// connection is unusable afterwards.
+var ErrFrameCorrupt = errors.New("protocol: corrupt frame")
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func readString(src []byte, off int) (string, int, error) {
+	n, used := binary.Uvarint(src[off:])
+	if used <= 0 {
+		return "", 0, fmt.Errorf("protocol: bad string header")
+	}
+	off += used
+	// Compare in uint64 space: a crafted length near 2^64 must not wrap the
+	// int bound check into a panic (frames come from untrusted peers).
+	if n > uint64(len(src)-off) {
+		return "", 0, fmt.Errorf("protocol: truncated string")
+	}
+	return string(src[off : off+int(n)]), off + int(n), nil
+}
+
+func readUvarint(src []byte, off int) (uint64, int, error) {
+	v, used := binary.Uvarint(src[off:])
+	if used <= 0 {
+		return 0, 0, fmt.Errorf("protocol: bad uvarint")
+	}
+	return v, off + used, nil
+}
+
+// EncodeMessage appends m's payload encoding (type byte + fields) to dst.
+func EncodeMessage(dst []byte, m *Message) []byte {
+	dst = append(dst, byte(m.Type))
+	switch m.Type {
+	case MsgQuery, MsgExec:
+		dst = appendString(dst, m.SQL)
+		dst = value.EncodeRow(dst, m.Args)
+	case MsgResult:
+		dst = binary.AppendUvarint(dst, uint64(len(m.Columns)))
+		for _, c := range m.Columns {
+			dst = appendString(dst, c)
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(m.Rows)))
+		for _, r := range m.Rows {
+			dst = value.EncodeRow(dst, r)
+		}
+		dst = binary.AppendUvarint(dst, uint64(m.RowsAffected))
+	case MsgTxState:
+		dst = binary.AppendUvarint(dst, m.TxnID)
+		dst = binary.AppendUvarint(dst, m.Seq)
+	case MsgStatsResult:
+		for _, v := range m.Stats.fields() {
+			dst = binary.AppendUvarint(dst, *v)
+		}
+	case MsgError:
+		dst = append(dst, byte(m.Code))
+		dst = appendString(dst, m.Err)
+	}
+	return dst
+}
+
+// fields lists the stats counters in wire order; encode and decode share it
+// so the two cannot drift.
+func (s *Stats) fields() []*uint64 {
+	return []*uint64{
+		&s.ActiveSessions, &s.ActiveTxns, &s.QueuedConns, &s.Accepted,
+		&s.RejectedBusy, &s.Requests, &s.Commits, &s.Conflicts,
+		&s.ExpiredTxns, &s.WALSyncs,
+	}
+}
+
+// DecodeMessage parses one payload produced by EncodeMessage.
+func DecodeMessage(payload []byte) (*Message, error) {
+	if len(payload) == 0 {
+		return nil, fmt.Errorf("protocol: empty payload")
+	}
+	m := &Message{Type: MsgType(payload[0])}
+	off := 1
+	var err error
+	switch m.Type {
+	case MsgPing, MsgPong, MsgBegin, MsgCommit, MsgRollback, MsgStats:
+	case MsgQuery, MsgExec:
+		if m.SQL, off, err = readString(payload, off); err != nil {
+			return nil, err
+		}
+		var used int
+		if m.Args, used, err = value.DecodeRow(payload[off:]); err != nil {
+			return nil, fmt.Errorf("protocol: args: %w", err)
+		}
+		off += used
+	case MsgResult:
+		var n uint64
+		if n, off, err = readUvarint(payload, off); err != nil {
+			return nil, err
+		}
+		// Counts are attacker-controlled; every column/row costs at least
+		// one payload byte, so a count beyond the remaining bytes is corrupt
+		// — reject it before allocating anything proportional to it. The
+		// absolute cap bounds the per-entry allocation amplification (a
+		// one-byte claimed column materializes a 16-byte string header).
+		if n > uint64(len(payload)-off) || n > maxResultColumns {
+			return nil, fmt.Errorf("protocol: column count %d exceeds payload or limit", n)
+		}
+		m.Columns = make([]string, n)
+		for i := range m.Columns {
+			if m.Columns[i], off, err = readString(payload, off); err != nil {
+				return nil, err
+			}
+		}
+		if n, off, err = readUvarint(payload, off); err != nil {
+			return nil, err
+		}
+		if n > uint64(len(payload)-off) {
+			return nil, fmt.Errorf("protocol: row count %d exceeds payload", n)
+		}
+		m.Rows = make([]value.Row, 0, n)
+		for i := uint64(0); i < n; i++ {
+			row, used, err := value.DecodeRow(payload[off:])
+			if err != nil {
+				return nil, fmt.Errorf("protocol: row %d: %w", i, err)
+			}
+			m.Rows = append(m.Rows, row)
+			off += used
+		}
+		var ra uint64
+		if ra, off, err = readUvarint(payload, off); err != nil {
+			return nil, err
+		}
+		m.RowsAffected = int64(ra)
+	case MsgTxState:
+		if m.TxnID, off, err = readUvarint(payload, off); err != nil {
+			return nil, err
+		}
+		if m.Seq, off, err = readUvarint(payload, off); err != nil {
+			return nil, err
+		}
+	case MsgStatsResult:
+		for _, v := range m.Stats.fields() {
+			if *v, off, err = readUvarint(payload, off); err != nil {
+				return nil, err
+			}
+		}
+	case MsgError:
+		if off >= len(payload) {
+			return nil, fmt.Errorf("protocol: truncated error")
+		}
+		m.Code = ErrCode(payload[off])
+		off++
+		if m.Err, off, err = readString(payload, off); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("protocol: unknown message type 0x%02x", payload[0])
+	}
+	_ = off
+	return m, nil
+}
+
+// ErrFrameTooLarge reports a message whose encoding exceeds MaxFrame; it is
+// returned before any bytes are written, so the stream stays usable and the
+// sender can answer with a typed error instead.
+var ErrFrameTooLarge = errors.New("protocol: message exceeds the frame size cap")
+
+// WriteMessage frames and writes one message.
+func WriteMessage(w io.Writer, m *Message) error {
+	payload := EncodeMessage(make([]byte, 0, 64), m)
+	if len(payload) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [frameHeader]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadMessage reads and verifies one frame, then decodes its message.
+// maxFrame <= 0 applies the MaxFrame default. io.EOF at a frame boundary is
+// returned as-is (clean disconnect); a partial frame is ErrUnexpectedEOF.
+func ReadMessage(r io.Reader, maxFrame int) (*Message, error) {
+	if maxFrame <= 0 {
+		maxFrame = MaxFrame
+	}
+	var hdr [frameHeader]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		return nil, err // clean EOF between frames stays io.EOF
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[0:4])
+	if n == 0 || n > uint32(maxFrame) {
+		return nil, fmt.Errorf("%w: payload length %d", ErrFrameCorrupt, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	if crc32.Checksum(payload, crcTable) != binary.BigEndian.Uint32(hdr[4:8]) {
+		return nil, fmt.Errorf("%w: CRC mismatch", ErrFrameCorrupt)
+	}
+	return DecodeMessage(payload)
+}

@@ -1,0 +1,188 @@
+package protocol
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"testing"
+
+	"repro/internal/value"
+)
+
+func roundtrip(t *testing.T, m *Message) *Message {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, m); err != nil {
+		t.Fatalf("write %v: %v", m.Type, err)
+	}
+	got, err := ReadMessage(&buf, 0)
+	if err != nil {
+		t.Fatalf("read %v: %v", m.Type, err)
+	}
+	if got.Type != m.Type {
+		t.Fatalf("type %v -> %v", m.Type, got.Type)
+	}
+	return got
+}
+
+func TestRoundTripAllMessages(t *testing.T) {
+	q := roundtrip(t, &Message{
+		Type: MsgQuery,
+		SQL:  "SELECT * FROM t WHERE id = ? AND name = ?",
+		Args: value.Row{value.Int(42), value.Text("π — naïve")},
+	})
+	if q.SQL != "SELECT * FROM t WHERE id = ? AND name = ?" || len(q.Args) != 2 {
+		t.Fatalf("query round trip: %+v", q)
+	}
+	if q.Args[0].AsInt() != 42 || q.Args[1].AsText() != "π — naïve" {
+		t.Fatalf("args round trip: %+v", q.Args)
+	}
+
+	res := roundtrip(t, &Message{
+		Type:    MsgResult,
+		Columns: []string{"id", "v"},
+		Rows: []value.Row{
+			{value.Int(1), value.Text("a")},
+			{value.Int(2), value.Null},
+			{value.Float(2.5), value.Bool(true)},
+		},
+		RowsAffected: 7,
+	})
+	if len(res.Columns) != 2 || len(res.Rows) != 3 || res.RowsAffected != 7 {
+		t.Fatalf("result round trip: %+v", res)
+	}
+	if !res.Rows[1][1].IsNull() || res.Rows[2][0].AsFloat() != 2.5 {
+		t.Fatalf("row values: %+v", res.Rows)
+	}
+
+	tx := roundtrip(t, &Message{Type: MsgTxState, TxnID: 99, Seq: 1234})
+	if tx.TxnID != 99 || tx.Seq != 1234 {
+		t.Fatalf("txstate round trip: %+v", tx)
+	}
+
+	st := roundtrip(t, &Message{Type: MsgStatsResult, Stats: Stats{
+		ActiveSessions: 3, ActiveTxns: 2, QueuedConns: 1, Accepted: 10,
+		RejectedBusy: 4, Requests: 100, Commits: 50, Conflicts: 5,
+		ExpiredTxns: 2, WALSyncs: 20,
+	}})
+	if st.Stats != (Stats{3, 2, 1, 10, 4, 100, 50, 5, 2, 20}) {
+		t.Fatalf("stats round trip: %+v", st.Stats)
+	}
+
+	e := roundtrip(t, &Message{Type: MsgError, Code: CodeConflict, Err: "serialization conflict"})
+	if e.Code != CodeConflict || e.Err != "serialization conflict" {
+		t.Fatalf("error round trip: %+v", e)
+	}
+
+	for _, typ := range []MsgType{MsgPing, MsgPong, MsgBegin, MsgCommit, MsgRollback, MsgStats} {
+		roundtrip(t, &Message{Type: typ})
+	}
+}
+
+func TestCorruptFrameDetected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, &Message{Type: MsgQuery, SQL: "SELECT 1"}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[len(raw)-1] ^= 0x40 // flip a payload bit; CRC must catch it
+	_, err := ReadMessage(bytes.NewReader(raw), 0)
+	if !errors.Is(err, ErrFrameCorrupt) {
+		t.Fatalf("bit flip: %v, want ErrFrameCorrupt", err)
+	}
+}
+
+func TestTruncatedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, &Message{Type: MsgQuery, SQL: "SELECT 1"}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, cut := range []int{1, 5, len(raw) - 1} {
+		_, err := ReadMessage(bytes.NewReader(raw[:cut]), 0)
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut at %d: %v, want ErrUnexpectedEOF", cut, err)
+		}
+	}
+	// A clean boundary is a plain EOF (normal disconnect).
+	if _, err := ReadMessage(bytes.NewReader(nil), 0); !errors.Is(err, io.EOF) {
+		t.Fatalf("empty stream: %v, want io.EOF", err)
+	}
+}
+
+func TestOversizedFrameRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, &Message{Type: MsgQuery, SQL: string(make([]byte, 256))}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadMessage(&buf, 64)
+	if !errors.Is(err, ErrFrameCorrupt) {
+		t.Fatalf("oversized frame: %v, want ErrFrameCorrupt", err)
+	}
+}
+
+func TestTypedErrorHelpers(t *testing.T) {
+	conflict := &ServerError{Code: CodeConflict, Msg: "x"}
+	if !IsConflict(conflict) || IsBusy(conflict) || IsTxnExpired(conflict) {
+		t.Fatal("conflict classification")
+	}
+	if !IsBusy(&ServerError{Code: CodeBusy}) {
+		t.Fatal("busy classification")
+	}
+	if !IsTxnExpired(&ServerError{Code: CodeTxnExpired}) {
+		t.Fatal("expired classification")
+	}
+	if IsConflict(errors.New("plain")) {
+		t.Fatal("plain errors must not classify")
+	}
+}
+
+// TestCraftedLengthsDoNotPanic pins the hardening against malicious frames:
+// huge uvarint lengths and counts (which would overflow int bound checks or
+// size allocations) must decode to errors, never panic — a reachable panic
+// here is a remote DoS on trod-server.
+func TestCraftedLengthsDoNotPanic(t *testing.T) {
+	frame := func(payload []byte) []byte {
+		var buf bytes.Buffer
+		var hdr [8]byte
+		binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+		binary.BigEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+		buf.Write(hdr[:])
+		buf.Write(payload)
+		return buf.Bytes()
+	}
+	huge := binary.AppendUvarint(nil, 1<<63) // absurd length/count claim
+	cases := [][]byte{
+		// MsgQuery with a SQL length near 2^63.
+		append(append([]byte{byte(MsgQuery)}, huge...), 'x'),
+		// MsgQuery with a sane SQL but an args row claiming 2^63 columns.
+		append(append([]byte{byte(MsgQuery), 1, 'q'}, huge...), 1),
+		// MsgResult claiming 2^63 columns.
+		append(append([]byte{byte(MsgResult)}, huge...), 0),
+		// MsgResult with 0 columns and 2^63 rows.
+		append(append([]byte{byte(MsgResult), 0}, huge...), 0),
+		// MsgError with a huge message length.
+		append(append([]byte{byte(MsgError), byte(CodeSQL)}, huge...), 'x'),
+	}
+	for i, payload := range cases {
+		if _, err := ReadMessage(bytes.NewReader(frame(payload)), 0); err == nil {
+			t.Errorf("case %d: crafted frame decoded without error", i)
+		}
+	}
+}
+
+// TestWriteMessageRejectsOversizedBeforeWriting: an encoding larger than
+// MaxFrame must be refused with ErrFrameTooLarge and write no bytes, so the
+// server can answer with a typed error on a still-clean stream.
+func TestWriteMessageRejectsOversizedBeforeWriting(t *testing.T) {
+	var buf bytes.Buffer
+	big := &Message{Type: MsgQuery, SQL: string(make([]byte, MaxFrame+1))}
+	if err := WriteMessage(&buf, big); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized write = %v, want ErrFrameTooLarge", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("oversized write leaked %d bytes onto the stream", buf.Len())
+	}
+}

@@ -283,6 +283,22 @@ func (r *Replayer) Replay(reqID string, register func(app *runtime.App), opts Op
 		return nil, fmt.Errorf("replay: request %q has no committed transactions to replay", reqID)
 	}
 	baseSeq := execs[0].Snapshot
+	// Replay injects the foreign commits in (baseSeq, last snapshot] and
+	// compares write sets against the request's own commit records, all read
+	// from the production CDC log. Pin the production store at baseSeq for
+	// the replay's lifetime so a concurrent auto-checkpoint with CDC
+	// retention cannot truncate that window mid-replay, then check (after
+	// pinning — the order closes the check-then-act race) that the window
+	// was not already released; if it was, fail loudly instead of replaying
+	// against a silently incomplete history.
+	prodStore := r.prod.Store()
+	prodStore.MovePin(prodStore.PinSnapshot(), baseSeq)
+	defer prodStore.UnpinSnapshot(baseSeq)
+	if from := prodStore.LogRetainedFrom(); from > baseSeq+1 {
+		return nil, fmt.Errorf(
+			"replay: request %q needs production history from commit %d, but the CDC log is truncated to %d (CDC retention window passed); replay unavailable",
+			reqID, baseSeq+1, from)
+	}
 
 	dev, err := r.restore(baseSeq, opts.Tables)
 	if err != nil {

@@ -1,6 +1,7 @@
 package replay
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/db"
@@ -135,5 +136,29 @@ func TestReplayBreakpointOrdering(t *testing.T) {
 			t.Errorf("breakpoint order = %v", steps)
 			break
 		}
+	}
+}
+
+// TestReplayFailsLoudlyOnTruncatedCDC pins the CDC-retention contract: when
+// the production commit log no longer reaches back to the replayed request's
+// snapshot (TruncateLog released the prefix), Replay must refuse with a
+// clear error instead of injecting a silently incomplete foreign history.
+func TestReplayFailsLoudlyOnTruncatedCDC(t *testing.T) {
+	prod, tr, late := travelScenario(t)
+	rp := New(prod, tr.Writer())
+
+	// Sanity: replay works while the log is intact.
+	if _, err := rp.Replay(late, workload.RegisterTravel, Options{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Release the whole CDC prefix, as a checkpoint with CDCRetention would.
+	prod.Store().TruncateLog(prod.Store().CurrentSeq())
+	_, err := rp.Replay(late, workload.RegisterTravel, Options{})
+	if err == nil {
+		t.Fatal("replay over a truncated CDC log must fail loudly")
+	}
+	if !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("error should name the truncation: %v", err)
 	}
 }

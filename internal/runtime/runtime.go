@@ -210,6 +210,38 @@ func (app *App) NewReqID() string {
 	return fmt.Sprintf("R%d", n)
 }
 
+// StartRemote registers an externally driven request — one arriving over
+// the network front end rather than through Invoke — under a fresh request
+// ID from the same allocator in-process requests use. The observer sees the
+// same RequestStart/Invocation events, and the returned finish function
+// (which must be called exactly once when the request completes) delivers
+// RequestEnd; provenance therefore records remote executions exactly like
+// local ones, with interleaved, totally ordered request IDs.
+func (app *App) StartRemote(handler string, args Args) (string, func(result any, err error)) {
+	reqID := app.NewReqID()
+	info := RequestInfo{
+		ReqID:        reqID,
+		Handler:      handler,
+		Args:         args.Clone(),
+		Start:        time.Now(),
+		LogicalStart: app.NextLogical(),
+	}
+	if app.observer != nil {
+		app.observer.RequestStart(info)
+		app.observer.Invocation(InvocationInfo{
+			ReqID: reqID, InvocationID: reqID + "/0", Handler: handler, Logical: info.LogicalStart,
+		})
+	}
+	return reqID, func(result any, err error) {
+		info.End = time.Now()
+		info.Err = err
+		info.Result = result
+		if app.observer != nil {
+			app.observer.RequestEnd(info)
+		}
+	}
+}
+
 // Ctx is the per-invocation handler context.
 type Ctx struct {
 	app          *App

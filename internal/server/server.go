@@ -1,0 +1,493 @@
+// Package server implements trod-server's network front end: a TCP server
+// speaking the internal/protocol frame format over an embedded db.DB, which
+// turns the engine into a servable system — the on-ramp for the ROADMAP's
+// "heavy traffic from millions of users".
+//
+// Architecture:
+//
+//   - Each accepted connection becomes a session served by one goroutine;
+//     requests on a connection execute strictly in order.
+//   - A session owns at most one interactive transaction (Begin … Commit/
+//     Rollback). Interactive transactions carry a server-side deadline
+//     (db.BeginInteractive): a transaction abandoned by a stalled or
+//     disconnected client is rolled back by the engine's deadline watcher
+//     and later operations fail with a typed txn-expired protocol error.
+//   - Admission control: at most MaxConns sessions run concurrently; up to
+//     QueueDepth further connections wait (bounded, FIFO-ish) for at most
+//     QueueWait before being turned away with a typed busy error. The queue
+//     is the backpressure mechanism — clients see fast typed rejection
+//     instead of unbounded latency.
+//   - Idle sessions are disconnected after IdleTimeout (any live interactive
+//     transaction is rolled back by the cleanup path).
+//   - Shutdown drains: the listener closes, in-flight requests finish and
+//     get their responses, sessions close, and the WAL is checkpointed so
+//     the next start recovers from a snapshot instead of a long replay.
+//
+// Every remote request gets a request ID — from the attached runtime.App's
+// allocator when one is configured (so provenance records remote executions
+// exactly like in-process ones), or from a session-scoped fallback counter —
+// and the ID rides the transaction metadata into the provenance log.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/db"
+	"repro/internal/protocol"
+	"repro/internal/runtime"
+	"repro/internal/storage"
+)
+
+// Config configures a Server. DB is required; everything else defaults.
+type Config struct {
+	// DB is the database the server fronts.
+	DB *db.DB
+	// App, when set, allocates request IDs for remote requests and reports
+	// them to the runtime observer, so an attached tracer records remote
+	// executions in provenance exactly like in-process ones.
+	App *runtime.App
+	// MaxConns caps concurrently served sessions (default 64).
+	MaxConns int
+	// QueueDepth caps connections waiting for a session slot (default
+	// 2*MaxConns). Beyond it, connections are rejected immediately with a
+	// typed busy error.
+	QueueDepth int
+	// QueueWait bounds the time a connection may wait in the admission
+	// queue before a typed busy rejection (default 2s).
+	QueueWait time.Duration
+	// IdleTimeout disconnects a session with no traffic (default 2m). A
+	// live interactive transaction on the session is rolled back.
+	IdleTimeout time.Duration
+	// TxnTimeout is the interactive-transaction deadline (default 15s):
+	// a transaction still open this long after Begin is rolled back
+	// server-side and surfaces as a typed txn-expired error.
+	TxnTimeout time.Duration
+	// MaxFrame caps request frame payloads (default protocol.MaxFrame).
+	MaxFrame int
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.MaxConns <= 0 {
+		out.MaxConns = 64
+	}
+	if out.QueueDepth <= 0 {
+		out.QueueDepth = 2 * out.MaxConns
+	}
+	if out.QueueWait <= 0 {
+		out.QueueWait = 2 * time.Second
+	}
+	if out.IdleTimeout <= 0 {
+		out.IdleTimeout = 2 * time.Minute
+	}
+	if out.TxnTimeout <= 0 {
+		out.TxnTimeout = 15 * time.Second
+	}
+	return out
+}
+
+// Server is a trod network front end over one database.
+type Server struct {
+	cfg Config
+
+	slots   chan struct{} // MaxConns admission tokens
+	waiters atomic.Int64  // connections queued for a slot
+
+	mu       sync.Mutex
+	ln       net.Listener
+	sessions map[*session]struct{}
+
+	draining atomic.Bool
+	drainCh  chan struct{} // closed when Shutdown starts
+
+	accepted     atomic.Uint64
+	rejectedBusy atomic.Uint64
+	requests     atomic.Uint64
+	commits      atomic.Uint64
+	conflicts    atomic.Uint64
+	expiredTxns  atomic.Uint64
+	activeTxns   atomic.Int64
+	nextSession  atomic.Uint64
+	nextReqID    atomic.Uint64 // fallback allocator when no App is attached
+}
+
+// New returns an unstarted server; call Serve with a listener.
+func New(cfg Config) (*Server, error) {
+	if cfg.DB == nil {
+		return nil, errors.New("server: Config.DB is required")
+	}
+	cfg = (&cfg).withDefaults()
+	return &Server{
+		cfg:      cfg,
+		slots:    make(chan struct{}, cfg.MaxConns),
+		sessions: make(map[*session]struct{}),
+		drainCh:  make(chan struct{}),
+	}, nil
+}
+
+// Serve accepts connections on ln until Shutdown (returns nil) or a fatal
+// listener error.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return nil
+			}
+			return err
+		}
+		go s.admit(conn)
+	}
+}
+
+// ListenAndServe listens on addr (host:port; port 0 picks a free port) and
+// serves. The bound address is available from Addr once this returns or the
+// server is serving.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Addr returns the listener's address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// admit runs admission control for one raw connection, then serves it as a
+// session.
+func (s *Server) admit(conn net.Conn) {
+	if s.draining.Load() {
+		s.refuse(conn, protocol.CodeShutdown, "server is shutting down")
+		return
+	}
+	select {
+	case s.slots <- struct{}{}:
+	default:
+		// All slots busy: join the bounded admission queue.
+		if s.waiters.Add(1) > int64(s.cfg.QueueDepth) {
+			s.waiters.Add(-1)
+			s.rejectedBusy.Add(1)
+			s.refuse(conn, protocol.CodeBusy, "connection limit reached and admission queue full")
+			return
+		}
+		timer := time.NewTimer(s.cfg.QueueWait)
+		select {
+		case s.slots <- struct{}{}:
+			timer.Stop()
+			s.waiters.Add(-1)
+		case <-timer.C:
+			s.waiters.Add(-1)
+			s.rejectedBusy.Add(1)
+			s.refuse(conn, protocol.CodeBusy, "timed out waiting for a session slot")
+			return
+		case <-s.drainCh:
+			timer.Stop()
+			s.waiters.Add(-1)
+			s.refuse(conn, protocol.CodeShutdown, "server is shutting down")
+			return
+		}
+	}
+	s.accepted.Add(1)
+	sess := &session{srv: s, conn: conn, id: s.nextSession.Add(1)}
+	s.mu.Lock()
+	s.sessions[sess] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		sess.cleanup()
+		s.mu.Lock()
+		delete(s.sessions, sess)
+		s.mu.Unlock()
+		<-s.slots
+	}()
+	sess.serve()
+}
+
+// refuse answers a not-admitted connection with a typed error and closes it.
+func (s *Server) refuse(conn net.Conn, code protocol.ErrCode, msg string) {
+	conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	_ = protocol.WriteMessage(conn, &protocol.Message{Type: protocol.MsgError, Code: code, Err: msg})
+	conn.Close()
+}
+
+// Shutdown stops accepting connections, drains in-flight requests, closes
+// every session, and checkpoints the WAL so the next open recovers from a
+// snapshot. It returns once the drain completes or ctx expires (remaining
+// connections are then force-closed); the checkpoint always runs.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if !s.draining.CompareAndSwap(false, true) {
+		return errors.New("server: already shut down")
+	}
+	close(s.drainCh)
+	s.mu.Lock()
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+
+	// Drain: in-flight requests finish and respond, then sessions unwind.
+	// Once ctx expires, force-close the stragglers and give them a bounded
+	// grace period to run their cleanup before checkpointing anyway.
+	forced := false
+	graceUntil := time.Time{}
+	for {
+		s.mu.Lock()
+		n := len(s.sessions)
+		// Wake sessions parked in ReadMessage on every iteration, not just
+		// once: a session that checked the draining flag before it flipped
+		// may re-arm its idle read deadline after a one-shot poke, stalling
+		// the drain for the whole idle timeout.
+		for sess := range s.sessions {
+			sess.conn.SetReadDeadline(time.Now())
+		}
+		s.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		if ctx.Err() != nil {
+			if !forced {
+				forced = true
+				graceUntil = time.Now().Add(time.Second)
+				s.mu.Lock()
+				for sess := range s.sessions {
+					sess.conn.Close()
+				}
+				s.mu.Unlock()
+			} else if time.Now().After(graceUntil) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return s.cfg.DB.Checkpoint()
+}
+
+// Stats snapshots the server's counters plus the WAL sync count.
+func (s *Server) Stats() protocol.Stats {
+	s.mu.Lock()
+	sessions := len(s.sessions)
+	s.mu.Unlock()
+	return protocol.Stats{
+		ActiveSessions: uint64(sessions),
+		ActiveTxns:     uint64(max(s.activeTxns.Load(), 0)),
+		QueuedConns:    uint64(max(s.waiters.Load(), 0)),
+		Accepted:       s.accepted.Load(),
+		RejectedBusy:   s.rejectedBusy.Load(),
+		Requests:       s.requests.Load(),
+		Commits:        s.commits.Load(),
+		Conflicts:      s.conflicts.Load(),
+		ExpiredTxns:    s.expiredTxns.Load(),
+		WALSyncs:       s.cfg.DB.WALStats().Syncs,
+	}
+}
+
+// startRequest allocates a request ID and its completion callback — through
+// the runtime when attached (provenance parity with in-process requests),
+// otherwise from the fallback counter.
+func (s *Server) startRequest(handler string, args runtime.Args) (string, func(any, error)) {
+	if s.cfg.App != nil {
+		return s.cfg.App.StartRemote(handler, args)
+	}
+	return fmt.Sprintf("S%d", s.nextReqID.Add(1)), func(any, error) {}
+}
+
+// session is one connection's server-side state.
+type session struct {
+	srv  *Server
+	conn net.Conn
+	id   uint64
+
+	// The interactive transaction, nil when none is open. Touched only by
+	// the session goroutine; the deadline watcher aborts the underlying
+	// transaction through its own guard and is observed here via typed
+	// errors.
+	tx       *db.Tx
+	txFinish func(any, error)
+}
+
+func (ss *session) workflow() string { return fmt.Sprintf("session-%d", ss.id) }
+
+// serve runs the session's request loop: one frame in, one frame out.
+func (ss *session) serve() {
+	for {
+		if ss.srv.draining.Load() {
+			return
+		}
+		ss.conn.SetReadDeadline(time.Now().Add(ss.srv.cfg.IdleTimeout))
+		req, err := protocol.ReadMessage(ss.conn, ss.srv.cfg.MaxFrame)
+		if err != nil {
+			// Disconnect, idle timeout, drain wake-up, or corrupt stream:
+			// either way the session ends and cleanup rolls back any live
+			// transaction. Nothing useful can be written on a broken frame
+			// protocol, so close silently.
+			return
+		}
+		resp := ss.handle(req)
+		ss.conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
+		if err := protocol.WriteMessage(ss.conn, resp); err != nil {
+			if errors.Is(err, protocol.ErrFrameTooLarge) {
+				// Nothing was written; answer with a typed error instead of
+				// silently dropping the session over an oversized result.
+				big := errMsg(protocol.CodeSQL,
+					"result set exceeds the %d-byte frame cap; narrow the query or add LIMIT", protocol.MaxFrame)
+				if protocol.WriteMessage(ss.conn, big) == nil {
+					continue
+				}
+			}
+			return
+		}
+	}
+}
+
+// cleanup releases everything a session holds; runs exactly once, after the
+// serve loop exits (including abrupt disconnect mid-transaction).
+func (ss *session) cleanup() {
+	if ss.tx != nil {
+		ss.tx.Rollback() // no-op if the deadline watcher already aborted it
+		ss.endTxn(errors.New("session closed"))
+	}
+	ss.conn.Close()
+}
+
+// endTxn drops the session's transaction state and completes its request.
+func (ss *session) endTxn(err error) {
+	if ss.txFinish != nil {
+		ss.txFinish(nil, err)
+	}
+	ss.tx = nil
+	ss.txFinish = nil
+	ss.srv.activeTxns.Add(-1)
+}
+
+func errMsg(code protocol.ErrCode, format string, args ...any) *protocol.Message {
+	return &protocol.Message{Type: protocol.MsgError, Code: code, Err: fmt.Sprintf(format, args...)}
+}
+
+// handle serves one request message. Every frame counts as one request —
+// statements inside interactive transactions and Commit/Rollback included —
+// so Stats.Requests reflects the protocol load actually served.
+func (ss *session) handle(req *protocol.Message) *protocol.Message {
+	ss.srv.requests.Add(1)
+	switch req.Type {
+	case protocol.MsgPing:
+		return &protocol.Message{Type: protocol.MsgPong}
+	case protocol.MsgStats:
+		return &protocol.Message{Type: protocol.MsgStatsResult, Stats: ss.srv.Stats()}
+	case protocol.MsgBegin:
+		return ss.begin()
+	case protocol.MsgCommit:
+		return ss.commit()
+	case protocol.MsgRollback:
+		return ss.rollbackTx()
+	case protocol.MsgQuery, protocol.MsgExec:
+		return ss.execSQL(req)
+	default:
+		return errMsg(protocol.CodeBadRequest, "unexpected message type %d", req.Type)
+	}
+}
+
+func (ss *session) begin() *protocol.Message {
+	if ss.tx != nil {
+		return errMsg(protocol.CodeTxnState, "session already has an open transaction")
+	}
+	reqID, finish := ss.srv.startRequest("remote-txn", nil)
+	meta := db.TxMeta{ReqID: reqID, Handler: "remote", Func: "interactive", Workflow: ss.workflow()}
+	srv := ss.srv
+	ss.tx = srv.cfg.DB.BeginInteractive(meta, srv.cfg.TxnTimeout, func() { srv.expiredTxns.Add(1) })
+	ss.txFinish = finish
+	srv.activeTxns.Add(1)
+	return &protocol.Message{Type: protocol.MsgTxState, TxnID: ss.tx.ID()}
+}
+
+func (ss *session) commit() *protocol.Message {
+	if ss.tx == nil {
+		return errMsg(protocol.CodeTxnState, "no open transaction to commit")
+	}
+	err := ss.tx.Commit()
+	seq := ss.tx.Inner().CommitSeq()
+	txnID := ss.tx.ID()
+	ss.endTxn(err)
+	if err != nil {
+		return ss.sqlError(err)
+	}
+	ss.srv.commits.Add(1)
+	return &protocol.Message{Type: protocol.MsgTxState, TxnID: txnID, Seq: seq}
+}
+
+func (ss *session) rollbackTx() *protocol.Message {
+	if ss.tx == nil {
+		return errMsg(protocol.CodeTxnState, "no open transaction to roll back")
+	}
+	txnID := ss.tx.ID()
+	ss.tx.Rollback()
+	ss.endTxn(errors.New("rolled back"))
+	return &protocol.Message{Type: protocol.MsgTxState, TxnID: txnID}
+}
+
+// execSQL runs one statement: on the session's interactive transaction when
+// one is open, otherwise autocommit (with the engine's conflict retry).
+func (ss *session) execSQL(req *protocol.Message) *protocol.Message {
+	args := make([]any, len(req.Args))
+	for i, v := range req.Args {
+		args[i] = v
+	}
+	var rows *db.Rows
+	var err error
+	if ss.tx != nil {
+		rows, err = ss.tx.Exec(req.SQL, args...)
+		if errors.Is(err, db.ErrTxnExpired) {
+			// The deadline watcher already rolled the transaction back;
+			// release the session's handle so the client can Begin anew.
+			ss.endTxn(err)
+		}
+	} else {
+		reqID, finish := ss.srv.startRequest("remote", runtime.Args{"sql": req.SQL})
+		meta := db.TxMeta{ReqID: reqID, Handler: "remote", Func: "autocommit", Workflow: ss.workflow()}
+		rows, err = ss.srv.cfg.DB.ExecMeta(meta, req.SQL, args...)
+		finish(nil, err)
+		if err == nil && rows != nil && rows.RowsAffected > 0 {
+			ss.srv.commits.Add(1)
+		}
+	}
+	if err != nil {
+		return ss.sqlError(err)
+	}
+	resp := &protocol.Message{Type: protocol.MsgResult}
+	if rows != nil {
+		resp.Columns = rows.Columns
+		resp.Rows = rows.Rows
+		resp.RowsAffected = int64(rows.RowsAffected)
+	}
+	return resp
+}
+
+// sqlError maps an engine error to a typed protocol error.
+func (ss *session) sqlError(err error) *protocol.Message {
+	var conflict *storage.ConflictError
+	switch {
+	case errors.As(err, &conflict):
+		ss.srv.conflicts.Add(1)
+		return errMsg(protocol.CodeConflict, "%v", err)
+	case errors.Is(err, db.ErrTxnExpired):
+		return errMsg(protocol.CodeTxnExpired, "transaction exceeded the server deadline and was rolled back")
+	default:
+		return errMsg(protocol.CodeSQL, "%v", err)
+	}
+}

@@ -213,6 +213,12 @@ type Store struct {
 	logBase  uint64 // seq of log[0]-1; supports truncation
 	cdcSubs  []func(CommitRecord)
 	ddlHook  func(stmt string) // invoked (under lock) on DDL, for WAL logging
+
+	// pins counts active transactions per snapshot sequence. TruncateLog
+	// never discards a record a pinned snapshot could still need for OCC
+	// validation (commits after the snapshot), so CDC memory release is safe
+	// under concurrent transactions of any age.
+	pins map[uint64]int
 }
 
 // NewStore returns an empty store.
@@ -221,6 +227,7 @@ func NewStore() *Store {
 		catalog:  make(map[string]*schema.Table),
 		indexDef: make(map[string][]*schema.Index),
 		data:     make(map[string]*tableData),
+		pins:     make(map[uint64]int),
 	}
 }
 
@@ -806,11 +813,65 @@ func (s *Store) ChangesBetween(from, to uint64) []CommitRecord {
 	return out
 }
 
+// PinSnapshot registers the caller as an active reader at the current
+// committed sequence and returns it. Until the matching UnpinSnapshot,
+// TruncateLog keeps every commit record after that sequence, so a
+// transaction's OCC validation window can never be truncated out from under
+// it. The transaction layer pins at Begin and unpins at Commit/Abort.
+func (s *Store) PinSnapshot() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pins[s.seq]++
+	return s.seq
+}
+
+// MovePin re-registers a pin taken at `from` onto snapshot `to` (BeginAt
+// rewinds a fresh transaction to a historical snapshot).
+func (s *Store) MovePin(from, to uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.unpinLocked(from)
+	s.pins[to]++
+}
+
+// UnpinSnapshot releases a pin taken by PinSnapshot.
+func (s *Store) UnpinSnapshot(seq uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.unpinLocked(seq)
+}
+
+func (s *Store) unpinLocked(seq uint64) {
+	if n := s.pins[seq]; n > 1 {
+		s.pins[seq] = n - 1
+	} else {
+		delete(s.pins, seq)
+	}
+}
+
+// LogRetainedFrom returns the first commit sequence still present in the
+// in-memory CDC log. ChangesBetween windows that start before it would be
+// silently incomplete (TruncateLog released the prefix); consumers that
+// need a complete historical window — the replay engine — must check it
+// before iterating.
+func (s *Store) LogRetainedFrom() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.logBase + 1
+}
+
 // TruncateLog discards commit records with Seq <= upTo, bounding CDC memory.
-// Version chains (time travel) are unaffected.
+// Version chains (time travel) are unaffected. The cut is clamped to the
+// oldest pinned snapshot: records in an active transaction's validation
+// window (anything after its snapshot) are always retained.
 func (s *Store) TruncateLog(upTo uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	for seq := range s.pins {
+		if seq < upTo {
+			upTo = seq
+		}
+	}
 	idx := s.logIndex(upTo + 1)
 	if idx <= 0 {
 		return

@@ -52,12 +52,14 @@ type Txn struct {
 	commitSeq uint64
 }
 
-// Begin starts a transaction at the store's current snapshot.
+// Begin starts a transaction at the store's current snapshot. The snapshot
+// is pinned until Commit or Abort so the store's CDC log cannot be truncated
+// inside the transaction's OCC validation window.
 func Begin(store *storage.Store) *Txn {
 	return &Txn{
 		store:    store,
 		id:       store.NextTxnID(),
-		snapshot: store.CurrentSeq(),
+		snapshot: store.PinSnapshot(),
 		reads:    storage.NewReadSet(),
 		writes:   make(map[string]map[string]*pendingWrite),
 	}
@@ -68,6 +70,7 @@ func Begin(store *storage.Store) *Txn {
 // are typically read-only.
 func BeginAt(store *storage.Store, snapshot uint64) *Txn {
 	t := Begin(store)
+	t.store.MovePin(t.snapshot, snapshot)
 	t.snapshot = snapshot
 	return t
 }
@@ -389,6 +392,7 @@ func (t *Txn) Commit() (uint64, error) {
 		// Read-only: nothing to validate (snapshot reads are consistent).
 		t.state = StateCommitted
 		t.commitSeq = t.snapshot
+		t.store.UnpinSnapshot(t.snapshot)
 		return t.snapshot, nil
 	}
 	seq, err := t.store.Commit(storage.CommitRequest{
@@ -397,6 +401,7 @@ func (t *Txn) Commit() (uint64, error) {
 		Reads:    t.reads,
 		Changes:  changes,
 	})
+	t.store.UnpinSnapshot(t.snapshot)
 	if err != nil {
 		t.state = StateAborted
 		return 0, err
@@ -410,6 +415,7 @@ func (t *Txn) Commit() (uint64, error) {
 func (t *Txn) Abort() {
 	if t.state == StateActive {
 		t.state = StateAborted
+		t.store.UnpinSnapshot(t.snapshot)
 	}
 }
 

@@ -217,6 +217,13 @@ func EncodeRow(dst []byte, r Row) []byte {
 	return dst
 }
 
+// maxRowColumns caps a decoded row's arity. Real rows are schema rows
+// (tens of columns) or statement argument lists; the cap only exists so a
+// crafted header cannot turn one cheap input byte per claimed column into
+// a 64-byte Value allocation each (a ~64x memory amplification for
+// network-supplied frames).
+const maxRowColumns = 1 << 16
+
 // DecodeRow decodes a row previously written by EncodeRow, returning the row
 // and bytes consumed.
 func DecodeRow(src []byte) (Row, int, error) {
@@ -225,6 +232,16 @@ func DecodeRow(src []byte) (Row, int, error) {
 		return nil, 0, fmt.Errorf("value: bad row header")
 	}
 	off := used
+	// Every column costs at least one byte (the kind tag), so a count
+	// beyond the remaining input is corrupt. Decoded input is not always
+	// trusted (network frames as well as WAL records feed this), so the
+	// count must be validated before it sizes an allocation.
+	if n > uint64(len(src)-off) {
+		return nil, 0, fmt.Errorf("value: row column count %d exceeds input", n)
+	}
+	if n > maxRowColumns {
+		return nil, 0, fmt.Errorf("value: row column count %d exceeds limit %d", n, maxRowColumns)
+	}
 	row := make(Row, 0, n)
 	for i := uint64(0); i < n; i++ {
 		if off >= len(src) {
@@ -258,7 +275,9 @@ func DecodeRow(src []byte) (Row, int, error) {
 				return nil, 0, fmt.Errorf("value: bad length in row")
 			}
 			off += u
-			if off+int(ln) > len(src) {
+			// uint64 comparison: a crafted length must not wrap the bound
+			// check into a slice panic.
+			if ln > uint64(len(src)-off) {
 				return nil, 0, fmt.Errorf("value: truncated payload")
 			}
 			payload := src[off : off+int(ln)]

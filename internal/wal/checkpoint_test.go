@@ -192,7 +192,7 @@ func TestGroupCommitBatchesFsyncs(t *testing.T) {
 	}
 	cf := &countingFile{f: f}
 	l := NewLog(cf, SyncEachCommit)
-	l.SetSyncDelayForTest(200 * time.Microsecond)
+	l.SetSyncDelay(200 * time.Microsecond)
 
 	const goroutines = 8
 	const perG = 25

@@ -267,10 +267,13 @@ func (l *Log) WaitDurable(lsn int64) error {
 	}
 }
 
-// SetSyncDelayForTest injects an artificial delay into the group-commit
-// leader's fsync window, modelling real disk fsync latency on filesystems
-// where fsync is nearly free. Test-only.
-func (l *Log) SetSyncDelayForTest(d time.Duration) {
+// SetSyncDelay injects an artificial delay into the group-commit leader's
+// fsync window, modelling real disk fsync latency on filesystems where
+// fsync is nearly free (tmpfs, fast NVMe with volatile caches). The
+// group-commit tests and the server-load experiment use it so batching
+// behaviour is observable and reproducible regardless of the host's
+// filesystem; production deployments leave it zero.
+func (l *Log) SetSyncDelay(d time.Duration) {
 	l.mu.Lock()
 	l.syncDelay = d
 	l.mu.Unlock()
