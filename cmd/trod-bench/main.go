@@ -9,6 +9,7 @@
 //	trod-bench -exp e2 -maxevents 1000000
 //	trod-bench -exp recovery         # cold-restart time, full replay vs checkpoint
 //	trod-bench -exp server -clients 32 -ops 200   # multi-client network load
+//	trod-bench -exp replication -replicas 3       # read scaling + replication lag
 //	trod-bench -exp table1|table2|query|replay|retro|security|exfil|cases
 //	trod-bench -exp a1|a2|a3
 package main
@@ -28,13 +29,15 @@ import (
 )
 
 var (
-	expFlag   = flag.String("exp", "all", "experiment: all,e1,e2,recovery,server,table1,table2,query,replay,retro,security,exfil,cases,a1,a2,a3")
+	expFlag   = flag.String("exp", "all", "experiment: all,e1,e2,recovery,server,replication,table1,table2,query,replay,retro,security,exfil,cases,a1,a2,a3")
 	requests  = flag.Int("requests", 5000, "E1/A1 request count")
 	users     = flag.Int("users", 100, "E1/A1 user count")
 	maxEvents = flag.Int("maxevents", 500_000, "E2 largest event-count scale")
 	bulkRows  = flag.Int("bulkrows", 100_000, "A2 bulk table size")
 	clients   = flag.Int("clients", 32, "server experiment: concurrent client connections")
 	ops       = flag.Int("ops", 200, "server experiment: operations per client")
+	replicas  = flag.Int("replicas", 3, "replication experiment: replica count")
+	readMs    = flag.Int("readms", 400, "replication experiment: read-throughput window per scale point (ms)")
 	jsonOut   = flag.String("json", "", "write a BENCH_*.json perf snapshot (E1 memory pair + E2 sweep + recovery + server load) to this path and exit")
 )
 
@@ -61,6 +64,7 @@ func main() {
 	run("e2", runE2)
 	run("recovery", runRecovery)
 	run("server", runServer)
+	run("replication", runReplication)
 	run("table1", runTable1)
 	run("table2", runTable2)
 	run("query", runQuery)
@@ -75,7 +79,7 @@ func main() {
 
 	if which != "all" {
 		switch which {
-		case "e1", "e2", "recovery", "server", "table1", "table2", "query", "replay", "retro", "security", "exfil", "cases", "a1", "a2", "a3":
+		case "e1", "e2", "recovery", "server", "replication", "table1", "table2", "query", "replay", "retro", "security", "exfil", "cases", "a1", "a2", "a3":
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *expFlag)
 			flag.Usage()
@@ -90,12 +94,38 @@ func main() {
 // recorded; compare the e2[].query_ms series, e1.trace_cost_us_per_req, and
 // recovery.checkpoint_ms across files.
 type Snapshot struct {
-	GeneratedAt string            `json:"generated_at"`
-	Requests    int               `json:"e1_requests"`
-	E1          SnapshotE1        `json:"e1"`
-	E2          []SnapshotE2      `json:"e2"`
-	Recovery    *SnapshotRecovery `json:"recovery,omitempty"`
-	Server      *SnapshotServer   `json:"server,omitempty"`
+	GeneratedAt string               `json:"generated_at"`
+	Requests    int                  `json:"e1_requests"`
+	E1          SnapshotE1           `json:"e1"`
+	E2          []SnapshotE2         `json:"e2"`
+	Recovery    *SnapshotRecovery    `json:"recovery,omitempty"`
+	Server      *SnapshotServer      `json:"server,omitempty"`
+	Replication *SnapshotReplication `json:"replication,omitempty"`
+}
+
+// SnapshotReplication records the replication experiment: read throughput
+// at each replica count (0 = primary-only baseline), end-to-end replication
+// lag percentiles with the bounded-staleness verdict, and the differential
+// proof that every replica's state equaled the primary's after the load
+// drained.
+type SnapshotReplication struct {
+	Replicas      int                    `json:"replicas"`
+	WriteOps      int                    `json:"write_ops"`
+	SlotsPerNode  int                    `json:"read_slots_per_node"`
+	ReadServiceUs int                    `json:"read_service_model_us"`
+	ReadScale     []SnapshotReplicaScale `json:"read_scale"`
+	LagSamples    int                    `json:"lag_samples"`
+	LagP50Ms      float64                `json:"lag_p50_ms"`
+	LagP99Ms      float64                `json:"lag_p99_ms"`
+	LagBoundMs    float64                `json:"lag_bound_ms"`
+	LagBounded    bool                   `json:"lag_bounded"`
+	DiffClean     bool                   `json:"store_diff_clean"`
+}
+
+// SnapshotReplicaScale is one read-throughput scale point.
+type SnapshotReplicaScale struct {
+	Replicas      int     `json:"replicas"`
+	ThroughputOps float64 `json:"throughput_ops_per_s"`
 }
 
 // SnapshotServer records the network front end's multi-client load numbers:
@@ -197,6 +227,10 @@ func writeSnapshot(path string) error {
 	if err != nil {
 		return err
 	}
+	rep, err := experiments.RunReplication(*replicas, *readMs)
+	if err != nil {
+		return err
+	}
 	snap := Snapshot{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		Requests:    reqs,
@@ -234,6 +268,22 @@ func writeSnapshot(path string) error {
 		WALSyncs:      sl.WALSyncs,
 		FsyncDelayUs:  sl.FsyncDelayUs,
 		GroupCommit:   sl.GroupCommitEffective(),
+	}
+	snap.Replication = &SnapshotReplication{
+		Replicas:      rep.Replicas,
+		WriteOps:      rep.WriteOps,
+		SlotsPerNode:  rep.SlotsPerNode,
+		ReadServiceUs: rep.ReadServiceUs,
+		LagSamples:    rep.LagSamples,
+		LagP50Ms:      rep.LagP50Ms,
+		LagP99Ms:      rep.LagP99Ms,
+		LagBoundMs:    rep.LagBoundMs,
+		LagBounded:    rep.LagBounded,
+		DiffClean:     rep.DiffClean,
+	}
+	for _, p := range rep.ReadScale {
+		snap.Replication.ReadScale = append(snap.Replication.ReadScale,
+			SnapshotReplicaScale{Replicas: p.Replicas, ThroughputOps: p.Throughput})
 	}
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
@@ -343,6 +393,39 @@ func runServer() error {
 	fmt.Printf("durability:      %d commits acknowledged with %d WAL fsyncs (modelled fsync %dus)\n",
 		res.Commits, res.WALSyncs, res.FsyncDelayUs)
 	fmt.Printf("group commit effective (fsyncs < commits): %v\n", res.GroupCommitEffective())
+	return nil
+}
+
+func runReplication() error {
+	fmt.Println("Replication: read scaling and lag across streaming replicas")
+	fmt.Println("    (primary under continuous write load; replicas tail the commit log,")
+	fmt.Println("     serve reads at their applied sequence, and must equal the primary")
+	fmt.Println("     after the load drains)")
+	fmt.Printf("cluster: 1 primary + %d replicas, %d ms read window per scale point\n\n", *replicas, *readMs)
+	res, err := experiments.RunReplication(*replicas, *readMs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("capacity model: %d read slots/node, >=%d us service time per read\n", res.SlotsPerNode, res.ReadServiceUs)
+	fmt.Println("    (models per-machine read capacity so scaling is observable on")
+	fmt.Println("     shared-CPU benchmark hosts; lag and StoreDiff are unmodelled)")
+	fmt.Printf("%10s %16s %10s\n", "replicas", "reads/s", "reads")
+	for _, p := range res.ReadScale {
+		label := fmt.Sprintf("%d", p.Replicas)
+		if p.Replicas == 0 {
+			label = "0 (primary)"
+		}
+		fmt.Printf("%10s %16.0f %10d\n", label, p.Throughput, p.Reads)
+	}
+	fmt.Printf("\nwrite load:      %d primary commits during the run (final seq %d)\n", res.WriteOps, res.FinalSeq)
+	fmt.Printf("replication lag: p50 %.2f ms, p99 %.2f ms over %d end-to-end samples\n",
+		res.LagP50Ms, res.LagP99Ms, res.LagSamples)
+	fmt.Printf("bounded staleness (p99 <= %.0f ms): %v\n", res.LagBoundMs, res.LagBounded)
+	fmt.Printf("replica state == primary state after drain (StoreDiff): %v\n", res.DiffClean)
+	if !res.LagBounded || !res.DiffClean {
+		return fmt.Errorf("replication experiment failed its assertions (lagBounded=%v diffClean=%v)",
+			res.LagBounded, res.DiffClean)
+	}
 	return nil
 }
 

@@ -8,10 +8,13 @@
 //	echo "SELECT COUNT(*) FROM forum_sub;" | trod-query -db db.wal
 //	trod-query -db db.wal            # interactive: one statement per line
 //	trod-query -remote 127.0.0.1:7654 "SELECT * FROM t"
+//	trod-query -remote 127.0.0.1:7654 -stats        # server counters (text)
+//	trod-query -remote 127.0.0.1:7654 -stats -json  # ... as JSON
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -21,12 +24,15 @@ import (
 
 	trod "repro"
 	"repro/internal/client"
+	"repro/internal/protocol"
 )
 
 var (
-	dbPath = flag.String("db", "", "path to the database WAL file")
-	remote = flag.String("remote", "", "trod-server address to connect to instead of opening -db")
-	timing = flag.Bool("timing", false, "print per-query execution time")
+	dbPath  = flag.String("db", "", "path to the database WAL file")
+	remote  = flag.String("remote", "", "trod-server address to connect to instead of opening -db")
+	timing  = flag.Bool("timing", false, "print per-query execution time")
+	stats   = flag.Bool("stats", false, "print the server's Stats response and exit (requires -remote)")
+	jsonOut = flag.Bool("json", false, "with -stats: print the stats as JSON")
 )
 
 // queryer runs one SQL statement; the local (embedded DB) and remote
@@ -72,10 +78,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "trod-query: -db and -remote are mutually exclusive")
 		flag.Usage()
 		os.Exit(2)
+	case *stats && *remote == "":
+		fmt.Fprintln(os.Stderr, "trod-query: -stats requires -remote")
+		flag.Usage()
+		os.Exit(2)
 	case *remote != "":
 		c, err := client.Dial(*remote, client.Options{})
 		if err != nil {
 			log.Fatalf("connect %s: %v", *remote, err)
+		}
+		if *stats {
+			st, err := c.Stats()
+			c.Close()
+			if err != nil {
+				log.Fatalf("stats: %v", err)
+			}
+			printStats(st, *jsonOut)
+			return
 		}
 		q = remoteDB{c}
 	case *dbPath != "":
@@ -151,6 +170,65 @@ func runOne(q queryer, stmt string) error {
 		fmt.Printf("time: %.2f ms\n", float64(time.Since(t0).Microseconds())/1000)
 	}
 	return nil
+}
+
+// printStats renders a Stats response for operators: one counter per line
+// (stable, grep-friendly), or one JSON object with -json. Replication
+// fields appear only where they mean something — applied seq and lag on a
+// replica, subscriber count on a primary.
+func printStats(st protocol.Stats, asJSON bool) {
+	if asJSON {
+		out := map[string]any{
+			"active_sessions":   st.ActiveSessions,
+			"active_txns":       st.ActiveTxns,
+			"queued_conns":      st.QueuedConns,
+			"accepted":          st.Accepted,
+			"rejected_busy":     st.RejectedBusy,
+			"requests":          st.Requests,
+			"commits":           st.Commits,
+			"conflicts":         st.Conflicts,
+			"expired_txns":      st.ExpiredTxns,
+			"wal_syncs":         st.WALSyncs,
+			"plan_cache_hits":   st.PlanCacheHits,
+			"plan_cache_misses": st.PlanCacheMisses,
+			"subscribers":       st.Subscribers,
+			"is_replica":        st.IsReplica == 1,
+		}
+		if st.IsReplica == 1 {
+			out["applied_seq"] = st.AppliedSeq
+			out["primary_seq"] = st.PrimarySeq
+			out["replication_lag"] = st.Lag()
+			out["replication_connected"] = st.ReplConnected == 1
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(string(data))
+		return
+	}
+	fmt.Printf("active_sessions:    %d\n", st.ActiveSessions)
+	fmt.Printf("active_txns:        %d\n", st.ActiveTxns)
+	fmt.Printf("queued_conns:       %d\n", st.QueuedConns)
+	fmt.Printf("accepted:           %d\n", st.Accepted)
+	fmt.Printf("rejected_busy:      %d\n", st.RejectedBusy)
+	fmt.Printf("requests:           %d\n", st.Requests)
+	fmt.Printf("commits:            %d\n", st.Commits)
+	fmt.Printf("conflicts:          %d\n", st.Conflicts)
+	fmt.Printf("expired_txns:       %d\n", st.ExpiredTxns)
+	fmt.Printf("wal_syncs:          %d\n", st.WALSyncs)
+	fmt.Printf("plan_cache_hits:    %d\n", st.PlanCacheHits)
+	fmt.Printf("plan_cache_misses:  %d\n", st.PlanCacheMisses)
+	fmt.Printf("subscribers:        %d\n", st.Subscribers)
+	if st.IsReplica == 1 {
+		fmt.Printf("role:               replica\n")
+		fmt.Printf("applied_seq:        %d\n", st.AppliedSeq)
+		fmt.Printf("primary_seq:        %d\n", st.PrimarySeq)
+		fmt.Printf("replication_lag:    %d\n", st.Lag())
+		fmt.Printf("replication_connected: %v\n", st.ReplConnected == 1)
+	} else {
+		fmt.Printf("role:               primary\n")
+	}
 }
 
 // isTerminalish reports whether stdin looks interactive (best effort, no

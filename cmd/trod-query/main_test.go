@@ -1,10 +1,17 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"net"
 	"os"
 	"os/exec"
 	"strings"
 	"testing"
+	"time"
+
+	"repro/internal/db"
+	"repro/internal/server"
 )
 
 // TestMain lets the test binary run the real main when re-executed by the
@@ -62,6 +69,67 @@ func TestMissingDBAndRemoteExitsWithUsage(t *testing.T) {
 	}
 	if !strings.Contains(out, "-db or -remote") {
 		t.Fatalf("missing requirement message:\n%s", out)
+	}
+}
+
+func TestStatsRequiresRemote(t *testing.T) {
+	out, code := runMain(t, "-stats")
+	if code != 2 {
+		t.Fatalf("-stats without -remote exited %d, want 2; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "-stats requires -remote") {
+		t.Fatalf("missing -stats requirement message:\n%s", out)
+	}
+}
+
+// TestStatsAgainstLiveServer spins an in-process server and checks the
+// operator-facing stats output (text and JSON shapes).
+func TestStatsAgainstLiveServer(t *testing.T) {
+	d := db.MustOpenMemory()
+	if _, err := d.Exec(`CREATE TABLE t (id INTEGER PRIMARY KEY)`); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{DB: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		<-done
+	}()
+	addr := ln.Addr().String()
+
+	out, code := runMain(t, "-remote", addr, "-stats")
+	if code != 0 {
+		t.Fatalf("-stats exited %d; output:\n%s", code, out)
+	}
+	for _, want := range []string{"requests:", "plan_cache_hits:", "role:               primary"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text stats missing %q:\n%s", want, out)
+		}
+	}
+
+	out, code = runMain(t, "-remote", addr, "-stats", "-json")
+	if code != 0 {
+		t.Fatalf("-stats -json exited %d; output:\n%s", code, out)
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal([]byte(out), &parsed); err != nil {
+		t.Fatalf("stats JSON does not parse: %v\n%s", err, out)
+	}
+	if parsed["is_replica"] != false {
+		t.Fatalf("json stats: is_replica = %v, want false", parsed["is_replica"])
+	}
+	if _, ok := parsed["requests"]; !ok {
+		t.Fatalf("json stats missing requests:\n%s", out)
 	}
 }
 

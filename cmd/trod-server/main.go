@@ -7,6 +7,13 @@
 //	trod-server -db path/to/db.wal                    # listen on :7654
 //	trod-server -db db.wal -addr 127.0.0.1:0 -portfile /tmp/addr
 //	trod-server -db db.wal -sync                      # fsync per commit (group commit)
+//	trod-server -db replica.wal -replica-of 10.0.0.1:7654   # read-only replica
+//
+// Every server is a replication source: replicas subscribe to it and tail
+// its commit log. With -replica-of the server instead becomes a read-only
+// replica of the given primary — it bootstraps from the primary (snapshot or
+// log catch-up), persists everything to its own WAL, serves SELECTs at its
+// applied sequence, and rejects writes with a typed read-only error.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, in-flight
 // requests drain, and the WAL is checkpointed so the next start recovers
@@ -26,6 +33,7 @@ import (
 
 	trod "repro"
 	"repro/internal/db"
+	"repro/internal/repl"
 	"repro/internal/server"
 	"repro/internal/wal"
 )
@@ -40,6 +48,7 @@ var (
 	idleTimeout = flag.Duration("idle-timeout", 2*time.Minute, "disconnect idle sessions after this long")
 	txnTimeout  = flag.Duration("txn-timeout", 15*time.Second, "abort interactive transactions open longer than this")
 	drainWait   = flag.Duration("drain", 10*time.Second, "max graceful-shutdown drain time")
+	replicaOf   = flag.String("replica-of", "", "primary address to replicate from (this server becomes a read-only replica)")
 )
 
 func main() {
@@ -67,13 +76,25 @@ func main() {
 		log.Printf("recovered %s: snapshot=%v tail=%d records", *dbPath, rec.SnapshotLoaded, rec.TailRecords)
 	}
 
-	srv, err := server.New(server.Config{
+	cfg := server.Config{
 		DB:          d,
 		MaxConns:    *maxConns,
 		QueueDepth:  *queueDepth,
 		IdleTimeout: *idleTimeout,
 		TxnTimeout:  *txnTimeout,
-	})
+	}
+	var replica *repl.Replica
+	if *replicaOf != "" {
+		d.SetReadOnly(true)
+		replica = repl.StartReplica(d, *replicaOf, repl.ReplicaOptions{})
+		defer replica.Stop()
+		cfg.Replica = replica
+		log.Printf("replicating from %s (resuming at seq %d)", *replicaOf, replica.AppliedSeq())
+	} else {
+		// Every primary serves replication subscribers.
+		cfg.Source = repl.NewSource(d, repl.SourceOptions{})
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -102,9 +123,17 @@ func main() {
 			log.Fatalf("shutdown: %v", err)
 		}
 		<-done
+		if replica != nil {
+			replica.Stop()
+		}
 		st := srv.Stats()
-		log.Printf("drained cleanly: %d requests served, %d commits, %d WAL syncs",
-			st.Requests, st.Commits, st.WALSyncs)
+		if st.IsReplica == 1 {
+			log.Printf("drained cleanly: %d requests served, applied seq %d (lag %d)",
+				st.Requests, st.AppliedSeq, st.Lag())
+		} else {
+			log.Printf("drained cleanly: %d requests served, %d commits, %d WAL syncs",
+				st.Requests, st.Commits, st.WALSyncs)
+		}
 	case err := <-done:
 		if err != nil {
 			log.Fatalf("serve: %v", err)

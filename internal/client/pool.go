@@ -1,0 +1,135 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/protocol"
+)
+
+// Pool is a read/write-splitting client over a replicated trod cluster:
+// queries round-robin across the replicas, while writes, DDL, and
+// interactive transactions always go to the primary. With no replicas it
+// degenerates to a plain primary client.
+//
+// Routing is availability-first: a replica that fails with a transport
+// error, a busy/shutdown rejection, or a read-only rejection (the statement
+// was actually a write) falls through — first to the next replica, finally
+// to the primary. Deterministic statement failures (SQL errors) return
+// immediately; retrying them elsewhere would just fail again.
+//
+// Reads served by replicas are consistent snapshots of a commit-order
+// prefix of the primary's history, but may trail the primary by the
+// replication lag; use QueryPrimary when read-your-writes is required.
+type Pool struct {
+	primary  *Client
+	replicas []*Client
+	rr       atomic.Uint64
+}
+
+// NewPool dials the primary and every replica. Any dial failure closes the
+// already-opened clients and fails the pool: a replica that is down at pool
+// construction is a deployment error, not a condition to silently tolerate.
+func NewPool(primaryAddr string, replicaAddrs []string, opts Options) (*Pool, error) {
+	primary, err := Dial(primaryAddr, opts)
+	if err != nil {
+		return nil, fmt.Errorf("pool: primary %s: %w", primaryAddr, err)
+	}
+	p := &Pool{primary: primary}
+	for _, addr := range replicaAddrs {
+		c, err := Dial(addr, opts)
+		if err != nil {
+			p.Close()
+			return nil, fmt.Errorf("pool: replica %s: %w", addr, err)
+		}
+		p.replicas = append(p.replicas, c)
+	}
+	return p, nil
+}
+
+// Primary exposes the primary's client (transactions, stats, writes).
+func (p *Pool) Primary() *Client { return p.primary }
+
+// Replicas reports the number of pooled replicas.
+func (p *Pool) Replicas() int { return len(p.replicas) }
+
+// retriableElsewhere reports errors worth retrying on another server:
+// transport failures and availability rejections. SQL and protocol-state
+// errors are deterministic and surface immediately.
+func retriableElsewhere(err error) bool {
+	var se *protocol.ServerError
+	if !errors.As(err, &se) {
+		return true // transport failure: this server is unreachable
+	}
+	switch se.Code {
+	case protocol.CodeBusy, protocol.CodeShutdown, protocol.CodeReadOnly:
+		return true
+	}
+	return false
+}
+
+// Query runs a read statement on a replica (round-robin), falling back to
+// further replicas and finally the primary when a server is unavailable.
+func (p *Pool) Query(sql string, args ...any) (*Result, error) {
+	if len(p.replicas) == 0 {
+		return p.primary.Query(sql, args...)
+	}
+	start := p.rr.Add(1)
+	var lastErr error
+	for i := 0; i < len(p.replicas); i++ {
+		c := p.replicas[int((start+uint64(i))%uint64(len(p.replicas)))]
+		res, err := c.Query(sql, args...)
+		if err == nil {
+			return res, nil
+		}
+		if !retriableElsewhere(err) {
+			return nil, err
+		}
+		lastErr = err
+		if protocol.IsReadOnly(err) {
+			break // it's a write; no replica will take it
+		}
+	}
+	res, err := p.primary.Query(sql, args...)
+	if err != nil && lastErr != nil {
+		return nil, fmt.Errorf("%w (replica: %v)", err, lastErr)
+	}
+	return res, err
+}
+
+// QueryPrimary runs a read on the primary (read-your-writes freshness).
+func (p *Pool) QueryPrimary(sql string, args ...any) (*Result, error) {
+	return p.primary.Query(sql, args...)
+}
+
+// Exec runs a write or DDL statement on the primary.
+func (p *Pool) Exec(sql string, args ...any) (*Result, error) {
+	return p.primary.Exec(sql, args...)
+}
+
+// Begin opens an interactive transaction on the primary.
+func (p *Pool) Begin() (*Tx, error) { return p.primary.Begin() }
+
+// Stats fetches the primary's server counters.
+func (p *Pool) Stats() (protocol.Stats, error) { return p.primary.Stats() }
+
+// ReplicaStats fetches one replica's server counters (applied sequence and
+// lag live there).
+func (p *Pool) ReplicaStats(i int) (protocol.Stats, error) {
+	if i < 0 || i >= len(p.replicas) {
+		return protocol.Stats{}, fmt.Errorf("pool: no replica %d", i)
+	}
+	return p.replicas[i].Stats()
+}
+
+// Close closes every pooled client.
+func (p *Pool) Close() error {
+	err := p.primary.Close()
+	for _, c := range p.replicas {
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"time"
 
@@ -171,6 +172,20 @@ type DB struct {
 	// request-path tracing cost on scan-heavy statements.
 	readTraceLimit int
 
+	// DDL observation for replication: every DDL statement (live or
+	// replayed during recovery) updates the last-DDL position, and live DDL
+	// additionally fans out to subscribers (the replication source journals
+	// it there). Subscriber callbacks run under the store lock via the DDL
+	// hook — they must be fast and must not call back into the store.
+	ddlMu      sync.Mutex
+	ddlSubs    []func(seq uint64, stmt string)
+	lastDDLSeq uint64
+	ddlSeen    bool
+
+	// readOnly rejects writes and DDL arriving through the SQL layer with
+	// ErrReadOnly (replicas serve reads only; replicated apply bypasses it).
+	readOnly bool
+
 	closed bool
 	mu     sync.Mutex
 }
@@ -194,6 +209,7 @@ func Open(opts Options) (*DB, error) {
 		plans:       newPlanCache(0),
 	}
 	if opts.Mode == Memory {
+		db.store.SetDDLHook(db.ddlFired)
 		return db, nil
 	}
 	if opts.Path == "" {
@@ -209,11 +225,7 @@ func Open(opts Options) (*DB, error) {
 		return nil, err
 	}
 	db.log = log
-	db.store.SetDDLHook(func(stmt string) {
-		// Errors here are surfaced on Close/Flush; DDL is rare and the log
-		// write failing means the disk is gone.
-		_ = log.AppendDDL(stmt)
-	})
+	db.store.SetDDLHook(db.ddlFired)
 	db.store.SubscribeCDC(func(rec storage.CommitRecord) {
 		// Append under the store's commit lock so the log order matches the
 		// serialization order, but do NOT wait for durability here: the
@@ -240,6 +252,55 @@ func Open(opts Options) (*DB, error) {
 		}
 	})
 	return db, nil
+}
+
+// ddlFired is the store's DDL hook: it persists the statement to the WAL
+// (Disk mode), records the DDL position, and fans out to subscribers. It
+// runs under the store's commit lock, so subscribers observe DDL in exact
+// serialization order relative to commits.
+func (db *DB) ddlFired(seq uint64, stmt string) {
+	if db.log != nil {
+		// Errors here are surfaced on Close/Flush; DDL is rare and the log
+		// write failing means the disk is gone.
+		_ = db.log.AppendDDL(stmt)
+	}
+	db.ddlMu.Lock()
+	db.lastDDLSeq = seq
+	db.ddlSeen = true
+	subs := db.ddlSubs
+	db.ddlMu.Unlock()
+	for _, fn := range subs {
+		fn(seq, stmt)
+	}
+}
+
+// noteDDL records a DDL position without fanning out (recovery replay: the
+// statement predates any subscriber and is already in the WAL).
+func (db *DB) noteDDL(seq uint64) {
+	db.ddlMu.Lock()
+	db.lastDDLSeq = seq
+	db.ddlSeen = true
+	db.ddlMu.Unlock()
+}
+
+// SubscribeDDL registers fn to receive every future DDL statement together
+// with the commit sequence it executed at. fn runs under the store's commit
+// lock (like CDC subscribers): it must be fast and must not call back into
+// the store. The replication source uses it to journal DDL for log shipping.
+func (db *DB) SubscribeDDL(fn func(seq uint64, stmt string)) {
+	db.ddlMu.Lock()
+	db.ddlSubs = append(db.ddlSubs, fn)
+	db.ddlMu.Unlock()
+}
+
+// LastDDL reports the commit sequence of the most recent DDL statement this
+// database has applied (live or replayed during recovery), and whether any
+// DDL has been applied at all. The replication source uses it to refuse
+// log catch-up from positions that might be missing a DDL it cannot resend.
+func (db *DB) LastDDL() (uint64, bool) {
+	db.ddlMu.Lock()
+	defer db.ddlMu.Unlock()
+	return db.lastDDLSeq, db.ddlSeen
 }
 
 // recover rebuilds the store from the WAL (and snapshot) at path.
@@ -289,7 +350,11 @@ func (db *DB) replayLog(path string) error {
 				return fmt.Errorf("db: recovering DDL %q: %w", rec.DDL, err)
 			}
 			db.recovery.TailRecords++
-			return db.applyDDL(stmt, true)
+			if err := db.applyDDL(stmt, true); err != nil {
+				return err
+			}
+			db.noteDDL(db.store.CurrentSeq())
+			return nil
 		case wal.RecordCommit:
 			if rec.Commit.Seq <= db.store.CurrentSeq() {
 				return nil // duplicate of already-recovered state
@@ -639,9 +704,23 @@ func (db *DB) ExecMeta(meta TxMeta, query string, args ...any) (*Rows, error) {
 	return db.exec(meta, query, args...)
 }
 
+// readOnlyViolation rejects non-SELECT statements on a read-only database.
+func (db *DB) readOnlyViolation(stmt sqlparse.Statement) error {
+	if !db.readOnly {
+		return nil
+	}
+	if _, ok := stmt.(*sqlparse.Select); ok {
+		return nil
+	}
+	return ErrReadOnly
+}
+
 func (db *DB) exec(meta TxMeta, query string, args ...any) (*Rows, error) {
 	stmt, err := db.parse(query)
 	if err != nil {
+		return nil, err
+	}
+	if err := db.readOnlyViolation(stmt); err != nil {
 		return nil, err
 	}
 	if isDDL(stmt) {
@@ -687,6 +766,9 @@ func (db *DB) ExecScript(script string) error {
 		return err
 	}
 	for _, stmt := range stmts {
+		if err := db.readOnlyViolation(stmt); err != nil {
+			return err
+		}
 		if isDDL(stmt) {
 			if err := db.applyDDL(stmt, false); err != nil {
 				return err
@@ -854,6 +936,9 @@ func (tx *Tx) Exec(query string, args ...any) (*Rows, error) {
 	defer tx.exit()
 	stmt, err := tx.db.parse(query)
 	if err != nil {
+		return nil, err
+	}
+	if err := tx.db.readOnlyViolation(stmt); err != nil {
 		return nil, err
 	}
 	if isDDL(stmt) {
@@ -1041,7 +1126,9 @@ func (db *DB) Flush() error {
 // TROD replay and retroactive-programming engines use it to build
 // development databases from restored snapshots.
 func NewFromStore(s *storage.Store) *DB {
-	return &DB{store: s, mode: Memory, plans: newPlanCache(0)}
+	db := &DB{store: s, mode: Memory, plans: newPlanCache(0)}
+	s.SetDDLHook(db.ddlFired)
+	return db
 }
 
 // CloneAt materialises a full copy of the database as of snapshot seq — the
@@ -1052,4 +1139,113 @@ func (db *DB) CloneAt(seq uint64) (*DB, error) {
 		return nil, err
 	}
 	return NewFromStore(s), nil
+}
+
+// --- replication support -----------------------------------------------------
+
+// ErrReadOnly reports a write or DDL statement rejected because the database
+// is in read-only mode (a replica). It maps to a typed protocol error on the
+// wire; writes must go to the primary.
+var ErrReadOnly = errors.New("db: database is read-only (replica); writes must go to the primary")
+
+// SetReadOnly switches the SQL layer into read-only mode: SELECTs run
+// normally, everything else fails with ErrReadOnly. The replicated apply
+// path (ApplyReplicatedCommit/ApplyReplicatedDDL/BootstrapFromSnapshot)
+// bypasses the guard. Must be set before concurrent use.
+func (db *DB) SetReadOnly(ro bool) { db.readOnly = ro }
+
+// ReadOnly reports whether the SQL layer rejects writes.
+func (db *DB) ReadOnly() bool { return db.readOnly }
+
+// ApplyReplicatedCommit applies one commit record shipped from a replication
+// primary: the record is force-applied in serialization order (exactly like
+// WAL recovery, so indexes and version chains match the primary's), appended
+// to this replica's own WAL for restart durability, and counted toward
+// automatic checkpoint triggers. Records at or below the current sequence
+// are duplicates from a reconnect or bootstrap overlap and are skipped.
+// Callers must apply records from a single goroutine in stream order.
+func (db *DB) ApplyReplicatedCommit(rec storage.CommitRecord) error {
+	if rec.Seq <= db.store.CurrentSeq() {
+		return nil // overlap with already-applied state (resubscribe/bootstrap)
+	}
+	if err := db.store.ApplyCommitted(rec); err != nil {
+		return err
+	}
+	if db.log != nil {
+		// A checkpoint can rotate between the store apply and this append,
+		// duplicating the record in the new log's tail; recovery skips
+		// duplicate sequences, so that is harmless.
+		if err := db.log.AppendCommit(rec); err != nil {
+			return fmt.Errorf("db: replicated commit %d not logged: %w", rec.Seq, err)
+		}
+	}
+	db.maybeCheckpoint()
+	return nil
+}
+
+// ApplyReplicatedDDL applies one DDL statement shipped from a replication
+// primary. Application is idempotent — a statement the replica already
+// applied (reconnect overlap, bootstrap that captured the catalog) is
+// skipped — because a replica resuming at commit sequence S cannot know
+// which of the primary's DDL statements at position S it already received.
+// Re-applying the full suffix converges: later statements overwrite earlier
+// ones, and a table dropped-and-recreated at the same position is empty on
+// the primary too (its rows arrive as later commits). The statement is
+// persisted to the replica's WAL through the normal DDL hook.
+func (db *DB) ApplyReplicatedDDL(stmt string) error {
+	parsed, err := sqlparse.Parse(stmt)
+	if err != nil {
+		return fmt.Errorf("db: replicated DDL %q: %w", stmt, err)
+	}
+	switch s := parsed.(type) {
+	case *sqlparse.CreateTable:
+		s.IfNotExists = true
+	case *sqlparse.DropTable:
+		s.IfExists = true
+	case *sqlparse.CreateIndex:
+		for _, ix := range db.store.Indexes(s.Table) {
+			if strings.EqualFold(ix.Name, s.Name) {
+				return nil // already applied
+			}
+		}
+	default:
+		return fmt.Errorf("db: replicated statement %q is not DDL", stmt)
+	}
+	return db.applyDDL(parsed, false)
+}
+
+// BootstrapFromSnapshot replaces the database's entire state with a
+// primary's snapshot (raw or gzip-compressed EncodeSnapshot bytes): the
+// store's contents jump to the snapshot sequence, and in Disk mode the
+// snapshot is persisted next to the WAL and the log is rotated to a
+// checkpoint pointer, so a restart recovers straight into the bootstrapped
+// state. Used by replicas that fell out of the primary's retained log
+// window. Concurrent reads stay safe (the swap happens under the store
+// lock); transactions begun before the swap observe empty tables.
+func (db *DB) BootstrapFromSnapshot(data []byte) error {
+	raw, err := storage.DecompressSnapshot(data)
+	if err != nil {
+		return err
+	}
+	st, err := storage.DecodeSnapshot(raw)
+	if err != nil {
+		return err
+	}
+	seq := st.CurrentSeq()
+	if db.log == nil {
+		db.store.ResetTo(st)
+		return nil
+	}
+	db.ckptMu.Lock()
+	defer db.ckptMu.Unlock()
+	snapPath := fmt.Sprintf("%s.snap.%d", db.walPath, seq)
+	if err := storage.WriteSnapshotFile(snapPath, raw); err != nil {
+		return err
+	}
+	db.store.ResetTo(st)
+	if err := db.log.Rotate(wal.Checkpoint{Seq: seq, Snapshot: filepath.Base(snapPath)}, nil); err != nil {
+		return err
+	}
+	db.cleanupSnapshots(filepath.Base(snapPath))
+	return nil
 }

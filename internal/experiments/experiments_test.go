@@ -188,3 +188,29 @@ func TestServerLoadSmall(t *testing.T) {
 		t.Errorf("throughput = %v", res.Throughput)
 	}
 }
+
+// TestReplicationSmall runs the replication experiment at a small scale:
+// read throughput rises when reads spread over more replicas, the replicas
+// end byte-identical to the primary, and lag samples were collected.
+func TestReplicationSmall(t *testing.T) {
+	res, err := RunReplication(2, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.DiffClean {
+		t.Error("replica state diverged from the primary after drain")
+	}
+	if len(res.ReadScale) != 3 {
+		t.Fatalf("read scale points = %d, want 3", len(res.ReadScale))
+	}
+	one, two := res.ReadScale[1].Throughput, res.ReadScale[2].Throughput
+	if two <= one {
+		t.Errorf("read throughput did not rise with replica count: 1 replica %.0f/s, 2 replicas %.0f/s", one, two)
+	}
+	if res.LagSamples == 0 {
+		t.Error("no lag samples collected")
+	}
+	if res.WriteOps == 0 {
+		t.Error("no write load applied")
+	}
+}

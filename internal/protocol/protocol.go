@@ -27,7 +27,9 @@ import (
 	"hash/crc32"
 	"io"
 
+	"repro/internal/storage"
 	"repro/internal/value"
+	"repro/internal/wal"
 )
 
 // MsgType tags a protocol message.
@@ -49,6 +51,11 @@ const (
 	// MsgStats asks for server counters (sessions, transactions, commits,
 	// WAL fsyncs).
 	MsgStats
+	// MsgSubscribe turns the session into a replication subscriber: the
+	// server streams MsgSnapshotChunk (when bootstrapping) and MsgLogBatch
+	// frames from FromSeq onward until the connection closes. With Bootstrap
+	// set, FromSeq is ignored and the server ships a full snapshot first.
+	MsgSubscribe
 )
 
 // Response messages (server -> client).
@@ -60,6 +67,14 @@ const (
 	MsgTxState
 	MsgStatsResult
 	MsgError
+	// MsgLogBatch carries replication stream entries (committed CDC records
+	// and DDL statements in commit order) plus the primary's current commit
+	// sequence; an empty batch is a heartbeat carrying only PrimarySeq.
+	MsgLogBatch
+	// MsgSnapshotChunk carries one piece of a bootstrap snapshot (the
+	// compressed EncodeSnapshot image); Last marks the final chunk and Seq
+	// the commit sequence the snapshot captures.
+	MsgSnapshotChunk
 )
 
 // ErrCode classifies a server-side failure so clients can react typedly
@@ -87,6 +102,13 @@ const (
 	CodeBusy
 	// CodeShutdown: the server is draining; no new work is admitted.
 	CodeShutdown
+	// CodeReadOnly: a write or DDL statement reached a read-only replica;
+	// route it to the primary.
+	CodeReadOnly
+	// CodeLogTruncated: the requested replication position is no longer in
+	// the primary's retained log window (or predates what the primary can
+	// prove it shipped); the subscriber must re-bootstrap from a snapshot.
+	CodeLogTruncated
 )
 
 // String names the code for error text.
@@ -108,6 +130,10 @@ func (c ErrCode) String() string {
 		return "busy"
 	case CodeShutdown:
 		return "shutdown"
+	case CodeReadOnly:
+		return "read-only"
+	case CodeLogTruncated:
+		return "log-truncated"
 	default:
 		return fmt.Sprintf("code(%d)", uint8(c))
 	}
@@ -139,6 +165,13 @@ func IsBusy(err error) bool { return IsCode(err, CodeBusy) }
 // IsTxnExpired reports a deadline-aborted interactive transaction.
 func IsTxnExpired(err error) bool { return IsCode(err, CodeTxnExpired) }
 
+// IsReadOnly reports a write rejected by a read-only replica.
+func IsReadOnly(err error) bool { return IsCode(err, CodeReadOnly) }
+
+// IsLogTruncated reports a replication position outside the primary's
+// retained log window.
+func IsLogTruncated(err error) bool { return IsCode(err, CodeLogTruncated) }
+
 // Stats is the MsgStatsResult payload: a snapshot of the server's gauges
 // and counters, plus the WAL sync counter so load tests can verify group
 // commit (Syncs < Commits) over the wire.
@@ -153,6 +186,32 @@ type Stats struct {
 	Conflicts      uint64
 	ExpiredTxns    uint64
 	WALSyncs       uint64
+
+	// Plan-cache effectiveness of the backing database (operator view of
+	// db.PlanCacheStats over the wire).
+	PlanCacheHits   uint64
+	PlanCacheMisses uint64
+
+	// Replication. Subscribers counts live replication streams served (a
+	// primary's view). IsReplica is 1 when the server is a read-only
+	// replica; AppliedSeq/PrimarySeq are then the replica's applied commit
+	// sequence and the newest primary sequence it has heard of — their
+	// difference is the replication lag in commits — and ReplConnected is 1
+	// while the replica's subscription to its primary is live.
+	Subscribers   uint64
+	IsReplica     uint64
+	AppliedSeq    uint64
+	PrimarySeq    uint64
+	ReplConnected uint64
+}
+
+// Lag returns the replication lag in commit sequences (0 on a primary or a
+// fully caught-up replica).
+func (s *Stats) Lag() uint64 {
+	if s.PrimarySeq > s.AppliedSeq {
+		return s.PrimarySeq - s.AppliedSeq
+	}
+	return 0
 }
 
 // Message is one protocol message; Type selects which fields are meaningful
@@ -179,11 +238,51 @@ type Message struct {
 	// MsgError.
 	Code ErrCode
 	Err  string
+
+	// MsgSubscribe. FromSeq is the subscriber's applied commit sequence;
+	// Bootstrap requests a full snapshot instead of log catch-up.
+	FromSeq   uint64
+	Bootstrap bool
+
+	// MsgLogBatch. PrimarySeq is the primary's commit sequence when the
+	// batch was cut (heartbeats carry it with no entries).
+	Entries    []LogEntry
+	PrimarySeq uint64
+
+	// MsgSnapshotChunk. Data is one piece of the compressed snapshot image;
+	// Last marks the final chunk, whose Seq field (shared with MsgTxState)
+	// carries the snapshot's commit sequence.
+	Data []byte
+	Last bool
 }
+
+// LogEntry is one replication stream element: either a committed CDC record
+// or a DDL statement, in the primary's serialization order. Exactly one of
+// the two is meaningful; DDL entries have a non-empty DDL string.
+type LogEntry struct {
+	DDL    string
+	Commit storage.CommitRecord
+
+	// EncodedCommit is an encode-side fast path: when non-nil it must be
+	// wal.EncodeCommit(nil, Commit), and EncodeMessage writes it verbatim
+	// instead of re-serializing the record. The replication source fills it
+	// while sizing batches, so each commit is serialized once per
+	// subscriber, not twice. Never set by DecodeMessage.
+	EncodedCommit []byte
+}
+
+// IsDDL reports whether the entry carries a DDL statement.
+func (e *LogEntry) IsDDL() bool { return e.DDL != "" }
 
 // MaxFrame is the default cap on a frame's payload size; a peer announcing
 // more is treated as a corrupt stream.
 const MaxFrame = 16 << 20
+
+// MaxReplFrame is the frame cap on replication streams, sized so a single
+// large committed transaction (one CommitRecord is never split across
+// frames — replicas apply it atomically) still fits. Subscribers read with
+// this limit; snapshot bootstraps are chunked and never need it.
+const MaxReplFrame = 64 << 20
 
 const frameHeader = 8 // u32 length + u32 crc
 
@@ -225,6 +324,39 @@ func readUvarint(src []byte, off int) (uint64, int, error) {
 	return v, off + used, nil
 }
 
+func appendBytes(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// readBytes returns a sub-slice of src (no copy); callers that retain the
+// bytes past the payload's lifetime must copy.
+func readBytes(src []byte, off int) ([]byte, int, error) {
+	n, used := binary.Uvarint(src[off:])
+	if used <= 0 {
+		return nil, 0, fmt.Errorf("protocol: bad bytes header")
+	}
+	off += used
+	if n > uint64(len(src)-off) {
+		return nil, 0, fmt.Errorf("protocol: truncated bytes")
+	}
+	return src[off : off+int(n)], off + int(n), nil
+}
+
+func appendBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+func readBool(src []byte, off int) (bool, int, error) {
+	if off >= len(src) {
+		return false, 0, fmt.Errorf("protocol: truncated bool")
+	}
+	return src[off] == 1, off + 1, nil
+}
+
 // EncodeMessage appends m's payload encoding (type byte + fields) to dst.
 func EncodeMessage(dst []byte, m *Message) []byte {
 	dst = append(dst, byte(m.Type))
@@ -252,8 +384,48 @@ func EncodeMessage(dst []byte, m *Message) []byte {
 	case MsgError:
 		dst = append(dst, byte(m.Code))
 		dst = appendString(dst, m.Err)
+	case MsgSubscribe:
+		dst = binary.AppendUvarint(dst, m.FromSeq)
+		dst = appendBool(dst, m.Bootstrap)
+	case MsgLogBatch:
+		dst = binary.AppendUvarint(dst, uint64(len(m.Entries)))
+		for i := range m.Entries {
+			e := &m.Entries[i]
+			if e.IsDDL() {
+				dst = append(dst, entryDDL)
+				dst = appendString(dst, e.DDL)
+			} else {
+				dst = append(dst, entryCommit)
+				if e.EncodedCommit != nil {
+					dst = appendBytes(dst, e.EncodedCommit)
+				} else {
+					dst = appendBytes(dst, wal.EncodeCommit(nil, e.Commit))
+				}
+			}
+		}
+		dst = binary.AppendUvarint(dst, m.PrimarySeq)
+	case MsgSnapshotChunk:
+		dst = appendBytes(dst, m.Data)
+		dst = binary.AppendUvarint(dst, m.Seq)
+		dst = appendBool(dst, m.Last)
 	}
 	return dst
+}
+
+// Log-batch entry kinds.
+const (
+	entryCommit = 0
+	entryDDL    = 1
+)
+
+// preallocCap bounds a decode-side slice preallocation derived from an
+// attacker-controlled count: real counts still come out in one allocation,
+// crafted ones grow via append and fail on the first short element.
+func preallocCap(n, max uint64) uint64 {
+	if n > max {
+		return max
+	}
+	return n
 }
 
 // fields lists the stats counters in wire order; encode and decode share it
@@ -263,6 +435,9 @@ func (s *Stats) fields() []*uint64 {
 		&s.ActiveSessions, &s.ActiveTxns, &s.QueuedConns, &s.Accepted,
 		&s.RejectedBusy, &s.Requests, &s.Commits, &s.Conflicts,
 		&s.ExpiredTxns, &s.WALSyncs,
+		&s.PlanCacheHits, &s.PlanCacheMisses,
+		&s.Subscribers, &s.IsReplica, &s.AppliedSeq, &s.PrimarySeq,
+		&s.ReplConnected,
 	}
 }
 
@@ -310,7 +485,10 @@ func DecodeMessage(payload []byte) (*Message, error) {
 		if n > uint64(len(payload)-off) {
 			return nil, fmt.Errorf("protocol: row count %d exceeds payload", n)
 		}
-		m.Rows = make([]value.Row, 0, n)
+		// Cap the preallocation: a row header is ~24x the one-byte wire
+		// minimum, so a crafted count that fits the byte check could still
+		// amplify a frame into hundreds of megabytes of slice capacity.
+		m.Rows = make([]value.Row, 0, preallocCap(n, 4096))
 		for i := uint64(0); i < n; i++ {
 			row, used, err := value.DecodeRow(payload[off:])
 			if err != nil {
@@ -346,6 +524,70 @@ func DecodeMessage(payload []byte) (*Message, error) {
 		if m.Err, off, err = readString(payload, off); err != nil {
 			return nil, err
 		}
+	case MsgSubscribe:
+		if m.FromSeq, off, err = readUvarint(payload, off); err != nil {
+			return nil, err
+		}
+		if m.Bootstrap, off, err = readBool(payload, off); err != nil {
+			return nil, err
+		}
+	case MsgLogBatch:
+		var n uint64
+		if n, off, err = readUvarint(payload, off); err != nil {
+			return nil, err
+		}
+		// Every entry costs at least two payload bytes; reject counts the
+		// remaining bytes cannot hold before allocating for them. The
+		// preallocation is additionally capped: entry structs are ~28x the
+		// two-byte wire minimum, so a crafted count that passes the byte
+		// check could still amplify one frame into gigabytes of capacity.
+		if n > uint64(len(payload)-off)/2 {
+			return nil, fmt.Errorf("protocol: entry count %d exceeds payload", n)
+		}
+		m.Entries = make([]LogEntry, 0, preallocCap(n, 4096))
+		for i := uint64(0); i < n; i++ {
+			if off >= len(payload) {
+				return nil, fmt.Errorf("protocol: truncated entry %d", i)
+			}
+			kind := payload[off]
+			off++
+			var e LogEntry
+			switch kind {
+			case entryDDL:
+				if e.DDL, off, err = readString(payload, off); err != nil {
+					return nil, err
+				}
+				if e.DDL == "" {
+					return nil, fmt.Errorf("protocol: empty DDL entry")
+				}
+			case entryCommit:
+				var body []byte
+				if body, off, err = readBytes(payload, off); err != nil {
+					return nil, err
+				}
+				if e.Commit, err = wal.DecodeCommit(body); err != nil {
+					return nil, fmt.Errorf("protocol: entry %d: %w", i, err)
+				}
+			default:
+				return nil, fmt.Errorf("protocol: unknown log entry kind %d", kind)
+			}
+			m.Entries = append(m.Entries, e)
+		}
+		if m.PrimarySeq, off, err = readUvarint(payload, off); err != nil {
+			return nil, err
+		}
+	case MsgSnapshotChunk:
+		var body []byte
+		if body, off, err = readBytes(payload, off); err != nil {
+			return nil, err
+		}
+		m.Data = append([]byte(nil), body...)
+		if m.Seq, off, err = readUvarint(payload, off); err != nil {
+			return nil, err
+		}
+		if m.Last, off, err = readBool(payload, off); err != nil {
+			return nil, err
+		}
 	default:
 		return nil, fmt.Errorf("protocol: unknown message type 0x%02x", payload[0])
 	}
@@ -360,8 +602,14 @@ var ErrFrameTooLarge = errors.New("protocol: message exceeds the frame size cap"
 
 // WriteMessage frames and writes one message.
 func WriteMessage(w io.Writer, m *Message) error {
+	return WriteMessageLimit(w, m, MaxFrame)
+}
+
+// WriteMessageLimit is WriteMessage with an explicit frame cap (replication
+// streams use MaxReplFrame; both peers must agree on the limit).
+func WriteMessageLimit(w io.Writer, m *Message, maxFrame int) error {
 	payload := EncodeMessage(make([]byte, 0, 64), m)
-	if len(payload) > MaxFrame {
+	if len(payload) > maxFrame {
 		return ErrFrameTooLarge
 	}
 	var hdr [frameHeader]byte

@@ -8,6 +8,7 @@ import (
 	"io"
 	"testing"
 
+	"repro/internal/storage"
 	"repro/internal/value"
 )
 
@@ -62,13 +63,19 @@ func TestRoundTripAllMessages(t *testing.T) {
 		t.Fatalf("txstate round trip: %+v", tx)
 	}
 
-	st := roundtrip(t, &Message{Type: MsgStatsResult, Stats: Stats{
+	want := Stats{
 		ActiveSessions: 3, ActiveTxns: 2, QueuedConns: 1, Accepted: 10,
 		RejectedBusy: 4, Requests: 100, Commits: 50, Conflicts: 5,
-		ExpiredTxns: 2, WALSyncs: 20,
-	}})
-	if st.Stats != (Stats{3, 2, 1, 10, 4, 100, 50, 5, 2, 20}) {
+		ExpiredTxns: 2, WALSyncs: 20, PlanCacheHits: 40, PlanCacheMisses: 7,
+		Subscribers: 2, IsReplica: 1, AppliedSeq: 900, PrimarySeq: 905,
+		ReplConnected: 1,
+	}
+	st := roundtrip(t, &Message{Type: MsgStatsResult, Stats: want})
+	if st.Stats != want {
 		t.Fatalf("stats round trip: %+v", st.Stats)
+	}
+	if lag := st.Stats.Lag(); lag != 5 {
+		t.Fatalf("lag = %d, want 5", lag)
 	}
 
 	e := roundtrip(t, &Message{Type: MsgError, Code: CodeConflict, Err: "serialization conflict"})
@@ -78,6 +85,59 @@ func TestRoundTripAllMessages(t *testing.T) {
 
 	for _, typ := range []MsgType{MsgPing, MsgPong, MsgBegin, MsgCommit, MsgRollback, MsgStats} {
 		roundtrip(t, &Message{Type: typ})
+	}
+}
+
+func TestRoundTripReplicationMessages(t *testing.T) {
+	sub := roundtrip(t, &Message{Type: MsgSubscribe, FromSeq: 77, Bootstrap: true})
+	if sub.FromSeq != 77 || !sub.Bootstrap {
+		t.Fatalf("subscribe round trip: %+v", sub)
+	}
+
+	batch := roundtrip(t, &Message{Type: MsgLogBatch, PrimarySeq: 12, Entries: []LogEntry{
+		{DDL: "CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)"},
+		{Commit: storage.CommitRecord{Seq: 11, TxnID: 5, Changes: []storage.Change{
+			{Table: "t", Key: "k1", Op: storage.OpInsert, After: value.Row{value.Int(1), value.Text("a")}},
+			{Table: "t", Key: "k2", Op: storage.OpUpdate,
+				Before: value.Row{value.Int(2), value.Text("b")},
+				After:  value.Row{value.Int(2), value.Text("c")}},
+		}}},
+	}})
+	if batch.PrimarySeq != 12 || len(batch.Entries) != 2 {
+		t.Fatalf("log batch round trip: %+v", batch)
+	}
+	if !batch.Entries[0].IsDDL() || batch.Entries[0].DDL == "" {
+		t.Fatalf("DDL entry lost: %+v", batch.Entries[0])
+	}
+	got := batch.Entries[1].Commit
+	if got.Seq != 11 || got.TxnID != 5 || len(got.Changes) != 2 ||
+		got.Changes[1].Op != storage.OpUpdate || got.Changes[1].After[1].AsText() != "c" {
+		t.Fatalf("commit entry round trip: %+v", got)
+	}
+	hb := roundtrip(t, &Message{Type: MsgLogBatch, PrimarySeq: 99})
+	if hb.PrimarySeq != 99 || len(hb.Entries) != 0 {
+		t.Fatalf("heartbeat round trip: %+v", hb)
+	}
+
+	chunk := roundtrip(t, &Message{Type: MsgSnapshotChunk, Data: []byte{1, 2, 3, 0, 255}, Seq: 41, Last: true})
+	if !bytes.Equal(chunk.Data, []byte{1, 2, 3, 0, 255}) || chunk.Seq != 41 || !chunk.Last {
+		t.Fatalf("snapshot chunk round trip: %+v", chunk)
+	}
+}
+
+func TestLogBatchCraftedCountsRejected(t *testing.T) {
+	// A huge claimed entry count must be rejected before allocation.
+	payload := []byte{byte(MsgLogBatch)}
+	payload = binary.AppendUvarint(payload, 1<<40)
+	if _, err := DecodeMessage(payload); err == nil {
+		t.Fatal("crafted entry count accepted")
+	}
+	// An unknown entry kind is corrupt.
+	payload = []byte{byte(MsgLogBatch)}
+	payload = binary.AppendUvarint(payload, 1)
+	payload = append(payload, 7, 0, 0)
+	if _, err := DecodeMessage(payload); err == nil {
+		t.Fatal("unknown entry kind accepted")
 	}
 }
 

@@ -1,0 +1,293 @@
+package repl
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/db"
+	"repro/internal/protocol"
+)
+
+// ReplicaOptions tunes a replica's subscription loop. The zero value is
+// production ready; tests shrink the intervals.
+type ReplicaOptions struct {
+	// DialTimeout bounds connection establishment (default 5s).
+	DialTimeout time.Duration
+	// MinBackoff/MaxBackoff bound the reconnect backoff after a failed or
+	// broken session (defaults 50ms and 2s). Backoff resets after any
+	// session that made progress.
+	MinBackoff time.Duration
+	MaxBackoff time.Duration
+	// StaleAfter is the per-frame read deadline (default 10s). The source
+	// heartbeats every second by default, so a stream quiet this long means
+	// the primary is gone and the replica should redial.
+	StaleAfter time.Duration
+}
+
+func (o *ReplicaOptions) withDefaults() ReplicaOptions {
+	out := *o
+	if out.DialTimeout <= 0 {
+		out.DialTimeout = 5 * time.Second
+	}
+	if out.MinBackoff <= 0 {
+		out.MinBackoff = 50 * time.Millisecond
+	}
+	if out.MaxBackoff <= 0 {
+		out.MaxBackoff = 2 * time.Second
+	}
+	if out.StaleAfter <= 0 {
+		out.StaleAfter = 10 * time.Second
+	}
+	return out
+}
+
+// Replica tails a primary's replication stream into its own database. The
+// database should be opened read-only (db.SetReadOnly) with its own WAL: the
+// replica persists everything it applies, so a restart resumes from the last
+// applied commit sequence instead of re-bootstrapping. The subscription loop
+// runs in a background goroutine and reconnects with exponential backoff
+// whenever the primary restarts or the network drops.
+type Replica struct {
+	db   *db.DB
+	addr string
+	opts ReplicaOptions
+
+	applied    atomic.Uint64
+	primarySeq atomic.Uint64
+	connected  atomic.Bool
+	bootstraps atomic.Uint64
+
+	mu      sync.Mutex
+	conn    net.Conn
+	lastErr error
+
+	rebootstrap atomic.Bool // set after a desync; next subscribe bootstraps
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// StartReplica begins replicating primaryAddr into d and returns the running
+// replica. d must already be recovered (its current sequence is the resume
+// position) and should be read-only for SQL traffic.
+func StartReplica(d *db.DB, primaryAddr string, opts ReplicaOptions) *Replica {
+	r := &Replica{
+		db:   d,
+		addr: primaryAddr,
+		opts: (&opts).withDefaults(),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	r.applied.Store(d.Store().CurrentSeq())
+	go r.run()
+	return r
+}
+
+// DB returns the replica's database (the server serves reads from it).
+func (r *Replica) DB() *db.DB { return r.db }
+
+// AppliedSeq returns the last commit sequence applied locally.
+func (r *Replica) AppliedSeq() uint64 { return r.applied.Load() }
+
+// PrimarySeq returns the newest primary commit sequence heard of (from
+// batches and heartbeats); zero before the first contact.
+func (r *Replica) PrimarySeq() uint64 { return r.primarySeq.Load() }
+
+// Lag returns the replication lag in commit sequences.
+func (r *Replica) Lag() uint64 {
+	p, a := r.primarySeq.Load(), r.applied.Load()
+	if p > a {
+		return p - a
+	}
+	return 0
+}
+
+// Connected reports whether a subscription stream is currently live.
+func (r *Replica) Connected() bool { return r.connected.Load() }
+
+// Bootstraps counts full snapshot re-bootstraps (0 on a replica that always
+// caught up via the log).
+func (r *Replica) Bootstraps() uint64 { return r.bootstraps.Load() }
+
+// LastErr returns the most recent session error (nil while healthy).
+func (r *Replica) LastErr() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastErr
+}
+
+// Stop terminates the subscription loop and waits for it to exit. The
+// replica's database is left open (the caller owns it).
+func (r *Replica) Stop() {
+	r.once.Do(func() { close(r.stop) })
+	r.mu.Lock()
+	if r.conn != nil {
+		r.conn.Close()
+	}
+	r.mu.Unlock()
+	<-r.done
+}
+
+// WaitForSeq blocks until the replica has applied at least seq, or the
+// timeout expires.
+func (r *Replica) WaitForSeq(seq uint64, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if r.applied.Load() >= seq {
+			return true
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return r.applied.Load() >= seq
+}
+
+func (r *Replica) stopped() bool {
+	select {
+	case <-r.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// run is the reconnect loop: each session subscribes and applies until the
+// stream breaks, then the loop backs off and redials.
+func (r *Replica) run() {
+	defer close(r.done)
+	backoff := r.opts.MinBackoff
+	for {
+		if r.stopped() {
+			return
+		}
+		progressed, err := r.session()
+		r.connected.Store(false)
+		if r.stopped() {
+			return
+		}
+		r.mu.Lock()
+		r.lastErr = err
+		r.mu.Unlock()
+		if progressed {
+			backoff = r.opts.MinBackoff
+		} else if backoff < r.opts.MaxBackoff {
+			backoff *= 2
+			if backoff > r.opts.MaxBackoff {
+				backoff = r.opts.MaxBackoff
+			}
+		}
+		select {
+		case <-r.stop:
+			return
+		case <-time.After(backoff):
+		}
+	}
+}
+
+// setConn tracks the live connection so Stop can interrupt a blocked read.
+func (r *Replica) setConn(c net.Conn) {
+	r.mu.Lock()
+	r.conn = c
+	r.mu.Unlock()
+}
+
+// session runs one subscription: dial, subscribe from the locally-applied
+// sequence (or bootstrap after a refusal/desync), then apply the stream
+// until it breaks. Reports whether any progress was made (snapshot applied
+// or batch received), which resets the reconnect backoff.
+func (r *Replica) session() (bool, error) {
+	conn, err := net.DialTimeout("tcp", r.addr, r.opts.DialTimeout)
+	if err != nil {
+		return false, err
+	}
+	r.setConn(conn)
+	defer func() {
+		r.setConn(nil)
+		conn.Close()
+	}()
+
+	bootstrap := r.rebootstrap.Load()
+	sub := &protocol.Message{
+		Type:      protocol.MsgSubscribe,
+		FromSeq:   r.db.Store().CurrentSeq(),
+		Bootstrap: bootstrap,
+	}
+	conn.SetWriteDeadline(time.Now().Add(r.opts.DialTimeout))
+	if err := protocol.WriteMessage(conn, sub); err != nil {
+		return false, err
+	}
+
+	br := bufio.NewReaderSize(conn, 1<<16)
+	progressed := false
+	var snapBuf []byte
+	for {
+		conn.SetReadDeadline(time.Now().Add(r.opts.StaleAfter))
+		msg, err := protocol.ReadMessage(br, protocol.MaxReplFrame)
+		if err != nil {
+			return progressed, err
+		}
+		switch msg.Type {
+		case protocol.MsgError:
+			if msg.Code == protocol.CodeLogTruncated && !bootstrap {
+				// Detached too long: the primary dropped our log window.
+				// Fall back to a full snapshot bootstrap on the same
+				// connection.
+				bootstrap = true
+				conn.SetWriteDeadline(time.Now().Add(r.opts.DialTimeout))
+				err := protocol.WriteMessage(conn, &protocol.Message{
+					Type: protocol.MsgSubscribe, Bootstrap: true,
+				})
+				if err != nil {
+					return progressed, err
+				}
+				continue
+			}
+			return progressed, &protocol.ServerError{Code: msg.Code, Msg: msg.Err}
+		case protocol.MsgSnapshotChunk:
+			snapBuf = append(snapBuf, msg.Data...)
+			if !msg.Last {
+				continue
+			}
+			if err := r.db.BootstrapFromSnapshot(snapBuf); err != nil {
+				return progressed, err
+			}
+			snapBuf = nil
+			r.rebootstrap.Store(false)
+			r.bootstraps.Add(1)
+			r.applied.Store(r.db.Store().CurrentSeq())
+			if msg.Seq > r.primarySeq.Load() {
+				r.primarySeq.Store(msg.Seq)
+			}
+			r.connected.Store(true)
+			progressed = true
+		case protocol.MsgLogBatch:
+			for i := range msg.Entries {
+				e := &msg.Entries[i]
+				if e.IsDDL() {
+					err = r.db.ApplyReplicatedDDL(e.DDL)
+				} else {
+					err = r.db.ApplyReplicatedCommit(e.Commit)
+				}
+				if err != nil {
+					// Apply failures mean this replica's state has diverged
+					// from the stream (or its disk failed); a fresh snapshot
+					// is the only safe way forward.
+					r.rebootstrap.Store(true)
+					return progressed, fmt.Errorf("repl: apply: %w", err)
+				}
+			}
+			r.applied.Store(r.db.Store().CurrentSeq())
+			if msg.PrimarySeq > r.primarySeq.Load() {
+				r.primarySeq.Store(msg.PrimarySeq)
+			}
+			r.connected.Store(true)
+			progressed = true
+		default:
+			return progressed, fmt.Errorf("repl: unexpected message type %d on subscription", msg.Type)
+		}
+	}
+}

@@ -1,0 +1,403 @@
+// Package repl implements primary/backup log-shipping replication for the
+// TROD engine: a Source on the primary streams committed CDC records and
+// DDL statements in commit order to subscribed replicas, which apply them
+// into their own stores through the recovery apply path — so row versions,
+// secondary indexes, provenance tables, and the schema epoch evolve on every
+// replica exactly as they did on the primary.
+//
+// The stream reuses the engine's existing commit order end to end: the
+// store's in-memory CDC log supplies catch-up for recently-disconnected
+// subscribers, live commits are pushed as they land, and a subscriber too
+// far behind the retained log window (or from before the primary's current
+// process lifetime, where DDL ordering can no longer be proven) receives a
+// typed log-truncated error and re-bootstraps from a full snapshot shipped
+// over the wire with the checkpoint codec.
+//
+// Consistency: a replica always sits at a commit-order prefix of the
+// primary's history, so every read served at its applied sequence is a
+// consistent (if slightly stale) snapshot — the same guarantee a primary
+// read transaction gets, minus freshness.
+package repl
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/db"
+	"repro/internal/protocol"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// SourceOptions tunes a replication source. The zero value is production
+// ready; tests shrink the intervals.
+type SourceOptions struct {
+	// Heartbeat is the interval between empty LogBatch frames on an idle
+	// stream (default 1s). Heartbeats carry the primary's current sequence,
+	// so replicas can report lag and detect a dead primary.
+	Heartbeat time.Duration
+	// BatchEntries caps stream entries per LogBatch frame (default 256).
+	BatchEntries int
+	// BatchBytes soft-caps the encoded commit payload per frame (default
+	// 4 MiB); a single commit larger than this still ships alone in its own
+	// frame (up to protocol.MaxReplFrame).
+	BatchBytes int
+	// ChunkBytes sizes snapshot bootstrap chunks (default 1 MiB).
+	ChunkBytes int
+	// FrameLimit caps stream frames (default protocol.MaxReplFrame). Tests
+	// lower it to exercise the oversized-commit bootstrap redirect without
+	// building multi-gigabyte records; it must never exceed MaxReplFrame
+	// (the limit subscribers read with).
+	FrameLimit int
+}
+
+func (o *SourceOptions) withDefaults() SourceOptions {
+	out := *o
+	if out.Heartbeat <= 0 {
+		out.Heartbeat = time.Second
+	}
+	if out.BatchEntries <= 0 {
+		out.BatchEntries = 256
+	}
+	if out.BatchBytes <= 0 {
+		out.BatchBytes = 4 << 20
+	}
+	if out.ChunkBytes <= 0 {
+		out.ChunkBytes = 1 << 20
+	}
+	if out.FrameLimit <= 0 || out.FrameLimit > protocol.MaxReplFrame {
+		out.FrameLimit = protocol.MaxReplFrame
+	}
+	return out
+}
+
+// ddlEntry positions one DDL statement in the replication stream: it
+// executed after commit seq and before commit seq+1. Journal order is
+// execution order; seqs are non-decreasing.
+type ddlEntry struct {
+	seq  uint64
+	stmt string
+}
+
+// Source is the primary-side replication endpoint: it journals DDL, watches
+// the CDC feed, and serves Subscribe streams. One Source serves any number
+// of concurrent subscribers; attach it once, right after opening the
+// database and before serving traffic.
+type Source struct {
+	db    *db.DB
+	store *storage.Store
+	opts  SourceOptions
+
+	mu      sync.Mutex
+	journal []ddlEntry
+	subs    map[chan struct{}]struct{}
+
+	subscribers atomic.Int64
+	streamed    atomic.Uint64 // commit records shipped, all subscribers
+
+	// DDL executed before this Source attached is not in the journal and
+	// cannot be resent; catch-up from a position at or before the last such
+	// statement is refused (the subscriber re-bootstraps instead).
+	preDDLSeq  uint64
+	preDDLSeen bool
+}
+
+// NewSource attaches a replication source to a database. Must be called
+// before the database serves concurrent traffic (the DDL journal starts
+// here; see preDDLSeq).
+func NewSource(d *db.DB, opts SourceOptions) *Source {
+	s := &Source{
+		db:    d,
+		store: d.Store(),
+		opts:  (&opts).withDefaults(),
+		subs:  make(map[chan struct{}]struct{}),
+	}
+	// Subscribe before snapshotting the pre-attach DDL position: a statement
+	// racing the attach lands in both (journaled and counted pre-attach),
+	// which is merely conservative, never lossy.
+	d.SubscribeDDL(func(seq uint64, stmt string) {
+		s.mu.Lock()
+		s.journal = append(s.journal, ddlEntry{seq: seq, stmt: stmt})
+		s.wakeLocked()
+		s.mu.Unlock()
+	})
+	s.store.SubscribeCDC(func(storage.CommitRecord) {
+		s.mu.Lock()
+		s.wakeLocked()
+		s.mu.Unlock()
+	})
+	s.preDDLSeq, s.preDDLSeen = d.LastDDL()
+	return s
+}
+
+// wakeLocked nudges every subscriber's signal channel (non-blocking; a
+// pending signal is enough). Caller holds s.mu.
+func (s *Source) wakeLocked() {
+	for ch := range s.subs {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Subscribers reports the number of live replication streams.
+func (s *Source) Subscribers() int { return int(s.subscribers.Load()) }
+
+// StreamedCommits reports the total commit records shipped across all
+// subscribers (tests and stats).
+func (s *Source) StreamedCommits() uint64 { return s.streamed.Load() }
+
+// canCatchUp reports whether a subscriber at commit sequence `from` can be
+// served by log shipping alone: the retained CDC window must reach back to
+// it, the position must not be from a divergent/future history, and no DDL
+// the journal cannot resend may sit at or after it.
+func (s *Source) canCatchUp(from uint64) bool {
+	if from > s.store.CurrentSeq() {
+		return false
+	}
+	if from+1 < s.store.LogRetainedFrom() {
+		return false
+	}
+	if s.preDDLSeen && from <= s.preDDLSeq {
+		return false
+	}
+	return true
+}
+
+// ddlCursorFor returns the journal index of the first entry a subscriber at
+// `from` needs: everything positioned at or after its sequence. Entries at
+// exactly `from` may already be applied on the subscriber; re-application is
+// idempotent (see db.ApplyReplicatedDDL).
+func (s *Source) ddlCursorFor(from uint64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, e := range s.journal {
+		if e.seq >= from {
+			return i
+		}
+	}
+	return len(s.journal)
+}
+
+// pendingDDL returns journal entries from cursor positioned at or before
+// head, i.e. safe to ship without reordering against unshipped commits.
+func (s *Source) pendingDDL(cursor int, head uint64) []ddlEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	end := cursor
+	for end < len(s.journal) && s.journal[end].seq <= head {
+		end++
+	}
+	if end == cursor {
+		return nil
+	}
+	out := make([]ddlEntry, end-cursor)
+	copy(out, s.journal[cursor:end])
+	return out
+}
+
+const streamWriteTimeout = 30 * time.Second
+
+// Serve handles one MsgSubscribe request on conn, streaming until the
+// subscriber disconnects, the drain channel closes, or the stream fails.
+// The returned bool reports whether the session may continue handling
+// ordinary requests on the connection (true only after a typed
+// log-truncated refusal, which the subscriber answers with a bootstrap
+// re-subscribe on the same connection).
+func (s *Source) Serve(conn net.Conn, req *protocol.Message, drain <-chan struct{}) bool {
+	s.subscribers.Add(1)
+	defer s.subscribers.Add(-1)
+
+	// Pin the log window before validating the position: between a
+	// retention check and an unpinned stream start, a checkpoint could
+	// truncate the very records the subscriber was promised. From here on
+	// exactly one function owns the pin at a time; stream() takes it over
+	// and releases it when the stream ends.
+	pin := s.store.PinSnapshot()
+
+	pos := req.FromSeq
+	if !req.Bootstrap {
+		if pos < pin {
+			s.store.MovePin(pin, pos)
+			pin = pos
+		}
+		if !s.canCatchUp(pos) {
+			s.store.UnpinSnapshot(pin)
+			conn.SetWriteDeadline(time.Now().Add(streamWriteTimeout))
+			_ = protocol.WriteMessage(conn, &protocol.Message{
+				Type: protocol.MsgError, Code: protocol.CodeLogTruncated,
+				Err: fmt.Sprintf("cannot catch up from seq %d (retained from %d); re-subscribe with bootstrap",
+					pos, s.store.LogRetainedFrom()),
+			})
+			return true
+		}
+	} else {
+		snapSeq, err := s.sendSnapshot(conn)
+		if err != nil {
+			s.store.UnpinSnapshot(pin)
+			return false
+		}
+		if snapSeq > pin {
+			s.store.MovePin(pin, snapSeq)
+			pin = snapSeq
+		}
+		pos = snapSeq
+	}
+	if s.stream(conn, pos, pin, drain) {
+		// A single commit too large for the replication frame cap cannot be
+		// log-shipped, but a snapshot (chunked, any size) covers it: tell
+		// the subscriber to re-subscribe with bootstrap, exactly like a
+		// truncated log window.
+		conn.SetWriteDeadline(time.Now().Add(streamWriteTimeout))
+		_ = protocol.WriteMessage(conn, &protocol.Message{
+			Type: protocol.MsgError, Code: protocol.CodeLogTruncated,
+			Err: fmt.Sprintf("a commit exceeds the %d-byte replication frame cap and cannot be log-shipped; re-subscribe with bootstrap",
+				s.opts.FrameLimit),
+		})
+		return true
+	}
+	return false
+}
+
+// sendSnapshot ships the full current state as compressed chunks and
+// returns the snapshot's commit sequence. The caller's pin (taken before
+// encoding) keeps the post-snapshot log window alive.
+func (s *Source) sendSnapshot(conn net.Conn) (uint64, error) {
+	raw, seq := s.store.EncodeSnapshot()
+	comp := storage.CompressSnapshot(raw)
+	for off := 0; ; off += s.opts.ChunkBytes {
+		end := off + s.opts.ChunkBytes
+		last := end >= len(comp)
+		if last {
+			end = len(comp)
+		}
+		conn.SetWriteDeadline(time.Now().Add(streamWriteTimeout))
+		err := protocol.WriteMessageLimit(conn, &protocol.Message{
+			Type: protocol.MsgSnapshotChunk,
+			Data: comp[off:end],
+			Seq:  seq,
+			Last: last,
+		}, s.opts.FrameLimit)
+		if err != nil {
+			return 0, err
+		}
+		if last {
+			return seq, nil
+		}
+	}
+}
+
+// stream pushes log batches from pos until the connection or server dies.
+// It owns the caller's pin: the pin starts at or below pos, advances batch
+// by batch (so TruncateLog can never drop a record this subscriber still
+// needs), and is released when the stream ends (a detached subscriber pins
+// nothing). The returned bool reports the one failure log shipping cannot
+// recover from by itself: a single entry larger than the replication frame
+// cap (the caller then directs the subscriber to a snapshot bootstrap).
+func (s *Source) stream(conn net.Conn, pos, pin uint64, drain <-chan struct{}) (tooLarge bool) {
+	defer func() { s.store.UnpinSnapshot(pin) }()
+	ch := make(chan struct{}, 1)
+	s.mu.Lock()
+	s.subs[ch] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.subs, ch)
+		s.mu.Unlock()
+	}()
+
+	cursor := s.ddlCursorFor(pos)
+	hb := time.NewTicker(s.opts.Heartbeat)
+	defer hb.Stop()
+	for {
+		// Drain everything between pos and the current head, batch by batch.
+		head := s.store.CurrentSeq()
+		for {
+			batch, nPos, nCursor := s.buildBatch(pos, cursor, head)
+			if len(batch) == 0 {
+				break
+			}
+			conn.SetWriteDeadline(time.Now().Add(streamWriteTimeout))
+			err := protocol.WriteMessageLimit(conn, &protocol.Message{
+				Type: protocol.MsgLogBatch, Entries: batch, PrimarySeq: head,
+			}, s.opts.FrameLimit)
+			if err != nil {
+				// Oversized entries ship alone (buildBatch's byte budget), so
+				// ErrFrameTooLarge means this single entry can never be
+				// log-shipped; nothing was written and the connection is
+				// still clean for the typed redirect.
+				return errors.Is(err, protocol.ErrFrameTooLarge)
+			}
+			for i := range batch {
+				if !batch[i].IsDDL() {
+					s.streamed.Add(1)
+				}
+			}
+			pos, cursor = nPos, nCursor
+			if pos > pin {
+				s.store.MovePin(pin, pos)
+				pin = pos
+			}
+		}
+		select {
+		case <-ch:
+		case <-hb.C:
+			conn.SetWriteDeadline(time.Now().Add(streamWriteTimeout))
+			err := protocol.WriteMessageLimit(conn, &protocol.Message{
+				Type: protocol.MsgLogBatch, PrimarySeq: s.store.CurrentSeq(),
+			}, s.opts.FrameLimit)
+			if err != nil {
+				return false
+			}
+		case <-drain:
+			return false
+		}
+	}
+}
+
+// buildBatch assembles the next LogBatch after position (pos, cursor), up to
+// the caps and never past head: DDL entries interleave with commits at their
+// recorded sequence (after commit seq, before commit seq+1), so the
+// subscriber applies schema changes exactly where the primary did.
+func (s *Source) buildBatch(pos uint64, cursor int, head uint64) ([]protocol.LogEntry, uint64, int) {
+	ddls := s.pendingDDL(cursor, head)
+	var commits []storage.CommitRecord
+	if pos < head {
+		to := head
+		if span := uint64(s.opts.BatchEntries); head-pos > span {
+			to = pos + span
+		}
+		commits = s.store.ChangesBetween(pos, to)
+	}
+	var batch []protocol.LogEntry
+	bytes, di, ci := 0, 0, 0
+	for len(batch) < s.opts.BatchEntries {
+		if di < len(ddls) && ddls[di].seq <= pos {
+			batch = append(batch, protocol.LogEntry{DDL: ddls[di].stmt})
+			bytes += len(ddls[di].stmt)
+			cursor++
+			di++
+			continue
+		}
+		if ci >= len(commits) {
+			break
+		}
+		rec := commits[ci]
+		// Serialize once: the encoding both sizes the batch budget and ships
+		// verbatim on the wire (LogEntry.EncodedCommit fast path).
+		enc := wal.EncodeCommit(nil, rec)
+		if len(batch) > 0 && bytes+len(enc) > s.opts.BatchBytes {
+			break // ship what we have; the big record opens the next frame
+		}
+		batch = append(batch, protocol.LogEntry{Commit: rec, EncodedCommit: enc})
+		bytes += len(enc)
+		pos = rec.Seq
+		ci++
+	}
+	return batch, pos, cursor
+}

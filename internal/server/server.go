@@ -40,6 +40,7 @@ import (
 
 	"repro/internal/db"
 	"repro/internal/protocol"
+	"repro/internal/repl"
 	"repro/internal/runtime"
 	"repro/internal/storage"
 )
@@ -70,10 +71,25 @@ type Config struct {
 	TxnTimeout time.Duration
 	// MaxFrame caps request frame payloads (default protocol.MaxFrame).
 	MaxFrame int
+	// Source, when set, lets sessions turn into replication subscribers
+	// via MsgSubscribe (a primary serving replicas). Without it, Subscribe
+	// requests get a typed bad-request error.
+	Source *repl.Source
+	// Replica, when set, marks this server as a read-only replica and feeds
+	// the replication fields of Stats (applied sequence, primary sequence,
+	// connection state).
+	Replica *repl.Replica
+	// ReadOnly rejects transactions with a typed read-only error at Begin
+	// (write statements are already rejected by the read-only DB). Implied
+	// by Replica but also settable on its own.
+	ReadOnly bool
 }
 
 func (c *Config) withDefaults() Config {
 	out := *c
+	if out.Replica != nil {
+		out.ReadOnly = true
+	}
 	if out.MaxConns <= 0 {
 		out.MaxConns = 64
 	}
@@ -284,18 +300,36 @@ func (s *Server) Stats() protocol.Stats {
 	s.mu.Lock()
 	sessions := len(s.sessions)
 	s.mu.Unlock()
-	return protocol.Stats{
-		ActiveSessions: uint64(sessions),
-		ActiveTxns:     uint64(max(s.activeTxns.Load(), 0)),
-		QueuedConns:    uint64(max(s.waiters.Load(), 0)),
-		Accepted:       s.accepted.Load(),
-		RejectedBusy:   s.rejectedBusy.Load(),
-		Requests:       s.requests.Load(),
-		Commits:        s.commits.Load(),
-		Conflicts:      s.conflicts.Load(),
-		ExpiredTxns:    s.expiredTxns.Load(),
-		WALSyncs:       s.cfg.DB.WALStats().Syncs,
+	pc := s.cfg.DB.PlanCacheStats()
+	st := protocol.Stats{
+		ActiveSessions:  uint64(sessions),
+		ActiveTxns:      uint64(max(s.activeTxns.Load(), 0)),
+		QueuedConns:     uint64(max(s.waiters.Load(), 0)),
+		Accepted:        s.accepted.Load(),
+		RejectedBusy:    s.rejectedBusy.Load(),
+		Requests:        s.requests.Load(),
+		Commits:         s.commits.Load(),
+		Conflicts:       s.conflicts.Load(),
+		ExpiredTxns:     s.expiredTxns.Load(),
+		WALSyncs:        s.cfg.DB.WALStats().Syncs,
+		PlanCacheHits:   pc.Hits,
+		PlanCacheMisses: pc.Misses,
 	}
+	if s.cfg.Source != nil {
+		st.Subscribers = uint64(s.cfg.Source.Subscribers())
+	}
+	if r := s.cfg.Replica; r != nil {
+		st.IsReplica = 1
+		st.AppliedSeq = r.AppliedSeq()
+		st.PrimarySeq = r.PrimarySeq()
+		if st.PrimarySeq < st.AppliedSeq {
+			st.PrimarySeq = st.AppliedSeq // before first primary contact
+		}
+		if r.Connected() {
+			st.ReplConnected = 1
+		}
+	}
+	return st
 }
 
 // startRequest allocates a request ID and its completion callback — through
@@ -338,6 +372,29 @@ func (ss *session) serve() {
 			// transaction. Nothing useful can be written on a broken frame
 			// protocol, so close silently.
 			return
+		}
+		if req.Type == protocol.MsgSubscribe {
+			// The session becomes a replication subscriber: the source takes
+			// over the connection and pushes snapshot chunks and log batches
+			// until the stream ends. A typed log-truncated refusal keeps the
+			// session alive for the follow-up bootstrap subscribe.
+			ss.srv.requests.Add(1)
+			src := ss.srv.cfg.Source
+			if src == nil {
+				resp := errMsg(protocol.CodeBadRequest, "this server is not a replication source")
+				ss.conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
+				if protocol.WriteMessage(ss.conn, resp) != nil {
+					return
+				}
+				continue
+			}
+			// Clear the idle deadline: stream writes set their own, and the
+			// subscriber does not send further frames while healthy.
+			ss.conn.SetReadDeadline(time.Time{})
+			if !src.Serve(ss.conn, req, ss.srv.drainCh) {
+				return
+			}
+			continue
 		}
 		resp := ss.handle(req)
 		ss.conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
@@ -404,6 +461,9 @@ func (ss *session) handle(req *protocol.Message) *protocol.Message {
 }
 
 func (ss *session) begin() *protocol.Message {
+	if ss.srv.cfg.ReadOnly {
+		return errMsg(protocol.CodeReadOnly, "this server is a read-only replica; run transactions on the primary")
+	}
 	if ss.tx != nil {
 		return errMsg(protocol.CodeTxnState, "session already has an open transaction")
 	}
@@ -487,6 +547,8 @@ func (ss *session) sqlError(err error) *protocol.Message {
 		return errMsg(protocol.CodeConflict, "%v", err)
 	case errors.Is(err, db.ErrTxnExpired):
 		return errMsg(protocol.CodeTxnExpired, "transaction exceeded the server deadline and was rolled back")
+	case errors.Is(err, db.ErrReadOnly):
+		return errMsg(protocol.CodeReadOnly, "this server is a read-only replica; send writes to the primary")
 	default:
 		return errMsg(protocol.CodeSQL, "%v", err)
 	}

@@ -1,10 +1,13 @@
 package storage
 
 import (
+	"bytes"
+	"compress/gzip"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -37,6 +40,13 @@ import (
 
 // snapMagic identifies and versions the snapshot format.
 const snapMagic = "TRODSNP1"
+
+// snapFormatGzip is the file-level format byte introduced for compressed
+// snapshots: a snapshot file (or wire-shipped bootstrap image) starting with
+// this byte holds a gzip stream of the raw EncodeSnapshot bytes. Files
+// starting with snapMagic's first byte ('T') are the original uncompressed
+// format and remain readable. 0x01 can never collide with the magic.
+const snapFormatGzip = 0x01
 
 // ErrSnapshotCorrupt reports a snapshot that failed validation (bad magic,
 // truncated body, or CRC mismatch). Recovery treats it as "no snapshot" and
@@ -252,10 +262,48 @@ func DecodeSnapshot(data []byte) (*Store, error) {
 	return dst, nil
 }
 
+// CompressSnapshot wraps raw EncodeSnapshot bytes in the compressed file
+// format: the gzip format byte followed by a gzip stream. Checkpoint files
+// and the replication bootstrap image both ship this form.
+func CompressSnapshot(data []byte) []byte {
+	var buf bytes.Buffer
+	buf.WriteByte(snapFormatGzip)
+	zw := gzip.NewWriter(&buf)
+	zw.Write(data)      // bytes.Buffer writes cannot fail
+	_ = zw.Close()      // flushes; same no-fail sink
+	return buf.Bytes()
+}
+
+// DecompressSnapshot returns the raw EncodeSnapshot bytes behind either file
+// format: gzip-compressed (format byte) or legacy uncompressed (magic).
+func DecompressSnapshot(data []byte) ([]byte, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("%w: empty", ErrSnapshotCorrupt)
+	}
+	if data[0] != snapFormatGzip {
+		return data, nil // legacy uncompressed snapshot (starts with the magic)
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(data[1:]))
+	if err != nil {
+		return nil, fmt.Errorf("%w: gzip header: %v", ErrSnapshotCorrupt, err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: gzip body: %v", ErrSnapshotCorrupt, err)
+	}
+	if err := zr.Close(); err != nil {
+		return nil, fmt.Errorf("%w: gzip close: %v", ErrSnapshotCorrupt, err)
+	}
+	return raw, nil
+}
+
 // WriteSnapshotFile writes snapshot bytes to path atomically: a temp file in
 // the same directory is synced and renamed into place, so a crash leaves
-// either the old snapshot or the new one, never a torn mix.
+// either the old snapshot or the new one, never a torn mix. The on-disk form
+// is gzip-compressed behind a format byte; LoadSnapshotFile also still reads
+// uncompressed files written before compression existed.
 func WriteSnapshotFile(path string, data []byte) error {
+	data = CompressSnapshot(data)
 	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
@@ -283,13 +331,18 @@ func WriteSnapshotFile(path string, data []byte) error {
 	return nil
 }
 
-// LoadSnapshotFile reads and decodes the snapshot at path.
+// LoadSnapshotFile reads and decodes the snapshot at path (compressed or
+// legacy uncompressed format).
 func LoadSnapshotFile(path string) (*Store, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("storage: snapshot read: %w", err)
 	}
-	return DecodeSnapshot(data)
+	raw, err := DecompressSnapshot(data)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeSnapshot(raw)
 }
 
 // SyncDir fsyncs a directory so a just-renamed file survives a crash; best

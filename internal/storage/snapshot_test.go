@@ -2,6 +2,7 @@ package storage
 
 import (
 	"errors"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -171,6 +172,60 @@ func TestSnapshotFileRoundTrip(t *testing.T) {
 	}
 	if got.CurrentSeq() != seq {
 		t.Errorf("loaded seq = %d, want %d", got.CurrentSeq(), seq)
+	}
+}
+
+func TestSnapshotFileIsCompressed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.snap")
+	s := snapshotFixture(t)
+	data, _ := s.EncodeSnapshot()
+	if err := WriteSnapshotFile(path, data); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) == 0 || raw[0] != snapFormatGzip {
+		t.Fatalf("snapshot file does not start with the gzip format byte: % x", raw[:8])
+	}
+	// The file form and the raw form decode to the same bytes.
+	back, err := DecompressSnapshot(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(back) != string(data) {
+		t.Fatal("decompressed snapshot differs from the encoded state")
+	}
+}
+
+func TestLoadSnapshotFileReadsLegacyUncompressed(t *testing.T) {
+	// Snapshot files written before compression existed are raw
+	// EncodeSnapshot bytes starting with the magic; they must keep loading.
+	path := filepath.Join(t.TempDir(), "legacy.snap")
+	s := snapshotFixture(t)
+	data, seq := s.EncodeSnapshot()
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSnapshotFile(path)
+	if err != nil {
+		t.Fatalf("legacy snapshot: %v", err)
+	}
+	if got.CurrentSeq() != seq {
+		t.Errorf("legacy loaded seq = %d, want %d", got.CurrentSeq(), seq)
+	}
+	if diff := len(got.Tables()) - len(s.Tables()); diff != 0 {
+		t.Errorf("legacy loaded %d tables, want %d", len(got.Tables()), len(s.Tables()))
+	}
+}
+
+func TestDecompressSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := DecompressSnapshot(nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := DecompressSnapshot([]byte{snapFormatGzip, 0xde, 0xad}); err == nil {
+		t.Fatal("truncated gzip accepted")
 	}
 }
 

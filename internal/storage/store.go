@@ -212,7 +212,11 @@ type Store struct {
 	log      []CommitRecord
 	logBase  uint64 // seq of log[0]-1; supports truncation
 	cdcSubs  []func(CommitRecord)
-	ddlHook  func(stmt string) // invoked (under lock) on DDL, for WAL logging
+	// ddlHook is invoked (under lock) on DDL with the commit sequence the
+	// statement executed at — every commit <= seq happened before it, every
+	// commit > seq after. The WAL uses it for schema logging; replication
+	// uses the sequence to position DDL in the shipped log.
+	ddlHook func(seq uint64, stmt string)
 
 	// pins counts active transactions per snapshot sequence. TruncateLog
 	// never discards a record a pinned snapshot could still need for OCC
@@ -249,7 +253,7 @@ func (s *Store) CreateTable(t *schema.Table, ifNotExists bool) error {
 	s.data[key] = &tableData{rows: newBTree[*entry](), indexes: make(map[string]*btree[*indexEntry])}
 	s.epoch++
 	if s.ddlHook != nil {
-		s.ddlHook(t.String())
+		s.ddlHook(s.seq, t.String())
 	}
 	return nil
 }
@@ -270,7 +274,7 @@ func (s *Store) DropTable(name string, ifExists bool) error {
 	delete(s.indexDef, key)
 	s.epoch++
 	if s.ddlHook != nil {
-		s.ddlHook("DROP TABLE " + name)
+		s.ddlHook(s.seq, "DROP TABLE "+name)
 	}
 	return nil
 }
@@ -321,7 +325,7 @@ func (s *Store) CreateIndex(ix *schema.Index) error {
 		for i, c := range ix.Columns {
 			cols[i] = tbl.Columns[c].Name
 		}
-		s.ddlHook(fmt.Sprintf("CREATE %sINDEX %s ON %s (%s)", uniq, ix.Name, ix.Table, strings.Join(cols, ", ")))
+		s.ddlHook(s.seq, fmt.Sprintf("CREATE %sINDEX %s ON %s (%s)", uniq, ix.Name, ix.Table, strings.Join(cols, ", ")))
 	}
 	return nil
 }
@@ -355,9 +359,11 @@ func (s *Store) Indexes(table string) []*schema.Index {
 	return out
 }
 
-// SetDDLHook installs a callback invoked for every DDL statement; the WAL
-// uses it to persist schema changes. Must be set before concurrent use.
-func (s *Store) SetDDLHook(fn func(string)) { s.ddlHook = fn }
+// SetDDLHook installs a callback invoked for every DDL statement with the
+// commit sequence it executed at; the WAL uses it to persist schema changes
+// and replication to order DDL in the shipped log. Must be set before
+// concurrent use.
+func (s *Store) SetDDLHook(fn func(seq uint64, stmt string)) { s.ddlHook = fn }
 
 // SchemaEpoch returns a counter that increases on every successful DDL
 // statement (CREATE TABLE, CREATE INDEX, DROP TABLE). The SQL layer keys its
@@ -912,6 +918,36 @@ func (s *Store) ApplyCommitted(rec CommitRecord) error {
 	}
 	s.log = append(s.log, rec)
 	return nil
+}
+
+// ResetTo replaces this store's entire committed state — catalog, index
+// definitions, data, commit sequence, transaction counter — with src's,
+// atomically under the store lock. Replication uses it to re-bootstrap a
+// replica from a primary snapshot when the replica has fallen out of the
+// primary's retained log window: the store object (and every handle held on
+// it by servers and sessions) stays valid while its contents jump forward.
+//
+// The in-memory CDC log restarts empty at the new sequence. CDC
+// subscriptions, the DDL hook, and snapshot pins are preserved; transactions
+// begun before the reset keep running but read at snapshots below the new
+// base, where row versions no longer exist — they observe empty tables, and
+// any write commit fails validation. The schema epoch is advanced past both
+// histories so cached plans from either cannot be reused.
+func (s *Store) ResetTo(src *Store) {
+	src.mu.RLock()
+	defer src.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.catalog = src.catalog
+	s.indexDef = src.indexDef
+	s.data = src.data
+	s.seq = src.seq
+	if src.nextTxn > s.nextTxn {
+		s.nextTxn = src.nextTxn
+	}
+	s.log = nil
+	s.logBase = src.seq
+	s.epoch += src.epoch + 1
 }
 
 // CloneAt materialises a new Store containing this store's schema and the

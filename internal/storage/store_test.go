@@ -501,7 +501,11 @@ func TestCloneAt(t *testing.T) {
 func TestDDLHook(t *testing.T) {
 	s := NewStore()
 	var ddl []string
-	s.SetDDLHook(func(stmt string) { ddl = append(ddl, stmt) })
+	var seqs []uint64
+	s.SetDDLHook(func(seq uint64, stmt string) {
+		ddl = append(ddl, stmt)
+		seqs = append(seqs, seq)
+	})
 	tbl := kvTable(t, "t")
 	if err := s.CreateTable(tbl, false); err != nil {
 		t.Fatal(err)
@@ -517,6 +521,11 @@ func TestDDLHook(t *testing.T) {
 	}
 	if ddl[1] != "CREATE UNIQUE INDEX i ON t (v)" {
 		t.Errorf("index DDL = %q", ddl[1])
+	}
+	for i, seq := range seqs {
+		if seq != 0 {
+			t.Errorf("ddl %d fired at seq %d on an empty store, want 0", i, seq)
+		}
 	}
 }
 

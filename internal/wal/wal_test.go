@@ -178,7 +178,7 @@ func TestEndToEndRecoveryIntoStore(t *testing.T) {
 	}
 	s, l := build()
 	tbl := mustKV(t)
-	s.SetDDLHook(func(stmt string) {
+	s.SetDDLHook(func(_ uint64, stmt string) {
 		if err := l.AppendDDL(stmt); err != nil {
 			t.Fatal(err)
 		}
