@@ -29,7 +29,7 @@ import (
 )
 
 var (
-	expFlag   = flag.String("exp", "all", "experiment: all,e1,e2,recovery,server,replication,table1,table2,query,replay,retro,security,exfil,cases,a1,a2,a3")
+	expFlag   = flag.String("exp", "all", "experiment: all,e1,e2,recovery,server,replication,failover,table1,table2,query,replay,retro,security,exfil,cases,a1,a2,a3")
 	requests  = flag.Int("requests", 5000, "E1/A1 request count")
 	users     = flag.Int("users", 100, "E1/A1 user count")
 	maxEvents = flag.Int("maxevents", 500_000, "E2 largest event-count scale")
@@ -65,6 +65,7 @@ func main() {
 	run("recovery", runRecovery)
 	run("server", runServer)
 	run("replication", runReplication)
+	run("failover", runFailover)
 	run("table1", runTable1)
 	run("table2", runTable2)
 	run("query", runQuery)
@@ -79,7 +80,7 @@ func main() {
 
 	if which != "all" {
 		switch which {
-		case "e1", "e2", "recovery", "server", "replication", "table1", "table2", "query", "replay", "retro", "security", "exfil", "cases", "a1", "a2", "a3":
+		case "e1", "e2", "recovery", "server", "replication", "failover", "table1", "table2", "query", "replay", "retro", "security", "exfil", "cases", "a1", "a2", "a3":
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *expFlag)
 			flag.Usage()
@@ -101,6 +102,28 @@ type Snapshot struct {
 	Recovery    *SnapshotRecovery    `json:"recovery,omitempty"`
 	Server      *SnapshotServer      `json:"server,omitempty"`
 	Replication *SnapshotReplication `json:"replication,omitempty"`
+	Failover    []SnapshotFailover   `json:"failover,omitempty"`
+}
+
+// SnapshotFailover records one kill-the-primary run: failover time, the
+// promotion point, and the durability audit against the clients' acked-write
+// oracle. Quorum mode must show acked_lost == 0 and store_diff_clean ==
+// true; the async entry records its acked-loss window for contrast.
+type SnapshotFailover struct {
+	Mode          string  `json:"mode"`
+	SyncReplicas  int     `json:"sync_replicas"`
+	Writers       int     `json:"writers"`
+	AckedBefore   int     `json:"acked_before_kill"`
+	AckedAfter    int     `json:"acked_after_failover"`
+	Unknown       int     `json:"unknown_writes"`
+	FailoverMs    float64 `json:"failover_ms"`
+	PromotedEpoch uint64  `json:"promoted_epoch"`
+	PromotedSeq   uint64  `json:"promoted_seq"`
+	Survivors     int     `json:"survivors"`
+	AckedLost     int     `json:"acked_lost"`
+	Phantoms      int     `json:"phantom_rows"`
+	DiffClean     bool    `json:"store_diff_clean"`
+	StaleFenced   bool    `json:"stale_primary_fenced"`
 }
 
 // SnapshotReplication records the replication experiment: read throughput
@@ -285,6 +308,32 @@ func writeSnapshot(path string) error {
 		snap.Replication.ReadScale = append(snap.Replication.ReadScale,
 			SnapshotReplicaScale{Replicas: p.Replicas, ThroughputOps: p.Throughput})
 	}
+	for _, syncN := range []int{1, 0} {
+		fo, err := experiments.RunFailover(syncN)
+		if err != nil {
+			return err
+		}
+		if fo.Mode == "quorum" && (fo.AckedLost != 0 || !fo.DiffClean || !fo.StaleFenced) {
+			return fmt.Errorf("failover (quorum) violated its durability claims: ackedLost=%d diffClean=%v staleFenced=%v",
+				fo.AckedLost, fo.DiffClean, fo.StaleFenced)
+		}
+		snap.Failover = append(snap.Failover, SnapshotFailover{
+			Mode:          fo.Mode,
+			SyncReplicas:  fo.SyncReplicas,
+			Writers:       fo.Writers,
+			AckedBefore:   fo.AckedBefore,
+			AckedAfter:    fo.AckedAfter,
+			Unknown:       fo.Unknown,
+			FailoverMs:    fo.FailoverMs,
+			PromotedEpoch: fo.PromotedEpoch,
+			PromotedSeq:   fo.PromotedSeq,
+			Survivors:     fo.Survivors,
+			AckedLost:     fo.AckedLost,
+			Phantoms:      fo.Phantoms,
+			DiffClean:     fo.DiffClean,
+			StaleFenced:   fo.StaleFenced,
+		})
+	}
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		return err
@@ -425,6 +474,38 @@ func runReplication() error {
 	if !res.LagBounded || !res.DiffClean {
 		return fmt.Errorf("replication experiment failed its assertions (lagBounded=%v diffClean=%v)",
 			res.LagBounded, res.DiffClean)
+	}
+	return nil
+}
+
+func runFailover() error {
+	fmt.Println("Failover: kill the primary under open-loop write load, promote the")
+	fmt.Println("    most-caught-up replica (epoch-fenced), and audit durability against")
+	fmt.Println("    the clients' own record of acknowledged writes")
+	for _, syncN := range []int{1, 0} {
+		res, err := experiments.RunFailover(syncN)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n--- %s mode (sync-replicas=%d) ---\n", res.Mode, res.SyncReplicas)
+		fmt.Printf("writers:          %d open-loop, unique keys, no retries\n", res.Writers)
+		fmt.Printf("acked:            %d before kill, %d on the new primary, %d unknown-fate\n",
+			res.AckedBefore, res.AckedAfter, res.Unknown)
+		fmt.Printf("failover time:    %.1f ms (kill -> first ack on the new primary)\n", res.FailoverMs)
+		fmt.Printf("promotion:        epoch %d at seq %d\n", res.PromotedEpoch, res.PromotedSeq)
+		fmt.Printf("survivors:        %d rows; acked lost: %d; phantoms: %d\n",
+			res.Survivors, res.AckedLost, res.Phantoms)
+		fmt.Printf("state == oracle (StoreDiff): %v\n", res.DiffClean)
+		fmt.Printf("stale primary fenced on restart: %v\n", res.StaleFenced)
+		if res.Mode == "quorum" {
+			if res.AckedLost != 0 || !res.DiffClean || !res.StaleFenced {
+				return fmt.Errorf("quorum failover violated its claims (ackedLost=%d diffClean=%v staleFenced=%v)",
+					res.AckedLost, res.DiffClean, res.StaleFenced)
+			}
+			fmt.Println("-> zero acknowledged commits lost across the kill (the quorum guarantee)")
+		} else {
+			fmt.Printf("-> async mode's acked-loss window across this kill: %d commits\n", res.AckedLost)
+		}
 	}
 	return nil
 }

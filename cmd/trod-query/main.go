@@ -33,6 +33,7 @@ var (
 	timing  = flag.Bool("timing", false, "print per-query execution time")
 	stats   = flag.Bool("stats", false, "print the server's Stats response and exit (requires -remote)")
 	jsonOut = flag.Bool("json", false, "with -stats: print the stats as JSON")
+	promote = flag.Bool("promote", false, "promote the -remote replica to primary at the next epoch and exit")
 )
 
 // queryer runs one SQL statement; the local (embedded DB) and remote
@@ -82,10 +83,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "trod-query: -stats requires -remote")
 		flag.Usage()
 		os.Exit(2)
+	case *promote && *remote == "":
+		fmt.Fprintln(os.Stderr, "trod-query: -promote requires -remote")
+		flag.Usage()
+		os.Exit(2)
 	case *remote != "":
 		c, err := client.Dial(*remote, client.Options{})
 		if err != nil {
 			log.Fatalf("connect %s: %v", *remote, err)
+		}
+		if *promote {
+			epoch, seq, err := c.Promote()
+			c.Close()
+			if err != nil {
+				log.Fatalf("promote: %v", err)
+			}
+			fmt.Printf("promoted: epoch %d, seq %d\n", epoch, seq)
+			fmt.Printf("this node now accepts writes; point replicas and clients at %s\n", *remote)
+			return
 		}
 		if *stats {
 			st, err := c.Stats()
@@ -193,12 +208,25 @@ func printStats(st protocol.Stats, asJSON bool) {
 			"plan_cache_misses": st.PlanCacheMisses,
 			"subscribers":       st.Subscribers,
 			"is_replica":        st.IsReplica == 1,
+			"epoch":             st.Epoch,
+			"fenced":            st.Fenced == 1,
 		}
 		if st.IsReplica == 1 {
 			out["applied_seq"] = st.AppliedSeq
 			out["primary_seq"] = st.PrimarySeq
 			out["replication_lag"] = st.Lag()
 			out["replication_connected"] = st.ReplConnected == 1
+		}
+		if len(st.SubscriberLags) > 0 {
+			lags := make([]map[string]any, len(st.SubscriberLags))
+			for i, l := range st.SubscriberLags {
+				lags[i] = map[string]any{
+					"acked_seq":       l.AckedSeq,
+					"lag_seqs":        l.LagSeqs,
+					"last_ack_age_ms": l.LastAckAgeMs,
+				}
+			}
+			out["subscriber_lags"] = lags
 		}
 		data, err := json.MarshalIndent(out, "", "  ")
 		if err != nil {
@@ -228,6 +256,12 @@ func printStats(st protocol.Stats, asJSON bool) {
 		fmt.Printf("replication_connected: %v\n", st.ReplConnected == 1)
 	} else {
 		fmt.Printf("role:               primary\n")
+	}
+	fmt.Printf("epoch:              %d\n", st.Epoch)
+	fmt.Printf("fenced:             %v\n", st.Fenced == 1)
+	for i, l := range st.SubscriberLags {
+		fmt.Printf("subscriber_%d:       acked_seq=%d lag_seqs=%d last_ack_age_ms=%d\n",
+			i, l.AckedSeq, l.LagSeqs, l.LastAckAgeMs)
 	}
 }
 

@@ -49,6 +49,8 @@ var (
 	txnTimeout  = flag.Duration("txn-timeout", 15*time.Second, "abort interactive transactions open longer than this")
 	drainWait   = flag.Duration("drain", 10*time.Second, "max graceful-shutdown drain time")
 	replicaOf   = flag.String("replica-of", "", "primary address to replicate from (this server becomes a read-only replica)")
+	syncRepl    = flag.Int("sync-replicas", 0, "block each commit ack until this many replicas confirm it (0 = async replication)")
+	quorumWait  = flag.Duration("quorum-timeout", 5*time.Second, "max wait for -sync-replicas confirmations before failing the commit")
 )
 
 func main() {
@@ -83,16 +85,32 @@ func main() {
 		IdleTimeout: *idleTimeout,
 		TxnTimeout:  *txnTimeout,
 	}
+	// The replication epoch lives next to the WAL and fences a deposed
+	// primary across restarts: a node whose epoch file records a newer
+	// epoch elsewhere boots fenced and rejects writes and subscribers.
+	epoch, err := repl.OpenEpoch(*dbPath + ".epoch")
+	if err != nil {
+		log.Fatalf("open epoch: %v", err)
+	}
 	var replica *repl.Replica
 	if *replicaOf != "" {
 		d.SetReadOnly(true)
-		replica = repl.StartReplica(d, *replicaOf, repl.ReplicaOptions{})
+		replica = repl.StartReplica(d, *replicaOf, repl.ReplicaOptions{Epoch: epoch})
 		defer replica.Stop()
 		cfg.Replica = replica
-		log.Printf("replicating from %s (resuming at seq %d)", *replicaOf, replica.AppliedSeq())
-	} else {
-		// Every primary serves replication subscribers.
-		cfg.Source = repl.NewSource(d, repl.SourceOptions{})
+		log.Printf("replicating from %s (resuming at seq %d, epoch %d)", *replicaOf, replica.AppliedSeq(), epoch.Current())
+	}
+	// Every node serves replication subscribers — a replica must be able to
+	// feed peers the moment it is promoted, and a deposed primary must
+	// answer stale subscribers with a typed fenced error. Source and
+	// Replica share the node's one epoch.
+	cfg.Source = repl.NewSource(d, repl.SourceOptions{
+		Epoch:         epoch,
+		SyncReplicas:  *syncRepl,
+		QuorumTimeout: *quorumWait,
+	})
+	if epoch.Fenced() {
+		log.Printf("fenced: epoch %d is superseded by %d; this node cannot accept writes", epoch.Current(), epoch.FencedBy())
 	}
 	srv, err := server.New(cfg)
 	if err != nil {

@@ -257,6 +257,21 @@ func (c *Client) Exec(sql string, args ...any) (*Result, error) {
 	return resultFrom(resp)
 }
 
+// Promote asks a replica server to promote itself to a writable primary
+// (the operator failover command). Returns the new epoch and the promotion
+// point — the replica's applied commit sequence, where the new timeline
+// starts.
+func (c *Client) Promote() (epoch, seq uint64, err error) {
+	resp, err := c.do(&protocol.Message{Type: protocol.MsgPromote})
+	if err != nil {
+		return 0, 0, err
+	}
+	if resp.Type != protocol.MsgPromoted {
+		return 0, 0, fmt.Errorf("client: unexpected promote response type %d", resp.Type)
+	}
+	return resp.Epoch, resp.Seq, nil
+}
+
 // Stats fetches the server's counters.
 func (c *Client) Stats() (protocol.Stats, error) {
 	resp, err := c.do(&protocol.Message{Type: protocol.MsgStats})

@@ -17,6 +17,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/schema"
@@ -184,7 +185,19 @@ type DB struct {
 
 	// readOnly rejects writes and DDL arriving through the SQL layer with
 	// ErrReadOnly (replicas serve reads only; replicated apply bypasses it).
-	readOnly bool
+	// Atomic because promotion flips it on a live database.
+	readOnly atomic.Bool
+
+	// fenced rejects writes with ErrFenced: the node's replication epoch is
+	// stale (a newer primary exists), so nothing it commits can survive.
+	// Reads stay available. Set by the replication layer on fencing.
+	fenced atomic.Bool
+
+	// commitBarrier, when set, runs after a write commit is locally durable
+	// and before it is acknowledged; an error makes the commit surface as
+	// unacknowledged (the replication source uses it for quorum acks). Must
+	// be set before the database serves concurrent traffic.
+	commitBarrier func(seq uint64) error
 
 	closed bool
 	mu     sync.Mutex
@@ -451,6 +464,11 @@ func (db *DB) ApplyCommit(req storage.CommitRequest) (uint64, error) {
 	if err := db.waitDurable(seq); err != nil {
 		return seq, fmt.Errorf("db: commit %d not durable: %w", seq, err)
 	}
+	if db.commitBarrier != nil {
+		if err := db.commitBarrier(seq); err != nil {
+			return seq, fmt.Errorf("db: commit %d: %w", seq, err)
+		}
+	}
 	db.maybeCheckpoint()
 	return seq, nil
 }
@@ -620,6 +638,28 @@ func (db *DB) parse(query string) (sqlparse.Statement, error) {
 // recovery it holds the checkpoint lock's read side, so a schema change can
 // never land between a checkpoint's snapshot and its log rotation (the
 // rotated tail carries only commit records, not DDL).
+// execDDL applies a live SQL-layer DDL statement and, like a write commit,
+// holds its acknowledgement behind the replication barrier: schema changes
+// ride the same replicated log as commits, so an acked DDL must clear the
+// same quorum an acked commit does. The DDL hook already made the statement
+// locally durable (AppendDDL waits under SyncEachCommit) before applyDDL
+// returns. Replicated and recovery-replayed DDL bypass the barrier, exactly
+// like ApplyReplicatedCommit.
+func (db *DB) execDDL(stmt sqlparse.Statement) error {
+	if err := db.applyDDL(stmt, false); err != nil {
+		return err
+	}
+	if db.commitBarrier != nil {
+		db.ddlMu.Lock()
+		seq := db.lastDDLSeq
+		db.ddlMu.Unlock()
+		if err := db.commitBarrier(seq); err != nil {
+			return fmt.Errorf("db: ddl at commit seq %d: %w", seq, err)
+		}
+	}
+	return nil
+}
+
 func (db *DB) applyDDL(stmt sqlparse.Statement, recovering bool) error {
 	if !recovering {
 		db.ckptMu.RLock()
@@ -704,13 +744,18 @@ func (db *DB) ExecMeta(meta TxMeta, query string, args ...any) (*Rows, error) {
 	return db.exec(meta, query, args...)
 }
 
-// readOnlyViolation rejects non-SELECT statements on a read-only database.
+// readOnlyViolation rejects non-SELECT statements on a read-only or fenced
+// database.
 func (db *DB) readOnlyViolation(stmt sqlparse.Statement) error {
-	if !db.readOnly {
+	fenced := db.fenced.Load()
+	if !db.readOnly.Load() && !fenced {
 		return nil
 	}
 	if _, ok := stmt.(*sqlparse.Select); ok {
 		return nil
+	}
+	if fenced {
+		return ErrFenced
 	}
 	return ErrReadOnly
 }
@@ -724,7 +769,7 @@ func (db *DB) exec(meta TxMeta, query string, args ...any) (*Rows, error) {
 		return nil, err
 	}
 	if isDDL(stmt) {
-		return &Rows{}, db.applyDDL(stmt, false)
+		return &Rows{}, db.execDDL(stmt)
 	}
 	switch stmt.(type) {
 	case *sqlparse.Begin, *sqlparse.Commit, *sqlparse.Rollback:
@@ -770,7 +815,7 @@ func (db *DB) ExecScript(script string) error {
 			return err
 		}
 		if isDDL(stmt) {
-			if err := db.applyDDL(stmt, false); err != nil {
+			if err := db.execDDL(stmt); err != nil {
 				return err
 			}
 			continue
@@ -1049,11 +1094,16 @@ func (tx *Tx) Commit() error {
 
 func (tx *Tx) commit() error {
 	seq, err := tx.inner.Commit()
-	var durErr error
+	var durErr, ackErr error
 	if err == nil && seq > tx.inner.Snapshot() {
 		// A write commit produced a WAL record; block until it is durable.
 		// Read-only commits (seq == snapshot) have nothing to sync.
 		durErr = tx.db.waitDurable(seq)
+		if durErr == nil && tx.db.commitBarrier != nil {
+			// Locally durable; now clear the replication barrier (quorum
+			// acks) before acknowledging.
+			ackErr = tx.db.commitBarrier(seq)
+		}
 	}
 	trace := TxnTrace{
 		TxnID:     tx.inner.ID(),
@@ -1079,6 +1129,11 @@ func (tx *Tx) commit() error {
 		// confirmed (sticky WAL failure). Surface it — callers must treat
 		// the database as failed.
 		return fmt.Errorf("db: commit %d not durable: %w", seq, durErr)
+	}
+	if ackErr != nil {
+		// Applied and locally durable, but the replication barrier refused
+		// the acknowledgement (no quorum, or the node was fenced mid-commit).
+		return fmt.Errorf("db: commit %d: %w", seq, ackErr)
 	}
 	tx.db.maybeCheckpoint()
 	return nil
@@ -1151,11 +1206,39 @@ var ErrReadOnly = errors.New("db: database is read-only (replica); writes must g
 // SetReadOnly switches the SQL layer into read-only mode: SELECTs run
 // normally, everything else fails with ErrReadOnly. The replicated apply
 // path (ApplyReplicatedCommit/ApplyReplicatedDDL/BootstrapFromSnapshot)
-// bypasses the guard. Must be set before concurrent use.
-func (db *DB) SetReadOnly(ro bool) { db.readOnly = ro }
+// bypasses the guard. Safe to flip on a live database (promotion turns a
+// replica writable in place).
+func (db *DB) SetReadOnly(ro bool) { db.readOnly.Store(ro) }
 
 // ReadOnly reports whether the SQL layer rejects writes.
-func (db *DB) ReadOnly() bool { return db.readOnly }
+func (db *DB) ReadOnly() bool { return db.readOnly.Load() }
+
+// ErrFenced reports a write rejected because the node's replication epoch is
+// stale: a newer primary has been promoted, so nothing this node commits can
+// survive on the cluster's timeline. Reads stay available.
+var ErrFenced = errors.New("db: node is fenced (stale replication epoch); a newer primary exists")
+
+// ErrQuorumUnavailable reports a write commit that was applied and locally
+// durable but did not gather the configured replica-quorum acknowledgement
+// in time. Its fate on the surviving timeline is unknown: if the primary
+// dies now, a promoted replica may or may not carry it.
+var ErrQuorumUnavailable = errors.New("db: commit not acknowledged by the replica quorum")
+
+// SetFenced fences (or unfences, after promotion) the SQL layer: while
+// fenced, writes and DDL fail with ErrFenced. Reads are served normally —
+// a fenced node is still a consistent snapshot of its epoch's prefix.
+func (db *DB) SetFenced(f bool) { db.fenced.Store(f) }
+
+// Fenced reports whether the SQL layer rejects writes with ErrFenced.
+func (db *DB) Fenced() bool { return db.fenced.Load() }
+
+// SetCommitBarrier installs fn between local durability and commit
+// acknowledgement: every write commit (autocommit, interactive, and
+// ApplyCommit batch writers) calls fn(seq) after its WAL record is durable
+// and reports fn's error as a failed acknowledgement. The replication
+// source uses it to hold acks until a replica quorum confirms seq. Must be
+// installed before the database serves concurrent traffic.
+func (db *DB) SetCommitBarrier(fn func(seq uint64) error) { db.commitBarrier = fn }
 
 // ApplyReplicatedCommit applies one commit record shipped from a replication
 // primary: the record is force-applied in serialization order (exactly like

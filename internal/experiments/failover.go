@@ -1,0 +1,484 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/crashtest"
+	"repro/internal/db"
+	"repro/internal/protocol"
+	"repro/internal/repl"
+	"repro/internal/server"
+)
+
+// FailoverResult is the outcome of the kill-the-primary experiment: open-loop
+// writers against a 1 primary + 2 replica cluster, SIGKILL-equivalent death
+// of the primary mid-load, promotion of the most-caught-up replica, and a
+// differential audit of what survived against what clients were told.
+type FailoverResult struct {
+	Mode         string // "quorum" or "async"
+	SyncReplicas int    // commit acks wait for this many replica confirmations
+	Writers      int
+
+	AckedBefore int // writes acknowledged before the kill
+	AckedAfter  int // writes acknowledged on the new primary
+	Unknown     int // writes whose fate the client never learned (error mid-request)
+
+	FailoverMs    float64 // kill -> first write acknowledged by the new primary
+	PromotedEpoch uint64
+	PromotedSeq   uint64 // the promotion point (new primary's applied seq)
+
+	// The audit. Survivors is the row count on the new primary after the
+	// redirected replica converged. AckedLost counts acknowledged writes
+	// missing from the new primary — the number quorum mode must hold at
+	// zero and async mode merely records (its acked-loss window is the
+	// price of not waiting). Phantoms counts surviving rows no client ever
+	// wrote (must be zero in both modes). DiffClean is the full
+	// crashtest.StoreDiff of the new primary against an oracle database
+	// rebuilt purely from the clients' records of what they sent.
+	Survivors int
+	AckedLost int
+	Phantoms  int
+	DiffClean bool
+
+	// StaleFenced: the old primary was brought back (same data directory,
+	// same epoch state) and contacted from the new epoch; it must answer
+	// subscribers and writers with typed fenced errors.
+	StaleFenced bool
+}
+
+// failoverWrite is one client-side write record: the exact row the writer
+// asked the cluster to commit.
+type failoverWrite struct {
+	id     int64
+	writer int
+	n      int64
+}
+
+const (
+	failoverWriters   = 4
+	failoverWarmup    = 400 * time.Millisecond
+	failoverPostRun   = 300 * time.Millisecond
+	failoverHeartbeat = 50 * time.Millisecond
+
+	// The partition window before the kill: both replicas lose the primary
+	// this long while clients keep writing. It is what separates the two
+	// modes — async keeps acknowledging commits no replica will ever see
+	// (the acked-loss window the result records), quorum stalls those
+	// commits unacknowledged, so killing the primary loses none.
+	failoverPartition = 150 * time.Millisecond
+)
+
+// RunFailover executes the kill-the-primary chaos experiment. syncReplicas
+// selects the commit mode: N>0 blocks every commit ack until N replicas
+// confirm it (quorum), 0 acknowledges after local durability only (async).
+// The returned result carries the audit; callers assert on it.
+func RunFailover(syncReplicas int) (*FailoverResult, error) {
+	mode := "async"
+	if syncReplicas > 0 {
+		mode = "quorum"
+	}
+	dir, err := os.MkdirTemp("", "trod-failover")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	// Primary: disk-backed, file-persisted epoch, quorum per syncReplicas.
+	prim, err := db.Open(db.Options{Mode: db.Disk, Path: filepath.Join(dir, "primary.wal")})
+	if err != nil {
+		return nil, err
+	}
+	defer prim.Close()
+	if err := prim.ExecScript(`CREATE TABLE failover_writes (id INTEGER PRIMARY KEY, writer INTEGER, n INTEGER);`); err != nil {
+		return nil, err
+	}
+	pEpoch, err := repl.OpenEpoch(filepath.Join(dir, "primary.epoch"))
+	if err != nil {
+		return nil, err
+	}
+	src := repl.NewSource(prim, repl.SourceOptions{
+		Epoch:        pEpoch,
+		Heartbeat:    failoverHeartbeat,
+		SyncReplicas: syncReplicas,
+	})
+	psrv, err := server.New(server.Config{DB: prim, Source: src, MaxConns: 64})
+	if err != nil {
+		return nil, err
+	}
+	pln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	pdone := make(chan error, 1)
+	go func() { pdone <- psrv.Serve(pln) }()
+	paddr := pln.Addr().String()
+
+	// Two replicas. Each runs a Source too (sharing its epoch): the moment
+	// one is promoted it must feed the other, and quorum mode must keep
+	// holding on the new primary.
+	type node struct {
+		db   *db.DB
+		r    *repl.Replica
+		srv  *server.Server
+		addr string
+		done chan error
+	}
+	nodes := make([]*node, 2)
+	for i := range nodes {
+		rdb, err := db.Open(db.Options{Mode: db.Disk, Path: filepath.Join(dir, fmt.Sprintf("replica%d.wal", i))})
+		if err != nil {
+			return nil, err
+		}
+		epoch, err := repl.OpenEpoch(filepath.Join(dir, fmt.Sprintf("replica%d.epoch", i)))
+		if err != nil {
+			return nil, err
+		}
+		rdb.SetReadOnly(true)
+		r := repl.StartReplica(rdb, paddr, repl.ReplicaOptions{Epoch: epoch, MinBackoff: 10 * time.Millisecond})
+		rsrc := repl.NewSource(rdb, repl.SourceOptions{
+			Epoch:        epoch,
+			Heartbeat:    failoverHeartbeat,
+			SyncReplicas: syncReplicas,
+		})
+		rsrv, err := server.New(server.Config{DB: rdb, Replica: r, Source: rsrc, MaxConns: 64})
+		if err != nil {
+			return nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		n := &node{db: rdb, r: r, srv: rsrv, addr: ln.Addr().String(), done: make(chan error, 1)}
+		go func() { n.done <- rsrv.Serve(ln) }()
+		nodes[i] = n
+		defer func() {
+			r.Stop()
+			rdb.Close()
+		}()
+	}
+	for _, n := range nodes {
+		if !n.r.WaitForSeq(prim.Store().CurrentSeq(), 20*time.Second) {
+			return nil, fmt.Errorf("experiments: replica stuck at %d (%v)", n.r.AppliedSeq(), n.r.LastErr())
+		}
+	}
+
+	// Open-loop writers through the failover-aware pool: unique primary keys,
+	// never retried. A clean response marks the write acked; any error marks
+	// it unknown (its fate is ambiguous — the request may or may not have
+	// committed before the failure) and the writer moves to a fresh key.
+	pool, err := client.NewPool(paddr, []string{nodes[0].addr, nodes[1].addr}, client.Options{PoolSize: failoverWriters * 2})
+	if err != nil {
+		return nil, err
+	}
+	defer pool.Close()
+
+	var (
+		killMu   sync.Mutex
+		killedAt time.Time
+		firstAck time.Time
+	)
+	killTime := func() (time.Time, bool) {
+		killMu.Lock()
+		defer killMu.Unlock()
+		return killedAt, !killedAt.IsZero()
+	}
+	noteAck := func() {
+		killMu.Lock()
+		defer killMu.Unlock()
+		if !killedAt.IsZero() && firstAck.IsZero() {
+			firstAck = time.Now()
+		}
+	}
+
+	type writerState struct {
+		acked       []failoverWrite
+		unknown     []failoverWrite
+		ackedBefore int
+	}
+	states := make([]*writerState, failoverWriters)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < failoverWriters; w++ {
+		st := &writerState{}
+		states[w] = st
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for n := int64(0); ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Classify by the kill state at issue time: a success issued
+				// after the kill can only have come from the new primary (the
+				// dead one's connections are gone), so the first such ack
+				// marks the end of the outage.
+				_, killedBefore := killTime()
+				rec := failoverWrite{id: int64(w)*1_000_000 + n, writer: w, n: n}
+				_, err := pool.Exec(`INSERT INTO failover_writes VALUES (?, ?, ?)`, rec.id, rec.writer, rec.n)
+				if err == nil {
+					st.acked = append(st.acked, rec)
+					if killedBefore {
+						noteAck()
+					} else {
+						st.ackedBefore++
+					}
+					continue
+				}
+				// Fate unknown: never retry this id (a retry that conflicts
+				// proves application, not durability of the original ack).
+				st.unknown = append(st.unknown, rec)
+				time.Sleep(5 * time.Millisecond)
+			}
+		}(w)
+	}
+
+	time.Sleep(failoverWarmup)
+
+	// The partition: both replicas are re-pointed at a black hole (a
+	// listener that never accepts), severing the primary's feed while
+	// clients keep writing. Async mode keeps acknowledging commits nothing
+	// replicates; quorum mode stalls them unacknowledged.
+	blackhole, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer blackhole.Close()
+	for _, n := range nodes {
+		n.r.Redirect(blackhole.Addr().String())
+	}
+	time.Sleep(failoverPartition)
+
+	// The kill: the primary's network face dies abruptly — listener and every
+	// session connection closed with no drain, the in-process equivalent of
+	// SIGKILL on the server process. The kill is stamped after Kill returns:
+	// from that instant no acknowledgement can come from the old primary.
+	psrv.Kill()
+	<-pdone
+	killMu.Lock()
+	killedAt = time.Now()
+	killMu.Unlock()
+
+	// The harness is the failure detector and operator: wait for both
+	// replicas to notice the dead feed, promote the most-caught-up one, and
+	// re-point the other at it.
+	rcls := make([]*client.Client, len(nodes))
+	for i, n := range nodes {
+		if rcls[i], err = client.Dial(n.addr, client.Options{PoolSize: 1}); err != nil {
+			return nil, err
+		}
+		defer rcls[i].Close()
+	}
+	detectDeadline := time.Now().Add(5 * time.Second)
+	for {
+		disconnected := 0
+		for _, rc := range rcls {
+			if st, err := rc.Stats(); err == nil && st.ReplConnected == 0 {
+				disconnected++
+			}
+		}
+		if disconnected == len(rcls) || time.Now().After(detectDeadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	best := 0
+	if nodes[1].r.AppliedSeq() > nodes[0].r.AppliedSeq() {
+		best = 1
+	}
+	other := 1 - best
+	promotedEpoch, promotedSeq, err := rcls[best].Promote()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: promote: %w", err)
+	}
+	nodes[other].r.Redirect(nodes[best].addr)
+
+	// Writers find the new primary through the pool's re-discovery; wait for
+	// the first post-kill ack, run a while longer, then stop the load.
+	ackDeadline := time.Now().Add(15 * time.Second)
+	for {
+		killMu.Lock()
+		acked := !firstAck.IsZero()
+		killMu.Unlock()
+		if acked || time.Now().After(ackDeadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	time.Sleep(failoverPostRun)
+	close(stop)
+	wg.Wait()
+	killMu.Lock()
+	if firstAck.IsZero() {
+		killMu.Unlock()
+		return nil, fmt.Errorf("experiments: no write succeeded on the new primary within 15s of the kill")
+	}
+	failoverMs := float64(firstAck.Sub(killedAt).Microseconds()) / 1000
+	killMu.Unlock()
+
+	// Drain: the redirected replica must converge on the new primary.
+	npdb := nodes[best].db
+	if !nodes[other].r.WaitForSeq(npdb.Store().CurrentSeq(), 20*time.Second) {
+		return nil, fmt.Errorf("experiments: redirected replica stuck at %d (%v)",
+			nodes[other].r.AppliedSeq(), nodes[other].r.LastErr())
+	}
+
+	// The audit. Survivors come straight from the new primary's store; the
+	// oracle database is rebuilt from the clients' own records: every write
+	// they were told succeeded, plus every unknown write that turns out to
+	// have survived. Acked writes missing from the survivors are lost
+	// acknowledgements — the failure quorum mode exists to prevent.
+	res := &FailoverResult{
+		Mode:          mode,
+		SyncReplicas:  syncReplicas,
+		Writers:       failoverWriters,
+		FailoverMs:    failoverMs,
+		PromotedEpoch: promotedEpoch,
+		PromotedSeq:   promotedSeq,
+	}
+	acked := map[int64]failoverWrite{}
+	unknown := map[int64]failoverWrite{}
+	for _, st := range states {
+		res.AckedBefore += st.ackedBefore
+		res.AckedAfter += len(st.acked) - st.ackedBefore
+		res.Unknown += len(st.unknown)
+		for _, rec := range st.acked {
+			acked[rec.id] = rec
+		}
+		for _, rec := range st.unknown {
+			unknown[rec.id] = rec
+		}
+	}
+	rows, err := npdb.Query(`SELECT id FROM failover_writes`)
+	if err != nil {
+		return nil, err
+	}
+	survived := map[int64]bool{}
+	for _, row := range rows.Rows {
+		id := row[0].AsInt()
+		survived[id] = true
+		if _, ok := acked[id]; ok {
+			continue
+		}
+		if _, ok := unknown[id]; ok {
+			continue
+		}
+		res.Phantoms++
+	}
+	res.Survivors = len(survived)
+	for id := range acked {
+		if !survived[id] {
+			res.AckedLost++
+		}
+	}
+
+	oracle, err := db.Open(db.Options{Mode: db.Memory})
+	if err != nil {
+		return nil, err
+	}
+	defer oracle.Close()
+	if err := oracle.ExecScript(`CREATE TABLE failover_writes (id INTEGER PRIMARY KEY, writer INTEGER, n INTEGER);`); err != nil {
+		return nil, err
+	}
+	insert := func(recs map[int64]failoverWrite) error {
+		for id, rec := range recs {
+			if !survived[id] {
+				continue
+			}
+			if _, err := oracle.Exec(`INSERT INTO failover_writes VALUES (?, ?, ?)`, rec.id, rec.writer, rec.n); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := insert(acked); err != nil {
+		return nil, err
+	}
+	if err := insert(unknown); err != nil {
+		return nil, err
+	}
+	res.DiffClean = res.Phantoms == 0 && res.AckedLost == 0 &&
+		crashtest.StoreDiff(npdb.Store(), oracle.Store()) == ""
+	if mode == "async" {
+		// Async mode records its acked-loss window instead of asserting on
+		// it; DiffClean then only claims value fidelity of what did survive.
+		res.DiffClean = res.Phantoms == 0 && crashtest.StoreDiff(npdb.Store(), oracle.Store()) == ""
+	}
+
+	// The zombie: bring the old primary's server back on its data directory
+	// and epoch state, contact it from the new epoch, and verify it is
+	// fenced — it may neither feed subscribers nor ack writes.
+	res.StaleFenced, err = proveFenced(prim, src, promotedEpoch)
+	if err != nil {
+		return nil, err
+	}
+
+	// Teardown.
+	for _, n := range nodes {
+		n.r.Stop()
+	}
+	nodes[best].srv.Kill()
+	nodes[other].srv.Kill()
+	<-nodes[best].done
+	<-nodes[other].done
+	return res, nil
+}
+
+// proveFenced restarts the deposed primary's network face, delivers it the
+// news of the new epoch the way a real cluster would (a subscriber from the
+// new epoch contacts it), and checks both fencing obligations: subscribers
+// get a typed fenced refusal, and writes fail with the typed fenced error.
+func proveFenced(prim *db.DB, src *repl.Source, newEpoch uint64) (bool, error) {
+	zsrv, err := server.New(server.Config{DB: prim, Source: src, MaxConns: 8})
+	if err != nil {
+		return false, err
+	}
+	zln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return false, err
+	}
+	zdone := make(chan error, 1)
+	go func() { zdone <- zsrv.Serve(zln) }()
+	defer func() {
+		zsrv.Kill()
+		<-zdone
+	}()
+
+	// A new-epoch subscriber: the zombie must fence itself and refuse.
+	conn, err := net.DialTimeout("tcp", zln.Addr().String(), 2*time.Second)
+	if err != nil {
+		return false, err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	sub := &protocol.Message{Type: protocol.MsgSubscribe, FromSeq: prim.Store().CurrentSeq(), Epoch: newEpoch}
+	if err := protocol.WriteMessage(conn, sub); err != nil {
+		return false, err
+	}
+	resp, err := protocol.ReadMessage(conn, protocol.MaxReplFrame)
+	if err != nil {
+		return false, err
+	}
+	subFenced := resp.Type == protocol.MsgError && resp.Code == protocol.CodeFenced
+
+	// A write: the fenced zombie must reject it with the typed error.
+	zc, err := client.Dial(zln.Addr().String(), client.Options{PoolSize: 1})
+	if err != nil {
+		return false, err
+	}
+	defer zc.Close()
+	_, werr := zc.Exec(`INSERT INTO failover_writes VALUES (?, ?, ?)`, int64(-1), -1, -1)
+	writeFenced := werr != nil && protocol.IsFenced(werr)
+	if werr == nil {
+		return false, errors.New("experiments: fenced old primary accepted a write")
+	}
+	return subFenced && writeFenced, nil
+}

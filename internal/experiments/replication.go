@@ -386,11 +386,11 @@ func RunReplication(replicas, readMillis int) (*ReplicationResult, error) {
 		SlotsPerNode:  replNodeSlots,
 		ReadServiceUs: int(replReadService / time.Microsecond),
 		LagSamples:    len(lagMs),
-		LagP50Ms:   pct(0.50),
-		LagP99Ms:   pct(0.99),
-		LagBoundMs: replLagBoundMs,
-		DiffClean:  diffClean,
-		FinalSeq:   prim.Store().CurrentSeq(),
+		LagP50Ms:      pct(0.50),
+		LagP99Ms:      pct(0.99),
+		LagBoundMs:    replLagBoundMs,
+		DiffClean:     diffClean,
+		FinalSeq:      prim.Store().CurrentSeq(),
 	}
 	res.LagBounded = res.LagSamples > 0 && res.LagP99Ms <= res.LagBoundMs
 	return res, nil

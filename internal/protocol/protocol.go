@@ -56,6 +56,14 @@ const (
 	// frames from FromSeq onward until the connection closes. With Bootstrap
 	// set, FromSeq is ignored and the server ships a full snapshot first.
 	MsgSubscribe
+	// MsgPromote asks a replica server to promote itself to a writable
+	// primary at the next epoch (Epoch 0 lets the server pick current+1).
+	// Answered with MsgPromoted or a typed error.
+	MsgPromote
+	// MsgAck flows client->server on an established Subscribe stream: the
+	// subscriber confirms it has applied every commit up to Seq under Epoch.
+	// Acks feed the primary's quorum watermark and per-subscriber lag stats.
+	MsgAck
 )
 
 // Response messages (server -> client).
@@ -75,6 +83,10 @@ const (
 	// compressed EncodeSnapshot image); Last marks the final chunk and Seq
 	// the commit sequence the snapshot captures.
 	MsgSnapshotChunk
+	// MsgPromoted acknowledges MsgPromote: Epoch is the new epoch the server
+	// now serves writes under, Seq the promotion point (its applied commit
+	// sequence — the new timeline's divergence point).
+	MsgPromoted
 )
 
 // ErrCode classifies a server-side failure so clients can react typedly
@@ -109,6 +121,15 @@ const (
 	// the primary's retained log window (or predates what the primary can
 	// prove it shipped); the subscriber must re-bootstrap from a snapshot.
 	CodeLogTruncated
+	// CodeFenced: this node's replication epoch is stale — a newer primary
+	// has been promoted. A fenced node can neither ack writes nor feed
+	// subscribers; clients must re-discover the current primary.
+	CodeFenced
+	// CodeQuorumUnavailable: the commit applied locally but was not
+	// acknowledged by the configured replica quorum within the timeout. The
+	// commit's fate on the surviving timeline is unknown until the cluster
+	// heals; clients must not assume it is durable.
+	CodeQuorumUnavailable
 )
 
 // String names the code for error text.
@@ -134,6 +155,10 @@ func (c ErrCode) String() string {
 		return "read-only"
 	case CodeLogTruncated:
 		return "log-truncated"
+	case CodeFenced:
+		return "fenced"
+	case CodeQuorumUnavailable:
+		return "quorum-unavailable"
 	default:
 		return fmt.Sprintf("code(%d)", uint8(c))
 	}
@@ -172,6 +197,14 @@ func IsReadOnly(err error) bool { return IsCode(err, CodeReadOnly) }
 // retained log window.
 func IsLogTruncated(err error) bool { return IsCode(err, CodeLogTruncated) }
 
+// IsFenced reports a request rejected by a node whose replication epoch is
+// stale (a newer primary exists).
+func IsFenced(err error) bool { return IsCode(err, CodeFenced) }
+
+// IsQuorumUnavailable reports a commit that could not gather replica-quorum
+// acknowledgement in time.
+func IsQuorumUnavailable(err error) bool { return IsCode(err, CodeQuorumUnavailable) }
+
 // Stats is the MsgStatsResult payload: a snapshot of the server's gauges
 // and counters, plus the WAL sync counter so load tests can verify group
 // commit (Syncs < Commits) over the wire.
@@ -203,6 +236,27 @@ type Stats struct {
 	AppliedSeq    uint64
 	PrimarySeq    uint64
 	ReplConnected uint64
+
+	// Failover. Epoch is the node's replication epoch (bumped by every
+	// promotion); Fenced is 1 when the node has observed a higher epoch and
+	// refuses writes and subscribers.
+	Epoch  uint64
+	Fenced uint64
+
+	// SubscriberLags describes each live replication stream the node serves
+	// (a primary's per-subscriber view); empty on replicas and on primaries
+	// with no subscribers.
+	SubscriberLags []SubscriberLag
+}
+
+// SubscriberLag is one subscriber's replication progress as seen by the
+// primary: the newest commit sequence it acknowledged, how many commits it
+// trails the primary's head by, and how long ago it last acked (heartbeat
+// acks keep this fresh on an idle stream).
+type SubscriberLag struct {
+	AckedSeq     uint64
+	LagSeqs      uint64
+	LastAckAgeMs uint64
 }
 
 // Lag returns the replication lag in commit sequences (0 on a primary or a
@@ -254,6 +308,14 @@ type Message struct {
 	// carries the snapshot's commit sequence.
 	Data []byte
 	Last bool
+
+	// Epoch is the replication epoch of the history a frame belongs to.
+	// Carried by MsgSubscribe (the subscriber's epoch), MsgLogBatch and
+	// MsgSnapshotChunk (the source's epoch), MsgAck (the acker's epoch),
+	// MsgPromote (the requested epoch; 0 = current+1), and MsgPromoted (the
+	// granted epoch). Receivers reject frames from a stale epoch with a
+	// typed fenced error.
+	Epoch uint64
 }
 
 // LogEntry is one replication stream element: either a committed CDC record
@@ -381,12 +443,27 @@ func EncodeMessage(dst []byte, m *Message) []byte {
 		for _, v := range m.Stats.fields() {
 			dst = binary.AppendUvarint(dst, *v)
 		}
+		dst = binary.AppendUvarint(dst, uint64(len(m.Stats.SubscriberLags)))
+		for _, l := range m.Stats.SubscriberLags {
+			dst = binary.AppendUvarint(dst, l.AckedSeq)
+			dst = binary.AppendUvarint(dst, l.LagSeqs)
+			dst = binary.AppendUvarint(dst, l.LastAckAgeMs)
+		}
 	case MsgError:
 		dst = append(dst, byte(m.Code))
 		dst = appendString(dst, m.Err)
 	case MsgSubscribe:
 		dst = binary.AppendUvarint(dst, m.FromSeq)
 		dst = appendBool(dst, m.Bootstrap)
+		dst = binary.AppendUvarint(dst, m.Epoch)
+	case MsgAck:
+		dst = binary.AppendUvarint(dst, m.Seq)
+		dst = binary.AppendUvarint(dst, m.Epoch)
+	case MsgPromote:
+		dst = binary.AppendUvarint(dst, m.Epoch)
+	case MsgPromoted:
+		dst = binary.AppendUvarint(dst, m.Epoch)
+		dst = binary.AppendUvarint(dst, m.Seq)
 	case MsgLogBatch:
 		dst = binary.AppendUvarint(dst, uint64(len(m.Entries)))
 		for i := range m.Entries {
@@ -404,10 +481,12 @@ func EncodeMessage(dst []byte, m *Message) []byte {
 			}
 		}
 		dst = binary.AppendUvarint(dst, m.PrimarySeq)
+		dst = binary.AppendUvarint(dst, m.Epoch)
 	case MsgSnapshotChunk:
 		dst = appendBytes(dst, m.Data)
 		dst = binary.AppendUvarint(dst, m.Seq)
 		dst = appendBool(dst, m.Last)
+		dst = binary.AppendUvarint(dst, m.Epoch)
 	}
 	return dst
 }
@@ -438,6 +517,7 @@ func (s *Stats) fields() []*uint64 {
 		&s.PlanCacheHits, &s.PlanCacheMisses,
 		&s.Subscribers, &s.IsReplica, &s.AppliedSeq, &s.PrimarySeq,
 		&s.ReplConnected,
+		&s.Epoch, &s.Fenced,
 	}
 }
 
@@ -515,6 +595,30 @@ func DecodeMessage(payload []byte) (*Message, error) {
 				return nil, err
 			}
 		}
+		var n uint64
+		if n, off, err = readUvarint(payload, off); err != nil {
+			return nil, err
+		}
+		// Every subscriber entry costs at least three payload bytes; reject
+		// counts the remaining bytes cannot hold before allocating for them
+		// (same uint64-space hardening as MsgResult/MsgLogBatch counts).
+		if n > uint64(len(payload)-off)/3 {
+			return nil, fmt.Errorf("protocol: subscriber count %d exceeds payload", n)
+		}
+		m.Stats.SubscriberLags = make([]SubscriberLag, 0, preallocCap(n, 4096))
+		for i := uint64(0); i < n; i++ {
+			var l SubscriberLag
+			if l.AckedSeq, off, err = readUvarint(payload, off); err != nil {
+				return nil, err
+			}
+			if l.LagSeqs, off, err = readUvarint(payload, off); err != nil {
+				return nil, err
+			}
+			if l.LastAckAgeMs, off, err = readUvarint(payload, off); err != nil {
+				return nil, err
+			}
+			m.Stats.SubscriberLags = append(m.Stats.SubscriberLags, l)
+		}
 	case MsgError:
 		if off >= len(payload) {
 			return nil, fmt.Errorf("protocol: truncated error")
@@ -529,6 +633,27 @@ func DecodeMessage(payload []byte) (*Message, error) {
 			return nil, err
 		}
 		if m.Bootstrap, off, err = readBool(payload, off); err != nil {
+			return nil, err
+		}
+		if m.Epoch, off, err = readUvarint(payload, off); err != nil {
+			return nil, err
+		}
+	case MsgAck:
+		if m.Seq, off, err = readUvarint(payload, off); err != nil {
+			return nil, err
+		}
+		if m.Epoch, off, err = readUvarint(payload, off); err != nil {
+			return nil, err
+		}
+	case MsgPromote:
+		if m.Epoch, off, err = readUvarint(payload, off); err != nil {
+			return nil, err
+		}
+	case MsgPromoted:
+		if m.Epoch, off, err = readUvarint(payload, off); err != nil {
+			return nil, err
+		}
+		if m.Seq, off, err = readUvarint(payload, off); err != nil {
 			return nil, err
 		}
 	case MsgLogBatch:
@@ -576,6 +701,9 @@ func DecodeMessage(payload []byte) (*Message, error) {
 		if m.PrimarySeq, off, err = readUvarint(payload, off); err != nil {
 			return nil, err
 		}
+		if m.Epoch, off, err = readUvarint(payload, off); err != nil {
+			return nil, err
+		}
 	case MsgSnapshotChunk:
 		var body []byte
 		if body, off, err = readBytes(payload, off); err != nil {
@@ -586,6 +714,9 @@ func DecodeMessage(payload []byte) (*Message, error) {
 			return nil, err
 		}
 		if m.Last, off, err = readBool(payload, off); err != nil {
+			return nil, err
+		}
+		if m.Epoch, off, err = readUvarint(payload, off); err != nil {
 			return nil, err
 		}
 	default:

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"hash/crc32"
 	"io"
+	"reflect"
 	"testing"
 
 	"repro/internal/storage"
@@ -68,11 +69,15 @@ func TestRoundTripAllMessages(t *testing.T) {
 		RejectedBusy: 4, Requests: 100, Commits: 50, Conflicts: 5,
 		ExpiredTxns: 2, WALSyncs: 20, PlanCacheHits: 40, PlanCacheMisses: 7,
 		Subscribers: 2, IsReplica: 1, AppliedSeq: 900, PrimarySeq: 905,
-		ReplConnected: 1,
+		ReplConnected: 1, Epoch: 3, Fenced: 1,
+		SubscriberLags: []SubscriberLag{
+			{AckedSeq: 898, LagSeqs: 7, LastAckAgeMs: 120},
+			{AckedSeq: 905, LagSeqs: 0, LastAckAgeMs: 4},
+		},
 	}
 	st := roundtrip(t, &Message{Type: MsgStatsResult, Stats: want})
-	if st.Stats != want {
-		t.Fatalf("stats round trip: %+v", st.Stats)
+	if !reflect.DeepEqual(st.Stats, want) {
+		t.Fatalf("stats round trip: got %+v want %+v", st.Stats, want)
 	}
 	if lag := st.Stats.Lag(); lag != 5 {
 		t.Fatalf("lag = %d, want 5", lag)
@@ -244,5 +249,95 @@ func TestWriteMessageRejectsOversizedBeforeWriting(t *testing.T) {
 	}
 	if buf.Len() != 0 {
 		t.Fatalf("oversized write leaked %d bytes onto the stream", buf.Len())
+	}
+}
+
+// TestFailoverMessageRoundTrips covers the failover frames: the replication
+// epoch stamped on Subscribe/LogBatch/SnapshotChunk, and the Ack / Promote /
+// Promoted messages themselves.
+func TestFailoverMessageRoundTrips(t *testing.T) {
+	sub := roundtrip(t, &Message{Type: MsgSubscribe, FromSeq: 77, Epoch: 3})
+	if sub.FromSeq != 77 || sub.Epoch != 3 || sub.Bootstrap {
+		t.Fatalf("subscribe+epoch round trip: %+v", sub)
+	}
+	ack := roundtrip(t, &Message{Type: MsgAck, Seq: 41, Epoch: 2})
+	if ack.Seq != 41 || ack.Epoch != 2 {
+		t.Fatalf("ack round trip: %+v", ack)
+	}
+	promote := roundtrip(t, &Message{Type: MsgPromote, Epoch: 9})
+	if promote.Epoch != 9 {
+		t.Fatalf("promote round trip: %+v", promote)
+	}
+	promoted := roundtrip(t, &Message{Type: MsgPromoted, Epoch: 9, Seq: 1234})
+	if promoted.Epoch != 9 || promoted.Seq != 1234 {
+		t.Fatalf("promoted round trip: %+v", promoted)
+	}
+	hb := roundtrip(t, &Message{Type: MsgLogBatch, PrimarySeq: 99, Epoch: 4})
+	if hb.PrimarySeq != 99 || hb.Epoch != 4 || len(hb.Entries) != 0 {
+		t.Fatalf("heartbeat+epoch round trip: %+v", hb)
+	}
+	chunk := roundtrip(t, &Message{Type: MsgSnapshotChunk, Data: []byte{1, 2}, Seq: 8, Last: true, Epoch: 6})
+	if chunk.Epoch != 6 || chunk.Seq != 8 || !chunk.Last || !bytes.Equal(chunk.Data, []byte{1, 2}) {
+		t.Fatalf("chunk+epoch round trip: %+v", chunk)
+	}
+}
+
+// TestTruncatedFailoverPayloadsRejected cuts the new failover frames at
+// every payload byte: each strict prefix must decode to an error — never a
+// silently-zeroed field and never a panic. Field values are multi-byte
+// uvarints so mid-varint cuts are exercised too.
+func TestTruncatedFailoverPayloadsRejected(t *testing.T) {
+	msgs := []*Message{
+		{Type: MsgSubscribe, FromSeq: 1 << 40, Bootstrap: true, Epoch: 1 << 33},
+		{Type: MsgAck, Seq: 1 << 40, Epoch: 1 << 33},
+		{Type: MsgPromote, Epoch: 1 << 33},
+		{Type: MsgPromoted, Epoch: 1 << 33, Seq: 1 << 40},
+		{Type: MsgLogBatch, PrimarySeq: 1 << 40, Epoch: 1 << 33},
+		{Type: MsgStatsResult, Stats: Stats{Epoch: 1 << 33, Fenced: 1,
+			SubscriberLags: []SubscriberLag{{AckedSeq: 1 << 40, LagSeqs: 9, LastAckAgeMs: 1 << 20}}}},
+	}
+	for _, m := range msgs {
+		var buf bytes.Buffer
+		if err := WriteMessage(&buf, m); err != nil {
+			t.Fatalf("%v: encode: %v", m.Type, err)
+		}
+		payload := buf.Bytes()[8:] // strip the length+CRC header
+		for cut := 0; cut < len(payload); cut++ {
+			if _, err := DecodeMessage(payload[:cut]); err == nil {
+				t.Errorf("%v: truncated payload (%d of %d bytes) decoded cleanly", m.Type, cut, len(payload))
+			}
+		}
+	}
+}
+
+// TestStatsCraftedSubscriberCountRejected pins the uint64-space bound check
+// on the subscriber-lag list: a count the remaining payload cannot hold must
+// be rejected before allocation.
+func TestStatsCraftedSubscriberCountRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, &Message{Type: MsgStatsResult}); err != nil {
+		t.Fatal(err)
+	}
+	payload := buf.Bytes()[8:]
+	// The encoding ends with the subscriber count (0 for empty stats);
+	// replace it with an absurd claim followed by a few real bytes.
+	payload = append(payload[:len(payload)-1], binary.AppendUvarint(nil, 1<<40)...)
+	payload = append(payload, 1, 2, 3)
+	if _, err := DecodeMessage(payload); err == nil {
+		t.Fatal("crafted subscriber count accepted")
+	}
+}
+
+// TestFailoverErrorHelpers pins the typed classification of the two new
+// error codes.
+func TestFailoverErrorHelpers(t *testing.T) {
+	if !IsFenced(&ServerError{Code: CodeFenced}) || IsFenced(&ServerError{Code: CodeReadOnly}) {
+		t.Fatal("fenced classification")
+	}
+	if !IsQuorumUnavailable(&ServerError{Code: CodeQuorumUnavailable}) || IsQuorumUnavailable(errors.New("plain")) {
+		t.Fatal("quorum-unavailable classification")
+	}
+	if CodeFenced.String() != "fenced" || CodeQuorumUnavailable.String() != "quorum-unavailable" {
+		t.Fatalf("code strings: %q %q", CodeFenced.String(), CodeQuorumUnavailable.String())
 	}
 }

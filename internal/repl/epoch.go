@@ -1,0 +1,156 @@
+package repl
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Epoch is a node's replication-epoch state — the fencing token that makes
+// failover safe. Every promotion bumps the cluster's epoch; frames carry it,
+// and a node that observes a higher epoch than its own knows a newer primary
+// exists and fences itself: it stops acking writes and feeding subscribers
+// until an operator re-points or re-bootstraps it.
+//
+// One Epoch is shared by everything on a node that speaks replication (the
+// Source and the Replica), and is persisted next to the WAL so a restarted
+// zombie primary stays fenced.
+//
+// Invariants: current only grows; fencedBy records the highest foreign epoch
+// seen, and the node is fenced while fencedBy > current. Advance (promotion)
+// must move past every epoch the node has heard of.
+type Epoch struct {
+	mu       sync.Mutex
+	path     string // "" = in-memory only (tests, memory-mode nodes)
+	current  uint64
+	startSeq uint64 // commit seq at which current began (the promotion point)
+	fencedBy uint64 // highest foreign epoch observed; fenced while > current
+}
+
+// OpenEpoch loads (or initialises) the epoch state persisted at path. An
+// empty path keeps the state in memory only. A missing file is epoch 0 —
+// the state every pre-failover node implicitly had.
+func OpenEpoch(path string) (*Epoch, error) {
+	e := &Epoch{path: path}
+	if path == "" {
+		return e, nil
+	}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return e, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("repl: epoch state: %w", err)
+	}
+	var ver int
+	if _, err := fmt.Sscanf(string(data), "v%d %d %d %d",
+		&ver, &e.current, &e.startSeq, &e.fencedBy); err != nil || ver != 1 {
+		return nil, fmt.Errorf("repl: epoch state %s is corrupt: %q", path, data)
+	}
+	return e, nil
+}
+
+// persistLocked writes the state atomically (temp file + rename), so a crash
+// mid-write leaves the previous state intact. Caller holds e.mu.
+func (e *Epoch) persistLocked() error {
+	if e.path == "" {
+		return nil
+	}
+	tmp := e.path + ".tmp"
+	body := fmt.Sprintf("v1 %d %d %d\n", e.current, e.startSeq, e.fencedBy)
+	if err := os.WriteFile(tmp, []byte(body), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, e.path)
+}
+
+// Current returns the node's epoch — the epoch of the history it follows or
+// serves.
+func (e *Epoch) Current() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.current
+}
+
+// StartSeq returns the commit sequence at which the current epoch began.
+// Catch-up requests positioned past it from an older epoch may carry a
+// diverged suffix and must re-bootstrap.
+func (e *Epoch) StartSeq() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.startSeq
+}
+
+// Fenced reports whether the node has observed a higher epoch than its own.
+func (e *Epoch) Fenced() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.fencedBy > e.current
+}
+
+// FencedBy returns the highest foreign epoch observed (0 if none).
+func (e *Epoch) FencedBy() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.fencedBy
+}
+
+// Fence records that a higher epoch exists (seen on a subscriber or ack
+// frame). It never lowers fencedBy, persists the new state, and reports
+// whether the node is now fenced.
+func (e *Epoch) Fence(foreign uint64) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if foreign > e.fencedBy {
+		e.fencedBy = foreign
+		_ = e.persistLocked()
+	}
+	return e.fencedBy > e.current
+}
+
+// Follow adopts a higher epoch heard from the node's own upstream feed: the
+// replica keeps following the same primary history, now under the new
+// epoch. atSeq (the replica's applied sequence when it first heard the
+// epoch) becomes a conservative start-of-epoch marker for any chained
+// subscribers this node serves.
+func (e *Epoch) Follow(epoch, atSeq uint64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if epoch <= e.current {
+		return nil
+	}
+	e.current = epoch
+	e.startSeq = atSeq
+	return e.persistLocked()
+}
+
+// Advance is promotion: the node claims `to` as its own epoch starting at
+// commit sequence atSeq. It refuses epochs the node has already heard of
+// (its own or foreign) — promoting into a known-stale epoch would fork the
+// history two ways.
+func (e *Epoch) Advance(to, atSeq uint64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	floor := e.current
+	if e.fencedBy > floor {
+		floor = e.fencedBy
+	}
+	if to <= floor {
+		return fmt.Errorf("repl: cannot advance to epoch %d: epoch %d already observed", to, floor)
+	}
+	e.current = to
+	e.startSeq = atSeq
+	return e.persistLocked()
+}
+
+// NextEpoch returns the lowest epoch a promotion on this node may claim:
+// one past everything it has heard of.
+func (e *Epoch) NextEpoch() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	next := e.current
+	if e.fencedBy > next {
+		next = e.fencedBy
+	}
+	return next + 1
+}

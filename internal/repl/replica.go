@@ -3,6 +3,7 @@ package repl
 import (
 	"bufio"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -26,6 +27,10 @@ type ReplicaOptions struct {
 	// heartbeats every second by default, so a stream quiet this long means
 	// the primary is gone and the replica should redial.
 	StaleAfter time.Duration
+	// Epoch is the node's replication-epoch state, shared with a Source on
+	// the same node (every node can be promoted). nil attaches a private
+	// in-memory epoch 0.
+	Epoch *Epoch
 }
 
 func (o *ReplicaOptions) withDefaults() ReplicaOptions {
@@ -52,9 +57,10 @@ func (o *ReplicaOptions) withDefaults() ReplicaOptions {
 // runs in a background goroutine and reconnects with exponential backoff
 // whenever the primary restarts or the network drops.
 type Replica struct {
-	db   *db.DB
-	addr string
-	opts ReplicaOptions
+	db    *db.DB
+	opts  ReplicaOptions
+	epoch *Epoch
+	rng   *rand.Rand // reconnect jitter; guarded by mu
 
 	applied    atomic.Uint64
 	primarySeq atomic.Uint64
@@ -62,10 +68,12 @@ type Replica struct {
 	bootstraps atomic.Uint64
 
 	mu      sync.Mutex
+	addr    string // current primary address; Redirect changes it
 	conn    net.Conn
 	lastErr error
 
 	rebootstrap atomic.Bool // set after a desync; next subscribe bootstraps
+	promoted    atomic.Bool // set by Promote; the run loop exits
 
 	stop chan struct{}
 	done chan struct{}
@@ -80,8 +88,13 @@ func StartReplica(d *db.DB, primaryAddr string, opts ReplicaOptions) *Replica {
 		db:   d,
 		addr: primaryAddr,
 		opts: (&opts).withDefaults(),
+		rng:  rand.New(rand.NewSource(time.Now().UnixNano())),
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
+	}
+	r.epoch = r.opts.Epoch
+	if r.epoch == nil {
+		r.epoch = &Epoch{}
 	}
 	r.applied.Store(d.Store().CurrentSeq())
 	go r.run()
@@ -119,6 +132,54 @@ func (r *Replica) LastErr() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.lastErr
+}
+
+// Epoch exposes the node's replication-epoch state.
+func (r *Replica) Epoch() *Epoch { return r.epoch }
+
+// Addr returns the primary address the replica currently follows.
+func (r *Replica) Addr() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.addr
+}
+
+// Redirect points the replica at a different primary (after a promotion)
+// and breaks the current session so the next one dials the new address.
+// The replica's position is preserved: it resumes by catch-up when its
+// prefix is compatible, or re-bootstraps when the new primary says so.
+func (r *Replica) Redirect(newAddr string) {
+	r.mu.Lock()
+	r.addr = newAddr
+	if r.conn != nil {
+		r.conn.Close()
+	}
+	r.mu.Unlock()
+}
+
+// Promote flips this replica into a writable primary at newEpoch (0 picks
+// the lowest epoch past everything the node has heard of): the subscription
+// loop is stopped, the epoch advances with the promotion point set to the
+// replica's applied sequence, and the database becomes writable. The caller
+// is responsible for having picked the right replica — under quorum
+// commit, the one with the highest applied sequence among survivors, which
+// by the log's prefix property carries every quorum-acked commit.
+// Returns the epoch granted and the promotion-point sequence.
+func (r *Replica) Promote(newEpoch uint64) (epoch, seq uint64, err error) {
+	// Stop the subscription loop first: nothing may apply past the
+	// promotion point once the new timeline starts.
+	r.promoted.Store(true)
+	r.Stop()
+	if newEpoch == 0 {
+		newEpoch = r.epoch.NextEpoch()
+	}
+	seq = r.db.Store().CurrentSeq()
+	if err := r.epoch.Advance(newEpoch, seq); err != nil {
+		return 0, 0, err
+	}
+	r.db.SetFenced(false)
+	r.db.SetReadOnly(false)
+	return newEpoch, seq, nil
 }
 
 // Stop terminates the subscription loop and waits for it to exit. The
@@ -180,10 +241,20 @@ func (r *Replica) run() {
 				backoff = r.opts.MaxBackoff
 			}
 		}
+		// Jitter the wait across [backoff/2, backoff]: when a primary
+		// restarts, its replicas' backoff clocks are synchronized (they all
+		// lost their streams in the same instant), and un-jittered sleeps
+		// would stampede it with simultaneous redials forever.
+		wait := backoff
+		if half := backoff / 2; half > 0 {
+			r.mu.Lock()
+			wait = half + time.Duration(r.rng.Int63n(int64(half)+1))
+			r.mu.Unlock()
+		}
 		select {
 		case <-r.stop:
 			return
-		case <-time.After(backoff):
+		case <-time.After(wait):
 		}
 	}
 }
@@ -197,10 +268,11 @@ func (r *Replica) setConn(c net.Conn) {
 
 // session runs one subscription: dial, subscribe from the locally-applied
 // sequence (or bootstrap after a refusal/desync), then apply the stream
-// until it breaks. Reports whether any progress was made (snapshot applied
-// or batch received), which resets the reconnect backoff.
+// until it breaks, acking each applied batch upstream. Reports whether any
+// progress was made (snapshot applied or batch received), which resets the
+// reconnect backoff.
 func (r *Replica) session() (bool, error) {
-	conn, err := net.DialTimeout("tcp", r.addr, r.opts.DialTimeout)
+	conn, err := net.DialTimeout("tcp", r.Addr(), r.opts.DialTimeout)
 	if err != nil {
 		return false, err
 	}
@@ -215,6 +287,7 @@ func (r *Replica) session() (bool, error) {
 		Type:      protocol.MsgSubscribe,
 		FromSeq:   r.db.Store().CurrentSeq(),
 		Bootstrap: bootstrap,
+		Epoch:     r.epoch.Current(),
 	}
 	conn.SetWriteDeadline(time.Now().Add(r.opts.DialTimeout))
 	if err := protocol.WriteMessage(conn, sub); err != nil {
@@ -240,6 +313,7 @@ func (r *Replica) session() (bool, error) {
 				conn.SetWriteDeadline(time.Now().Add(r.opts.DialTimeout))
 				err := protocol.WriteMessage(conn, &protocol.Message{
 					Type: protocol.MsgSubscribe, Bootstrap: true,
+					Epoch: r.epoch.Current(),
 				})
 				if err != nil {
 					return progressed, err
@@ -248,6 +322,9 @@ func (r *Replica) session() (bool, error) {
 			}
 			return progressed, &protocol.ServerError{Code: msg.Code, Msg: msg.Err}
 		case protocol.MsgSnapshotChunk:
+			if err := r.observeEpoch(msg.Epoch); err != nil {
+				return progressed, err
+			}
 			snapBuf = append(snapBuf, msg.Data...)
 			if !msg.Last {
 				continue
@@ -264,7 +341,13 @@ func (r *Replica) session() (bool, error) {
 			}
 			r.connected.Store(true)
 			progressed = true
+			if err := r.sendAck(conn); err != nil {
+				return progressed, err
+			}
 		case protocol.MsgLogBatch:
+			if err := r.observeEpoch(msg.Epoch); err != nil {
+				return progressed, err
+			}
 			for i := range msg.Entries {
 				e := &msg.Entries[i]
 				if e.IsDDL() {
@@ -286,8 +369,41 @@ func (r *Replica) session() (bool, error) {
 			}
 			r.connected.Store(true)
 			progressed = true
+			// Confirm the applied position upstream — batches feed the
+			// quorum watermark, heartbeat acks keep failure detection and
+			// lag stats fresh on an idle stream.
+			if err := r.sendAck(conn); err != nil {
+				return progressed, err
+			}
 		default:
 			return progressed, fmt.Errorf("repl: unexpected message type %d on subscription", msg.Type)
 		}
 	}
+}
+
+// observeEpoch processes the epoch stamped on a stream frame: a higher epoch
+// is adopted (the upstream primary was promoted and this replica follows
+// it); a lower one is a frame from a stale primary — a zombie feed — and
+// the session ends with a typed fenced error so it is never applied.
+func (r *Replica) observeEpoch(epoch uint64) error {
+	cur := r.epoch.Current()
+	if epoch > cur {
+		return r.epoch.Follow(epoch, r.applied.Load())
+	}
+	if epoch < cur {
+		return &protocol.ServerError{Code: protocol.CodeFenced,
+			Msg: fmt.Sprintf("stream frame from stale epoch %d (replica is at %d)", epoch, cur)}
+	}
+	return nil
+}
+
+// sendAck confirms the replica's applied sequence on the subscription
+// stream (the primary's quorum watermark and lag stats feed on these).
+func (r *Replica) sendAck(conn net.Conn) error {
+	conn.SetWriteDeadline(time.Now().Add(r.opts.DialTimeout))
+	return protocol.WriteMessage(conn, &protocol.Message{
+		Type:  protocol.MsgAck,
+		Seq:   r.applied.Load(),
+		Epoch: r.epoch.Current(),
+	})
 }

@@ -20,9 +20,11 @@
 package repl
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -53,6 +55,25 @@ type SourceOptions struct {
 	// building multi-gigabyte records; it must never exceed MaxReplFrame
 	// (the limit subscribers read with).
 	FrameLimit int
+	// Epoch is the node's replication-epoch state, shared with a Replica on
+	// the same node (a promoted replica serves as a source under the epoch
+	// it advanced to). nil attaches a private in-memory epoch 0.
+	Epoch *Epoch
+	// SyncReplicas, when > 0, turns on synchronous commit: a write commit is
+	// acknowledged only once this many subscribers have confirmed its
+	// sequence via ack frames on their Subscribe streams (the commit is
+	// already applied and locally durable either way). 0 is asynchronous
+	// replication — acked commits can be lost on failover.
+	SyncReplicas int
+	// QuorumTimeout bounds the synchronous-commit wait (default 5s); on
+	// expiry the commit surfaces a typed quorum-unavailable error instead of
+	// hanging the writer.
+	QuorumTimeout time.Duration
+	// AckTimeout is how long a subscriber stream may go silent before the
+	// source declares it dead and drops it from the quorum set (default
+	// 15s — several subscriber heartbeats). Pre-failover subscribers that
+	// never ack are disconnected after this timeout.
+	AckTimeout time.Duration
 }
 
 func (o *SourceOptions) withDefaults() SourceOptions {
@@ -71,6 +92,12 @@ func (o *SourceOptions) withDefaults() SourceOptions {
 	}
 	if out.FrameLimit <= 0 || out.FrameLimit > protocol.MaxReplFrame {
 		out.FrameLimit = protocol.MaxReplFrame
+	}
+	if out.QuorumTimeout <= 0 {
+		out.QuorumTimeout = 5 * time.Second
+	}
+	if out.AckTimeout <= 0 {
+		out.AckTimeout = 15 * time.Second
 	}
 	return out
 }
@@ -91,6 +118,7 @@ type Source struct {
 	db    *db.DB
 	store *storage.Store
 	opts  SourceOptions
+	epoch *Epoch
 
 	mu      sync.Mutex
 	journal []ddlEntry
@@ -99,6 +127,14 @@ type Source struct {
 	subscribers atomic.Int64
 	streamed    atomic.Uint64 // commit records shipped, all subscribers
 
+	// Ack tracking: one subAck per live subscriber stream, updated by its
+	// ack-reader goroutine. ackWait is closed-and-replaced on every update
+	// (a broadcast quorum waiters and Stats can select on with a timeout,
+	// which sync.Cond cannot express).
+	ackMu   sync.Mutex
+	ackSubs map[*subAck]struct{}
+	ackWait chan struct{}
+
 	// DDL executed before this Source attached is not in the journal and
 	// cannot be resent; catch-up from a position at or before the last such
 	// statement is refused (the subscriber re-bootstraps instead).
@@ -106,15 +142,35 @@ type Source struct {
 	preDDLSeen bool
 }
 
+// subAck is one subscriber's acknowledgement state (guarded by Source.ackMu).
+type subAck struct {
+	acked   uint64
+	lastAck time.Time
+}
+
 // NewSource attaches a replication source to a database. Must be called
 // before the database serves concurrent traffic (the DDL journal starts
 // here; see preDDLSeq).
 func NewSource(d *db.DB, opts SourceOptions) *Source {
 	s := &Source{
-		db:    d,
-		store: d.Store(),
-		opts:  (&opts).withDefaults(),
-		subs:  make(map[chan struct{}]struct{}),
+		db:      d,
+		store:   d.Store(),
+		opts:    (&opts).withDefaults(),
+		subs:    make(map[chan struct{}]struct{}),
+		ackSubs: make(map[*subAck]struct{}),
+		ackWait: make(chan struct{}),
+	}
+	s.epoch = s.opts.Epoch
+	if s.epoch == nil {
+		s.epoch = &Epoch{}
+	}
+	if s.epoch.Fenced() {
+		// Persisted fencing survives a zombie restart: the node comes back
+		// already refusing writes.
+		d.SetFenced(true)
+	}
+	if s.opts.SyncReplicas > 0 {
+		d.SetCommitBarrier(s.waitQuorum)
 	}
 	// Subscribe before snapshotting the pre-attach DDL position: a statement
 	// racing the attach lands in both (journaled and counted pre-attach),
@@ -151,6 +207,129 @@ func (s *Source) Subscribers() int { return int(s.subscribers.Load()) }
 // StreamedCommits reports the total commit records shipped across all
 // subscribers (tests and stats).
 func (s *Source) StreamedCommits() uint64 { return s.streamed.Load() }
+
+// Epoch exposes the node's replication-epoch state.
+func (s *Source) Epoch() *Epoch { return s.epoch }
+
+// fenceFrom records a foreign epoch observed on an incoming frame. If it is
+// higher than this node's own, the node is a zombie: fence the SQL layer and
+// wake every stream and quorum waiter so they fail fast instead of idling.
+func (s *Source) fenceFrom(foreign uint64) {
+	if !s.epoch.Fence(foreign) {
+		return
+	}
+	s.db.SetFenced(true)
+	s.mu.Lock()
+	s.wakeLocked()
+	s.mu.Unlock()
+	s.broadcastAcksLocked(false)
+}
+
+// broadcastAcksLocked wakes everyone selecting on the ack broadcast channel
+// (close-and-replace; sync.Cond cannot be selected on with a timeout).
+// locked reports whether the caller already holds ackMu.
+func (s *Source) broadcastAcksLocked(locked bool) {
+	if !locked {
+		s.ackMu.Lock()
+		defer s.ackMu.Unlock()
+	}
+	close(s.ackWait)
+	s.ackWait = make(chan struct{})
+}
+
+// addSub registers a live subscriber in the quorum/lag set.
+func (s *Source) addSub() *subAck {
+	sub := &subAck{lastAck: time.Now()}
+	s.ackMu.Lock()
+	s.ackSubs[sub] = struct{}{}
+	s.ackMu.Unlock()
+	return sub
+}
+
+// dropSub removes a dead subscriber and wakes quorum waiters (the quorum may
+// now be unreachable; they re-evaluate and run into their timeout).
+func (s *Source) dropSub(sub *subAck) {
+	s.ackMu.Lock()
+	delete(s.ackSubs, sub)
+	s.broadcastAcksLocked(true)
+	s.ackMu.Unlock()
+}
+
+// recordAck advances one subscriber's confirmed sequence.
+func (s *Source) recordAck(sub *subAck, seq uint64) {
+	s.ackMu.Lock()
+	if seq > sub.acked {
+		sub.acked = seq
+	}
+	sub.lastAck = time.Now()
+	s.broadcastAcksLocked(true)
+	s.ackMu.Unlock()
+}
+
+// quorumSeqLocked returns the highest commit sequence confirmed by at least
+// SyncReplicas live subscribers (0 while fewer are connected). Acks are
+// cumulative over a sequential log, so the N-th largest per-subscriber ack
+// is the quorum watermark. Caller holds ackMu.
+func (s *Source) quorumSeqLocked() uint64 {
+	n := s.opts.SyncReplicas
+	if n <= 0 || len(s.ackSubs) < n {
+		return 0
+	}
+	acked := make([]uint64, 0, len(s.ackSubs))
+	for sub := range s.ackSubs {
+		acked = append(acked, sub.acked)
+	}
+	sort.Slice(acked, func(i, j int) bool { return acked[i] > acked[j] })
+	return acked[n-1]
+}
+
+// waitQuorum is the commit barrier installed when SyncReplicas > 0: it holds
+// a locally-durable commit's acknowledgement until the quorum watermark
+// reaches its sequence, the node is fenced, or the timeout expires.
+func (s *Source) waitQuorum(seq uint64) error {
+	timer := time.NewTimer(s.opts.QuorumTimeout)
+	defer timer.Stop()
+	for {
+		if s.epoch.Fenced() {
+			return db.ErrFenced
+		}
+		s.ackMu.Lock()
+		if s.quorumSeqLocked() >= seq {
+			s.ackMu.Unlock()
+			return nil
+		}
+		wait := s.ackWait
+		connected := len(s.ackSubs)
+		s.ackMu.Unlock()
+		select {
+		case <-wait:
+		case <-timer.C:
+			return fmt.Errorf("repl: commit %d not confirmed by %d replicas within %v (%d connected): %w",
+				seq, s.opts.SyncReplicas, s.opts.QuorumTimeout, connected, db.ErrQuorumUnavailable)
+		}
+	}
+}
+
+// SubscriberLags snapshots every live subscriber's acknowledgement progress
+// against head (the node's current commit sequence), most-caught-up first.
+func (s *Source) SubscriberLags(head uint64) []protocol.SubscriberLag {
+	now := time.Now()
+	s.ackMu.Lock()
+	defer s.ackMu.Unlock()
+	out := make([]protocol.SubscriberLag, 0, len(s.ackSubs))
+	for sub := range s.ackSubs {
+		l := protocol.SubscriberLag{AckedSeq: sub.acked}
+		if head > sub.acked {
+			l.LagSeqs = head - sub.acked
+		}
+		if age := now.Sub(sub.lastAck); age > 0 {
+			l.LastAckAgeMs = uint64(age / time.Millisecond)
+		}
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].AckedSeq > out[j].AckedSeq })
+	return out
+}
 
 // canCatchUp reports whether a subscriber at commit sequence `from` can be
 // served by log shipping alone: the retained CDC window must reach back to
@@ -203,15 +382,51 @@ func (s *Source) pendingDDL(cursor int, head uint64) []ddlEntry {
 
 const streamWriteTimeout = 30 * time.Second
 
-// Serve handles one MsgSubscribe request on conn, streaming until the
-// subscriber disconnects, the drain channel closes, or the stream fails.
-// The returned bool reports whether the session may continue handling
-// ordinary requests on the connection (true only after a typed
-// log-truncated refusal, which the subscriber answers with a bootstrap
-// re-subscribe on the same connection).
-func (s *Source) Serve(conn net.Conn, req *protocol.Message, drain <-chan struct{}) bool {
+// Serve handles one MsgSubscribe request on conn, owning the connection in
+// both directions (subscribers send ack frames upstream on the same stream)
+// until the subscriber disconnects, the drain channel closes, or the stream
+// fails. Typed log-truncated refusals are answered by the subscriber with a
+// bootstrap re-subscribe on the same connection, which Serve handles
+// internally; when Serve returns, the connection is done.
+func (s *Source) Serve(conn net.Conn, req *protocol.Message, drain <-chan struct{}) {
 	s.subscribers.Add(1)
 	defer s.subscribers.Add(-1)
+	// One buffered reader for the connection's whole subscriber life: the
+	// ack reader and the re-subscribe reads share it, so no buffered bytes
+	// are stranded between them.
+	br := bufio.NewReaderSize(conn, 1<<12)
+	for {
+		if s.serveOne(br, conn, req, drain) {
+			return
+		}
+		next, err := s.awaitResubscribe(br, conn)
+		if err != nil {
+			return
+		}
+		req = next
+	}
+}
+
+// serveOne runs one subscription attempt. It returns true when the
+// connection is finished, false after a typed refusal that invites a
+// re-subscribe on the same connection.
+func (s *Source) serveOne(br *bufio.Reader, conn net.Conn, req *protocol.Message, drain <-chan struct{}) (done bool) {
+	// Epoch gate. A subscriber announcing a newer epoch proves a newer
+	// primary was promoted — this node is a zombie and fences itself. A
+	// fenced node must not feed anyone: its un-replicated suffix may have
+	// diverged from the surviving timeline.
+	if req.Epoch > s.epoch.Current() {
+		s.fenceFrom(req.Epoch)
+	}
+	if s.epoch.Fenced() {
+		conn.SetWriteDeadline(time.Now().Add(streamWriteTimeout))
+		_ = protocol.WriteMessage(conn, &protocol.Message{
+			Type: protocol.MsgError, Code: protocol.CodeFenced,
+			Err: fmt.Sprintf("this node is fenced (epoch %d, epoch %d exists); subscribe to the current primary",
+				s.epoch.Current(), s.epoch.FencedBy()),
+		})
+		return true
+	}
 
 	// Pin the log window before validating the position: between a
 	// retention check and an unpinned stream start, a checkpoint could
@@ -226,6 +441,20 @@ func (s *Source) Serve(conn net.Conn, req *protocol.Message, drain <-chan struct
 			s.store.MovePin(pin, pos)
 			pin = pos
 		}
+		// A subscriber still on an older epoch positioned past this epoch's
+		// start may carry a diverged suffix (commits the failed primary
+		// acked locally but never replicated); only a snapshot bootstrap
+		// puts it back on this timeline.
+		if req.Epoch < s.epoch.Current() && pos > s.epoch.StartSeq() {
+			s.store.UnpinSnapshot(pin)
+			conn.SetWriteDeadline(time.Now().Add(streamWriteTimeout))
+			_ = protocol.WriteMessage(conn, &protocol.Message{
+				Type: protocol.MsgError, Code: protocol.CodeLogTruncated,
+				Err: fmt.Sprintf("seq %d from epoch %d is past epoch %d's start (seq %d) and may be diverged; re-subscribe with bootstrap",
+					pos, req.Epoch, s.epoch.Current(), s.epoch.StartSeq()),
+			})
+			return false
+		}
 		if !s.canCatchUp(pos) {
 			s.store.UnpinSnapshot(pin)
 			conn.SetWriteDeadline(time.Now().Add(streamWriteTimeout))
@@ -234,13 +463,13 @@ func (s *Source) Serve(conn net.Conn, req *protocol.Message, drain <-chan struct
 				Err: fmt.Sprintf("cannot catch up from seq %d (retained from %d); re-subscribe with bootstrap",
 					pos, s.store.LogRetainedFrom()),
 			})
-			return true
+			return false
 		}
 	} else {
 		snapSeq, err := s.sendSnapshot(conn)
 		if err != nil {
 			s.store.UnpinSnapshot(pin)
-			return false
+			return true
 		}
 		if snapSeq > pin {
 			s.store.MovePin(pin, snapSeq)
@@ -248,7 +477,36 @@ func (s *Source) Serve(conn net.Conn, req *protocol.Message, drain <-chan struct
 		}
 		pos = snapSeq
 	}
-	if s.stream(conn, pos, pin, drain) {
+
+	// Ack reader: the subscriber confirms applied sequences (and heartbeats)
+	// upstream on this connection. The reader feeds the quorum watermark and
+	// per-subscriber lag, and doubles as primary-side failure detection — a
+	// stream silent past AckTimeout is declared dead and dropped from the
+	// quorum set (releasing its log-window pin).
+	sub := s.addSub()
+	defer s.dropSub(sub)
+	dead := make(chan struct{})
+	readerDone := make(chan struct{})
+	var stopRead atomic.Bool
+	go s.readAcks(br, conn, sub, dead, &stopRead, readerDone)
+
+	tooLarge := s.stream(conn, pos, pin, drain, dead)
+
+	// Join the reader before anything else may read the connection. The
+	// deadline poke repeats: a reader that re-armed its own deadline just
+	// before the poke would otherwise sleep out its full ack timeout.
+	stopRead.Store(true)
+	for joined := false; !joined; {
+		conn.SetReadDeadline(time.Now())
+		select {
+		case <-readerDone:
+			joined = true
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	conn.SetReadDeadline(time.Time{})
+
+	if tooLarge {
 		// A single commit too large for the replication frame cap cannot be
 		// log-shipped, but a snapshot (chunked, any size) covers it: tell
 		// the subscriber to re-subscribe with bootstrap, exactly like a
@@ -259,9 +517,69 @@ func (s *Source) Serve(conn net.Conn, req *protocol.Message, drain <-chan struct
 			Err: fmt.Sprintf("a commit exceeds the %d-byte replication frame cap and cannot be log-shipped; re-subscribe with bootstrap",
 				s.opts.FrameLimit),
 		})
-		return true
+		return false
 	}
-	return false
+	return true
+}
+
+// readAcks consumes a subscriber's ack frames until the stream ends, the
+// subscriber goes silent past AckTimeout, or stop is set (the stream writer
+// is done and is joining the reader). Closing dead tells the stream loop
+// the subscriber failed.
+func (s *Source) readAcks(br *bufio.Reader, conn net.Conn, sub *subAck, dead chan struct{}, stop *atomic.Bool, done chan struct{}) {
+	defer close(done)
+	for {
+		if stop.Load() {
+			return
+		}
+		conn.SetReadDeadline(time.Now().Add(s.opts.AckTimeout))
+		msg, err := protocol.ReadMessage(br, protocol.MaxFrame)
+		if err != nil {
+			if !stop.Load() {
+				close(dead) // disconnected, corrupt stream, or silent too long
+			}
+			return
+		}
+		if msg.Type != protocol.MsgAck {
+			if !stop.Load() {
+				close(dead) // protocol violation mid-stream
+			}
+			return
+		}
+		if msg.Epoch > s.epoch.Current() {
+			// An ack from the future: a newer primary exists and this node
+			// missed the memo. Fence and drop the stream.
+			s.fenceFrom(msg.Epoch)
+			if !stop.Load() {
+				close(dead)
+			}
+			return
+		}
+		s.recordAck(sub, msg.Seq)
+	}
+}
+
+// awaitResubscribe reads the follow-up bootstrap subscribe after a typed
+// refusal, skipping ack frames already in flight when the refusal crossed
+// them on the wire.
+func (s *Source) awaitResubscribe(br *bufio.Reader, conn net.Conn) (*protocol.Message, error) {
+	deadline := time.Now().Add(streamWriteTimeout)
+	for {
+		conn.SetReadDeadline(deadline)
+		msg, err := protocol.ReadMessage(br, protocol.MaxFrame)
+		if err != nil {
+			return nil, err
+		}
+		switch msg.Type {
+		case protocol.MsgSubscribe:
+			conn.SetReadDeadline(time.Time{})
+			return msg, nil
+		case protocol.MsgAck:
+			// A stale ack that crossed the refusal; ignore it.
+		default:
+			return nil, fmt.Errorf("repl: unexpected message type %d awaiting re-subscribe", msg.Type)
+		}
+	}
 }
 
 // sendSnapshot ships the full current state as compressed chunks and
@@ -278,10 +596,11 @@ func (s *Source) sendSnapshot(conn net.Conn) (uint64, error) {
 		}
 		conn.SetWriteDeadline(time.Now().Add(streamWriteTimeout))
 		err := protocol.WriteMessageLimit(conn, &protocol.Message{
-			Type: protocol.MsgSnapshotChunk,
-			Data: comp[off:end],
-			Seq:  seq,
-			Last: last,
+			Type:  protocol.MsgSnapshotChunk,
+			Data:  comp[off:end],
+			Seq:   seq,
+			Last:  last,
+			Epoch: s.epoch.Current(),
 		}, s.opts.FrameLimit)
 		if err != nil {
 			return 0, err
@@ -292,14 +611,15 @@ func (s *Source) sendSnapshot(conn net.Conn) (uint64, error) {
 	}
 }
 
-// stream pushes log batches from pos until the connection or server dies.
-// It owns the caller's pin: the pin starts at or below pos, advances batch
+// stream pushes log batches from pos until the connection or server dies,
+// the node is fenced, or the subscriber's ack reader declares it dead. It
+// owns the caller's pin: the pin starts at or below pos, advances batch
 // by batch (so TruncateLog can never drop a record this subscriber still
 // needs), and is released when the stream ends (a detached subscriber pins
 // nothing). The returned bool reports the one failure log shipping cannot
 // recover from by itself: a single entry larger than the replication frame
 // cap (the caller then directs the subscriber to a snapshot bootstrap).
-func (s *Source) stream(conn net.Conn, pos, pin uint64, drain <-chan struct{}) (tooLarge bool) {
+func (s *Source) stream(conn net.Conn, pos, pin uint64, drain, dead <-chan struct{}) (tooLarge bool) {
 	defer func() { s.store.UnpinSnapshot(pin) }()
 	ch := make(chan struct{}, 1)
 	s.mu.Lock()
@@ -315,6 +635,11 @@ func (s *Source) stream(conn net.Conn, pos, pin uint64, drain <-chan struct{}) (
 	hb := time.NewTicker(s.opts.Heartbeat)
 	defer hb.Stop()
 	for {
+		if s.epoch.Fenced() {
+			// A fenced node stops feeding subscribers mid-stream; they
+			// reconnect and get the typed fenced refusal.
+			return false
+		}
 		// Drain everything between pos and the current head, batch by batch.
 		head := s.store.CurrentSeq()
 		for {
@@ -325,6 +650,7 @@ func (s *Source) stream(conn net.Conn, pos, pin uint64, drain <-chan struct{}) (
 			conn.SetWriteDeadline(time.Now().Add(streamWriteTimeout))
 			err := protocol.WriteMessageLimit(conn, &protocol.Message{
 				Type: protocol.MsgLogBatch, Entries: batch, PrimarySeq: head,
+				Epoch: s.epoch.Current(),
 			}, s.opts.FrameLimit)
 			if err != nil {
 				// Oversized entries ship alone (buildBatch's byte budget), so
@@ -350,11 +676,14 @@ func (s *Source) stream(conn net.Conn, pos, pin uint64, drain <-chan struct{}) (
 			conn.SetWriteDeadline(time.Now().Add(streamWriteTimeout))
 			err := protocol.WriteMessageLimit(conn, &protocol.Message{
 				Type: protocol.MsgLogBatch, PrimarySeq: s.store.CurrentSeq(),
+				Epoch: s.epoch.Current(),
 			}, s.opts.FrameLimit)
 			if err != nil {
 				return false
 			}
 		case <-drain:
+			return false
+		case <-dead:
 			return false
 		}
 	}

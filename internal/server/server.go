@@ -122,6 +122,11 @@ type Server struct {
 	draining atomic.Bool
 	drainCh  chan struct{} // closed when Shutdown starts
 
+	// readOnly starts as cfg.ReadOnly and flips off at promotion; promoted
+	// marks a replica server that now serves as the primary.
+	readOnly atomic.Bool
+	promoted atomic.Bool
+
 	accepted     atomic.Uint64
 	rejectedBusy atomic.Uint64
 	requests     atomic.Uint64
@@ -139,12 +144,14 @@ func New(cfg Config) (*Server, error) {
 		return nil, errors.New("server: Config.DB is required")
 	}
 	cfg = (&cfg).withDefaults()
-	return &Server{
+	s := &Server{
 		cfg:      cfg,
 		slots:    make(chan struct{}, cfg.MaxConns),
 		sessions: make(map[*session]struct{}),
 		drainCh:  make(chan struct{}),
-	}, nil
+	}
+	s.readOnly.Store(cfg.ReadOnly)
+	return s, nil
 }
 
 // Serve accepts connections on ln until Shutdown (returns nil) or a fatal
@@ -153,6 +160,12 @@ func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	s.ln = ln
 	s.mu.Unlock()
+	if s.draining.Load() {
+		// Shutdown/Kill ran before Serve published the listener and found
+		// nothing to close; close it here or Accept blocks forever.
+		ln.Close()
+		return nil
+	}
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -295,6 +308,27 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return s.cfg.DB.Checkpoint()
 }
 
+// Kill stops the server abruptly: the listener and every session connection
+// close immediately — no drain, no responses to in-flight requests, no
+// checkpoint. It is the network face of SIGKILL, used by the failover chaos
+// harness to kill an in-process primary mid-load. The database is left open
+// (and inconsistent only in the ways a real crash leaves it).
+func (s *Server) Kill() {
+	if !s.draining.CompareAndSwap(false, true) {
+		return
+	}
+	close(s.drainCh)
+	s.mu.Lock()
+	ln := s.ln
+	for sess := range s.sessions {
+		sess.conn.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+}
+
 // Stats snapshots the server's counters plus the WAL sync count.
 func (s *Server) Stats() protocol.Stats {
 	s.mu.Lock()
@@ -315,10 +349,11 @@ func (s *Server) Stats() protocol.Stats {
 		PlanCacheHits:   pc.Hits,
 		PlanCacheMisses: pc.Misses,
 	}
-	if s.cfg.Source != nil {
-		st.Subscribers = uint64(s.cfg.Source.Subscribers())
+	if src := s.cfg.Source; src != nil {
+		st.Subscribers = uint64(src.Subscribers())
+		st.SubscriberLags = src.SubscriberLags(s.cfg.DB.Store().CurrentSeq())
 	}
-	if r := s.cfg.Replica; r != nil {
+	if r := s.cfg.Replica; r != nil && !s.promoted.Load() {
 		st.IsReplica = 1
 		st.AppliedSeq = r.AppliedSeq()
 		st.PrimarySeq = r.PrimarySeq()
@@ -329,7 +364,25 @@ func (s *Server) Stats() protocol.Stats {
 			st.ReplConnected = 1
 		}
 	}
+	if e := s.epochState(); e != nil {
+		st.Epoch = e.Current()
+		if e.Fenced() {
+			st.Fenced = 1
+		}
+	}
 	return st
+}
+
+// epochState resolves the node's replication-epoch state from whichever
+// replication role is attached (both share one Epoch on a node).
+func (s *Server) epochState() *repl.Epoch {
+	if s.cfg.Source != nil {
+		return s.cfg.Source.Epoch()
+	}
+	if s.cfg.Replica != nil {
+		return s.cfg.Replica.Epoch()
+	}
+	return nil
 }
 
 // startRequest allocates a request ID and its completion callback — through
@@ -388,13 +441,12 @@ func (ss *session) serve() {
 				}
 				continue
 			}
-			// Clear the idle deadline: stream writes set their own, and the
-			// subscriber does not send further frames while healthy.
+			// Clear the idle deadline: the source owns the connection in both
+			// directions from here (stream writes and subscriber acks set
+			// their own deadlines) until the stream ends.
 			ss.conn.SetReadDeadline(time.Time{})
-			if !src.Serve(ss.conn, req, ss.srv.drainCh) {
-				return
-			}
-			continue
+			src.Serve(ss.conn, req, ss.srv.drainCh)
+			return
 		}
 		resp := ss.handle(req)
 		ss.conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
@@ -455,13 +507,35 @@ func (ss *session) handle(req *protocol.Message) *protocol.Message {
 		return ss.rollbackTx()
 	case protocol.MsgQuery, protocol.MsgExec:
 		return ss.execSQL(req)
+	case protocol.MsgPromote:
+		return ss.promote(req)
 	default:
 		return errMsg(protocol.CodeBadRequest, "unexpected message type %d", req.Type)
 	}
 }
 
+// promote flips this replica server into a writable primary (operator
+// command or failover harness). The underlying Replica stops following,
+// the node's epoch advances, and the server starts accepting transactions.
+func (ss *session) promote(req *protocol.Message) *protocol.Message {
+	r := ss.srv.cfg.Replica
+	if r == nil {
+		return errMsg(protocol.CodeBadRequest, "this server is not a replica; nothing to promote")
+	}
+	if !ss.srv.promoted.CompareAndSwap(false, true) {
+		return errMsg(protocol.CodeTxnState, "this server was already promoted")
+	}
+	epoch, seq, err := r.Promote(req.Epoch)
+	if err != nil {
+		ss.srv.promoted.Store(false)
+		return errMsg(protocol.CodeBadRequest, "promote: %v", err)
+	}
+	ss.srv.readOnly.Store(false)
+	return &protocol.Message{Type: protocol.MsgPromoted, Epoch: epoch, Seq: seq}
+}
+
 func (ss *session) begin() *protocol.Message {
-	if ss.srv.cfg.ReadOnly {
+	if ss.srv.readOnly.Load() {
 		return errMsg(protocol.CodeReadOnly, "this server is a read-only replica; run transactions on the primary")
 	}
 	if ss.tx != nil {
@@ -549,6 +623,10 @@ func (ss *session) sqlError(err error) *protocol.Message {
 		return errMsg(protocol.CodeTxnExpired, "transaction exceeded the server deadline and was rolled back")
 	case errors.Is(err, db.ErrReadOnly):
 		return errMsg(protocol.CodeReadOnly, "this server is a read-only replica; send writes to the primary")
+	case errors.Is(err, db.ErrFenced):
+		return errMsg(protocol.CodeFenced, "%v", err)
+	case errors.Is(err, db.ErrQuorumUnavailable):
+		return errMsg(protocol.CodeQuorumUnavailable, "%v", err)
 	default:
 		return errMsg(protocol.CodeSQL, "%v", err)
 	}

@@ -269,8 +269,8 @@ func CompressSnapshot(data []byte) []byte {
 	var buf bytes.Buffer
 	buf.WriteByte(snapFormatGzip)
 	zw := gzip.NewWriter(&buf)
-	zw.Write(data)      // bytes.Buffer writes cannot fail
-	_ = zw.Close()      // flushes; same no-fail sink
+	zw.Write(data) // bytes.Buffer writes cannot fail
+	_ = zw.Close() // flushes; same no-fail sink
 	return buf.Bytes()
 }
 
