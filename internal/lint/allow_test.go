@@ -1,0 +1,157 @@
+package lint_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// analyzeSrc runs the suite over a single self-contained source string
+// (no imports), package path "p".
+func analyzeSrc(t *testing.T, src string, cfg *lint.Config) []lint.Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	pkg, err := (&types.Config{}).Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lint.Analyze(fset, []*ast.File{f}, pkg, info, cfg, lint.Analyzers)
+}
+
+func detpathOnlyConfig() *lint.Config {
+	cfg := lint.DefaultConfig()
+	cfg.Detpath.Packages = []string{"p"}
+	return cfg
+}
+
+const mapOrderBody = `
+func f(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`
+
+func TestAllowSuppresses(t *testing.T) {
+	src := `package p
+
+func f(m map[string]int) []string {
+	var out []string
+	//trodlint:allow detpath -- order is re-sorted by the caller
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`
+	if diags := analyzeSrc(t, src, detpathOnlyConfig()); len(diags) != 0 {
+		t.Fatalf("expected annotation to suppress all diagnostics, got %v", diags)
+	}
+}
+
+func TestAllowRequiresJustification(t *testing.T) {
+	src := `package p
+
+func f(m map[string]int) []string {
+	var out []string
+	//trodlint:allow detpath
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`
+	diags := analyzeSrc(t, src, detpathOnlyConfig())
+	var sawBadAllow, sawOriginal bool
+	for _, d := range diags {
+		if d.Analyzer == "allow" && strings.Contains(d.Message, "requires a justification") {
+			sawBadAllow = true
+		}
+		if d.Analyzer == "detpath" {
+			sawOriginal = true
+		}
+	}
+	if !sawBadAllow {
+		t.Errorf("missing 'requires a justification' diagnostic: %v", diags)
+	}
+	if !sawOriginal {
+		t.Errorf("a justification-less allow must not suppress the finding: %v", diags)
+	}
+}
+
+func TestAllowUnknownAnalyzer(t *testing.T) {
+	src := `package p
+
+func f(m map[string]int) []string {
+	var out []string
+	//trodlint:allow nosuch -- misspelled
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`
+	diags := analyzeSrc(t, src, detpathOnlyConfig())
+	var sawUnknown bool
+	for _, d := range diags {
+		if d.Analyzer == "allow" && strings.Contains(d.Message, "unknown analyzer") {
+			sawUnknown = true
+		}
+	}
+	if !sawUnknown {
+		t.Errorf("missing 'unknown analyzer' diagnostic: %v", diags)
+	}
+}
+
+func TestTestFilesAreSkipped(t *testing.T) {
+	fset := token.NewFileSet()
+	src := `package p
+` + mapOrderBody
+	f, err := parser.ParseFile(fset, "p_test.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	pkg, err := (&types.Config{}).Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := lint.Analyze(fset, []*ast.File{f}, pkg, info, detpathOnlyConfig(), lint.Analyzers); len(diags) != 0 {
+		t.Fatalf("_test.go files must be exempt, got %v", diags)
+	}
+}
+
+func TestAnalyzerSubset(t *testing.T) {
+	src := "package p\n" + mapOrderBody
+	cfg := detpathOnlyConfig()
+	cfg.Analyzers = []string{"lockhold"} // detpath disabled
+	if diags := analyzeSrc(t, src, cfg); len(diags) != 0 {
+		t.Fatalf("disabled analyzer still reported: %v", diags)
+	}
+	cfg.Analyzers = nil
+	if diags := analyzeSrc(t, src, cfg); len(diags) == 0 {
+		t.Fatal("expected detpath diagnostic with full suite enabled")
+	}
+}

@@ -1,0 +1,20 @@
+package lint
+
+// Analyzers is the full trod-lint suite in stable reporting order.
+var Analyzers = []*Analyzer{
+	LockholdAnalyzer,
+	WirecodeAnalyzer,
+	BoundallocAnalyzer,
+	DetpathAnalyzer,
+	DurerrAnalyzer,
+}
+
+// LookupAnalyzer returns the analyzer with the given name, or nil.
+func LookupAnalyzer(name string) *Analyzer {
+	for _, a := range Analyzers {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

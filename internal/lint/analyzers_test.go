@@ -1,0 +1,48 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// Each fixture rebinds the config's entity lists to names local to the
+// fixture package, exactly the way trodlint.yaml binds them to the real
+// tree — the analyzers never hard-code repo paths.
+
+func TestLockhold(t *testing.T) {
+	cfg := lint.DefaultConfig()
+	cfg.Lockhold.Mutexes = []string{"lockhold.Store.mu"}
+	cfg.Lockhold.Blocking = []string{"time.Sleep", "os.File.Sync"}
+	linttest.Run(t, "lockhold", cfg, lint.LockholdAnalyzer)
+}
+
+func TestWirecode(t *testing.T) {
+	cfg := lint.DefaultConfig()
+	cfg.Wirecode.Protocol = "wireproto"
+	cfg.Wirecode.Packages = []string{"wirecode"}
+	linttest.Run(t, "wirecode", cfg, lint.WirecodeAnalyzer)
+}
+
+func TestBoundalloc(t *testing.T) {
+	cfg := lint.DefaultConfig()
+	cfg.Boundalloc.Sources = []string{"encoding/binary.Uvarint"}
+	cfg.Boundalloc.Clamps = []string{"boundalloc.clamp"}
+	cfg.Boundalloc.Limits = []string{"boundalloc.maxItems"}
+	linttest.Run(t, "boundalloc", cfg, lint.BoundallocAnalyzer)
+}
+
+func TestDetpath(t *testing.T) {
+	cfg := lint.DefaultConfig()
+	cfg.Detpath.Packages = []string{"detpath"}
+	cfg.Detpath.Forbidden = []string{"time.Now", "time.Since", "math/rand.*"}
+	linttest.Run(t, "detpath", cfg, lint.DetpathAnalyzer)
+}
+
+func TestDurerr(t *testing.T) {
+	cfg := lint.DefaultConfig()
+	cfg.Durerr.Packages = []string{"durerr"}
+	cfg.Durerr.Calls = []string{"os.File.Sync", "os.File.Close"}
+	linttest.Run(t, "durerr", cfg, lint.DurerrAnalyzer)
+}

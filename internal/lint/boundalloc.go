@@ -1,0 +1,286 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// BoundallocAnalyzer preserves the PR 4 crafted-frame hardening as a rule
+// instead of a memory: a length decoded off the wire (a uvarint) must be
+// bound-checked before it sizes an allocation, and the check must happen
+// in uint64 space.
+//
+// Mechanics: uint64 results of the configured source functions
+// (readUvarint and friends) are tainted. A comparison that mentions a
+// tainted variable clears its taint — guards like
+// `if n > uint64(len(src)-off)` or `if n > maxResultColumns` both count.
+// A make([]T, n)/make(map, n) sized by a still-tainted variable is
+// reported, unless the size goes through a configured clamp function
+// (preallocCap). A comparison that first converts the tainted value with
+// int(n) is reported separately: for n >= 2^63 the conversion wraps
+// negative and the guard passes, so the comparison itself is the bug.
+var BoundallocAnalyzer = &Analyzer{
+	Name: "boundalloc",
+	Doc:  "flags allocations sized by wire-decoded lengths without a uint64-space bound check",
+	Run:  runBoundalloc,
+}
+
+func runBoundalloc(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &boundallocWalker{pass: pass, tainted: map[*types.Var]token.Pos{}}
+			w.block(fd.Body.List)
+		}
+	}
+}
+
+type boundallocWalker struct {
+	pass    *Pass
+	tainted map[*types.Var]token.Pos // wire-decoded length -> decode position
+}
+
+func (w *boundallocWalker) block(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		w.stmt(s)
+	}
+}
+
+func (w *boundallocWalker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.AssignStmt:
+		w.assign(s)
+	case *ast.IfStmt:
+		w.stmt(s.Init)
+		w.scan(s.Cond)
+		w.block(s.Body.List)
+		w.stmt(s.Else)
+	case *ast.ForStmt:
+		w.stmt(s.Init)
+		w.scan(s.Cond)
+		w.block(s.Body.List)
+		w.stmt(s.Post)
+	case *ast.RangeStmt:
+		w.scan(s.X)
+		w.block(s.Body.List)
+	case *ast.SwitchStmt:
+		w.stmt(s.Init)
+		w.scan(s.Tag)
+		w.block(s.Body.List)
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init)
+		w.block(s.Body.List)
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			w.scan(e)
+		}
+		w.block(s.Body)
+	case *ast.CommClause:
+		w.stmt(s.Comm)
+		w.block(s.Body)
+	case *ast.SelectStmt:
+		w.block(s.Body.List)
+	case *ast.BlockStmt:
+		w.block(s.List)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	case *ast.ExprStmt:
+		w.scan(s.X)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.scan(e)
+		}
+	case *ast.DeferStmt:
+		w.scan(s.Call)
+	case *ast.GoStmt:
+		w.scan(s.Call)
+	case *ast.SendStmt:
+		w.scan(s.Chan)
+		w.scan(s.Value)
+	case *ast.IncDecStmt:
+		w.scan(s.X)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.scan(v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// assign updates taint: a source call taints its uint64 results, a clamp
+// call or any other reassignment clears the targets.
+func (w *boundallocWalker) assign(s *ast.AssignStmt) {
+	cfg := w.pass.Config.Boundalloc
+	fromSource := false
+	if len(s.Rhs) == 1 {
+		if call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr); ok {
+			name := calleeName(w.pass.TypesInfo, call)
+			if matchName(name, cfg.Sources) {
+				fromSource = true
+			}
+		}
+	}
+	for _, rhs := range s.Rhs {
+		w.scan(rhs)
+	}
+	for _, lhs := range s.Lhs {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			w.scan(lhs)
+			continue
+		}
+		v := w.varOf(id)
+		if v == nil {
+			continue
+		}
+		if fromSource && isUint64(v.Type()) {
+			w.tainted[v] = id.Pos()
+		} else {
+			delete(w.tainted, v)
+		}
+	}
+}
+
+// scan walks an expression for bound-check comparisons (which clear
+// taint), make calls sized by tainted values (reported), and nested
+// function literals (fresh state).
+func (w *boundallocWalker) scan(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			inner := &boundallocWalker{pass: w.pass, tainted: map[*types.Var]token.Pos{}}
+			inner.block(n.Body.List)
+			return false
+		case *ast.BinaryExpr:
+			w.compare(n)
+		case *ast.CallExpr:
+			w.call(n)
+		}
+		return true
+	})
+}
+
+func (w *boundallocWalker) compare(b *ast.BinaryExpr) {
+	switch b.Op {
+	case token.LSS, token.GTR, token.LEQ, token.GEQ:
+	default:
+		return
+	}
+	refs := w.taintedIn(b)
+	if len(refs) == 0 {
+		return
+	}
+	if conv := w.intConvOfTainted(b); conv != nil {
+		w.pass.Report(b.Pos(), "bound check converts a wire-decoded length with %s before comparing; a length >= 2^63 wraps negative and passes — compare in uint64 space first", exprString(conv))
+	}
+	for _, v := range refs {
+		delete(w.tainted, v)
+	}
+}
+
+func (w *boundallocWalker) call(call *ast.CallExpr) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "make" {
+		return
+	}
+	if _, ok := w.pass.TypesInfo.Uses[id].(*types.Builtin); !ok {
+		return
+	}
+	for _, size := range call.Args[1:] {
+		for _, v := range w.taintedIn(size) {
+			limits := w.pass.Config.Boundalloc.Limits
+			hint := "the remaining input bytes"
+			if len(limits) > 0 {
+				hint += " or a named limit (e.g. " + shortName(limits[0]) + ")"
+			}
+			w.pass.Report(size.Pos(), "allocation sized by wire-decoded length %q with no dominating bound check; compare it against %s first (decoded at line %d)",
+				exprString(size), hint, w.pass.Fset.Position(w.tainted[v]).Line)
+			delete(w.tainted, v) // one report per decode site
+		}
+	}
+}
+
+// taintedIn collects tainted variables referenced in e, skipping subtrees
+// that pass through a configured clamp function.
+func (w *boundallocWalker) taintedIn(e ast.Expr) []*types.Var {
+	var out []*types.Var
+	seen := map[*types.Var]bool{}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if matchName(calleeName(w.pass.TypesInfo, n), w.pass.Config.Boundalloc.Clamps) {
+				return false
+			}
+		case *ast.Ident:
+			if v := w.varOf(n); v != nil && !seen[v] {
+				if _, ok := w.tainted[v]; ok {
+					seen[v] = true
+					out = append(out, v)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// intConvOfTainted finds a signed-integer conversion of a tainted value
+// inside a comparison, e.g. the int(n) in `off+int(n) > len(src)`.
+func (w *boundallocWalker) intConvOfTainted(b *ast.BinaryExpr) ast.Expr {
+	var found ast.Expr
+	ast.Inspect(b, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found != nil || len(call.Args) != 1 {
+			return found == nil
+		}
+		tv, ok := w.pass.TypesInfo.Types[call.Fun]
+		if !ok || !tv.IsType() {
+			return true
+		}
+		basic, ok := tv.Type.Underlying().(*types.Basic)
+		if !ok || basic.Info()&types.IsInteger == 0 || basic.Info()&types.IsUnsigned != 0 {
+			return true
+		}
+		if len(w.taintedIn(call.Args[0])) > 0 {
+			found = call
+		}
+		return true
+	})
+	return found
+}
+
+func (w *boundallocWalker) varOf(id *ast.Ident) *types.Var {
+	info := w.pass.TypesInfo
+	if obj, ok := info.Defs[id]; ok {
+		v, _ := obj.(*types.Var)
+		return v
+	}
+	v, _ := info.Uses[id].(*types.Var)
+	return v
+}
+
+func isUint64(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint64
+}
+
+func shortName(qualified string) string {
+	if i := strings.LastIndexByte(qualified, '.'); i >= 0 {
+		return qualified[i+1:]
+	}
+	return qualified
+}

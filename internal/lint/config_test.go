@@ -1,0 +1,121 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestRepoConfigParses keeps the checked-in trodlint.yaml honest: it must
+// parse, and the load-bearing entries the analyzers depend on must be
+// present.
+func TestRepoConfigParses(t *testing.T) {
+	path := filepath.Join("..", "..", "trodlint.yaml")
+	cfg, err := lint.LoadConfig(path)
+	if err != nil {
+		t.Fatalf("loading %s: %v", path, err)
+	}
+	mustContain := func(what string, list []string, want string) {
+		t.Helper()
+		for _, v := range list {
+			if v == want {
+				return
+			}
+		}
+		t.Errorf("%s is missing %q (got %v)", what, want, list)
+	}
+	mustContain("lockhold.mutexes", cfg.Lockhold.Mutexes, "repro/internal/storage.Store.mu")
+	mustContain("lockhold.mutexes", cfg.Lockhold.Mutexes, "repro/internal/wal.Log.mu")
+	mustContain("lockhold.blocking", cfg.Lockhold.Blocking, "repro/internal/wal.Log.WaitDurable")
+	mustContain("wirecode.packages", cfg.Wirecode.Packages, "repro/internal/server")
+	mustContain("boundalloc.sources", cfg.Boundalloc.Sources, "repro/internal/wal.readUvarint")
+	mustContain("detpath.packages", cfg.Detpath.Packages, "repro/internal/crashtest")
+	mustContain("durerr.calls", cfg.Durerr.Calls, "os.File.Close")
+	if cfg.Wirecode.Protocol != "repro/internal/protocol" {
+		t.Errorf("wirecode.protocol = %q", cfg.Wirecode.Protocol)
+	}
+	if len(cfg.Analyzers) != 0 {
+		t.Errorf("repo config must enable the full suite, got subset %v", cfg.Analyzers)
+	}
+}
+
+func TestParseConfigOverrides(t *testing.T) {
+	cfg, err := lint.ParseConfig(`
+# comment
+analyzers:
+  - lockhold
+  - detpath
+
+lockhold:
+  mutexes:
+    - mypkg.Pool.mu   # future subsystem registers here
+  blocking:
+    - mypkg.Pool.Evict
+
+wirecode:
+  protocol: otherproto
+  packages:
+    - otherpkg
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.Analyzers; len(got) != 2 || got[0] != "lockhold" || got[1] != "detpath" {
+		t.Errorf("analyzers = %v", got)
+	}
+	if got := cfg.Lockhold.Mutexes; len(got) != 1 || got[0] != "mypkg.Pool.mu" {
+		t.Errorf("mutexes = %v", got)
+	}
+	if cfg.Wirecode.Protocol != "otherproto" {
+		t.Errorf("protocol = %q", cfg.Wirecode.Protocol)
+	}
+	if got := cfg.Wirecode.Packages; len(got) != 1 || got[0] != "otherpkg" {
+		t.Errorf("packages = %v", got)
+	}
+	// Untouched sections keep defaults.
+	if len(cfg.Boundalloc.Sources) == 0 {
+		t.Error("absent boundalloc section must keep defaults")
+	}
+}
+
+func TestParseConfigErrors(t *testing.T) {
+	cases := map[string]string{
+		"tabs":          "lockhold:\n\tmutexes:\n",
+		"unknown top":   "frobnicate:\n  - x\n",
+		"unknown key":   "lockhold:\n  spindles:\n    - x\n",
+		"duplicate key": "lockhold:\n  mutexes:\n    - a\n  mutexes:\n    - b\n",
+		"list in map":   "lockhold:\n  mutexes:\n    - a\n  - b\n",
+	}
+	for name, src := range cases {
+		if _, err := lint.ParseConfig(src); err == nil {
+			t.Errorf("%s: expected a parse error", name)
+		}
+	}
+}
+
+func TestFindConfigStopsAtModuleRoot(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "mod", "internal", "deep")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "mod", "go.mod"), []byte("module m\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Config above the module root must not be picked up.
+	if err := os.WriteFile(filepath.Join(dir, "trodlint.yaml"), []byte("analyzers:\n  - lockhold\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := lint.FindConfig(sub); got != "" {
+		t.Errorf("FindConfig escaped the module root: %q", got)
+	}
+	inMod := filepath.Join(dir, "mod", "trodlint.yaml")
+	if err := os.WriteFile(inMod, []byte("analyzers:\n  - lockhold\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := lint.FindConfig(sub); got != inMod {
+		t.Errorf("FindConfig = %q, want %q", got, inMod)
+	}
+}

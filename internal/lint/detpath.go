@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DetpathAnalyzer guards the deterministic set — snapshot codec, WAL
+// replay, crashtest/StoreDiff — which the crash-sweep harness and
+// replication divergence checks rely on byte-for-byte. In the configured
+// packages it flags:
+//
+//  1. calls to forbidden nondeterminism sources (time.Now, time.Since,
+//     math/rand.*);
+//  2. serialization in map iteration order: a range over a map whose body
+//     appends to an outer slice that is never sorted afterwards in the
+//     same function, or writes output directly (io.Writer methods,
+//     fmt.Fprint*). The collect-keys-then-sort idiom passes.
+var DetpathAnalyzer = &Analyzer{
+	Name: "detpath",
+	Doc:  "forbids nondeterminism (time, rand, map order) in replay/snapshot/diff paths",
+	Run:  runDetpath,
+}
+
+func runDetpath(pass *Pass) {
+	cfg := pass.Config.Detpath
+	inSet := false
+	for _, p := range cfg.Packages {
+		if pass.Pkg.Path() == p {
+			inSet = true
+		}
+	}
+	if !inSet {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					if name := calleeName(pass.TypesInfo, n); matchName(name, cfg.Forbidden) {
+						pass.Report(n.Pos(), "call to %s in a deterministic path; replay/snapshot byte-stability forbids it", name)
+					}
+				case *ast.RangeStmt:
+					pass.checkMapRange(fd, n)
+				}
+				return true
+			})
+		}
+	}
+}
+
+func (p *Pass) checkMapRange(fn *ast.FuncDecl, rng *ast.RangeStmt) {
+	if _, ok := typeOf(p.TypesInfo, rng.X).Underlying().(*types.Map); !ok {
+		return
+	}
+	// Direct writes inside the body serialize in map order — always
+	// wrong. Function literals are descended into: a callback passed to
+	// an iterator inside the range still runs once per map key.
+	var appended []*types.Var
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			name := calleeName(p.TypesInfo, n)
+			if isOrderedSink(name) {
+				p.Report(n.Pos(), "write to an ordered sink (%s) while ranging over a map; iteration order is nondeterministic — collect and sort keys first", name)
+				return true
+			}
+			// out = append(out, ...) detected via the assignment below.
+		case *ast.AssignStmt:
+			if v := appendTarget(p.TypesInfo, n); v != nil {
+				appended = append(appended, v)
+			}
+		}
+		return true
+	})
+	for _, v := range appended {
+		// Declared inside the range body (e.g. a per-key scratch slice)
+		// doesn't escape the iteration, so order can't leak.
+		if v.Pos() >= rng.Body.Pos() && v.Pos() <= rng.Body.End() {
+			continue
+		}
+		if sortedAfter(p.TypesInfo, fn, rng, v) {
+			continue
+		}
+		p.Report(rng.Pos(), "appends to %q while ranging over a map and never sorts it; the result depends on map iteration order — collect keys and sort, or sort %q before use", v.Name(), v.Name())
+	}
+}
+
+func isOrderedSink(name string) bool {
+	if strings.HasPrefix(name, "fmt.Fprint") {
+		return true
+	}
+	for _, suffix := range []string{".Write", ".WriteString", ".WriteByte", ".WriteRune"} {
+		if strings.HasSuffix(name, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// appendTarget returns the variable v in `v = append(v, ...)`.
+func appendTarget(info *types.Info, s *ast.AssignStmt) *types.Var {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return nil
+	}
+	call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "append" {
+		return nil
+	} else if _, ok := info.Uses[id].(*types.Builtin); !ok {
+		return nil
+	}
+	lhs, ok := ast.Unparen(s.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := info.Uses[lhs]
+	if obj == nil {
+		obj = info.Defs[lhs]
+	}
+	v, _ := obj.(*types.Var)
+	return v
+}
+
+// sortedAfter reports whether v is passed to a sort.*/slices.* call after
+// the range statement within the same function.
+func sortedAfter(info *types.Info, fn *ast.FuncDecl, rng *ast.RangeStmt, v *types.Var) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found || call.Pos() < rng.End() {
+			return !found
+		}
+		name := calleeName(info, call)
+		if !strings.HasPrefix(name, "sort.") && !strings.HasPrefix(name, "slices.") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && info.Uses[id] == v {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,212 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+)
+
+// This file implements the `go vet -vettool` protocol so trod-lint gets
+// fully type-checked packages without depending on golang.org/x/tools.
+// cmd/go invokes the tool once per package as
+//
+//	trod-lint <objdir>/vet.cfg
+//
+// where vet.cfg is the JSON below: the file list plus an ImportMap and
+// PackageFile table pointing at gc export data for every dependency. The
+// tool type-checks the files with the gc importer reading those export
+// files, runs the analyzers, prints file:line:col diagnostics to stderr,
+// writes the (empty — we use no cross-package facts) VetxOutput file that
+// cmd/go caches, and exits 2 if anything was reported.
+
+// vetConfig mirrors the JSON emitted by cmd/go/internal/work.buildVetConfig.
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ModulePath    string
+	ModuleVersion string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	Standard      map[string]bool
+	PackageVetx   map[string]string
+	VetxOnly      bool
+	VetxOutput    string
+	GoVersion     string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// RunVetTool handles one vet.cfg invocation. Diagnostics go to out.
+// Returns the process exit code: 0 clean, 1 internal/type error, 2
+// diagnostics reported.
+func RunVetTool(cfgPath string, out io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(out, "trod-lint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(out, "trod-lint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(out, "trod-lint: writing facts: %v\n", err)
+			return 1
+		}
+	}
+	// Dependency-only invocation: cmd/go wants facts (we have none), not
+	// diagnostics — those come when the package is vetted directly.
+	if cfg.VetxOnly || len(cfg.GoFiles) == 0 {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(out, "trod-lint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	tconf := types.Config{
+		Importer:  importer.ForCompiler(fset, compiler, lookup),
+		Sizes:     types.SizesFor(compiler, runtime.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := newTypesInfo()
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(out, "trod-lint: typecheck %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	lintCfg, err := resolveConfig(cfg.Dir)
+	if err != nil {
+		fmt.Fprintf(out, "trod-lint: %v\n", err)
+		return 1
+	}
+	diags := Analyze(fset, files, pkg, info, lintCfg, Analyzers)
+	for _, d := range diags {
+		fmt.Fprintln(out, d.String())
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+}
+
+// resolveConfig picks the trodlint.yaml for a package directory: the
+// TRODLINT_CONFIG override, else the nearest file walking up to the
+// module root, else compiled-in defaults.
+func resolveConfig(dir string) (*Config, error) {
+	if p := os.Getenv("TRODLINT_CONFIG"); p != "" {
+		return LoadConfig(p)
+	}
+	if p := FindConfig(dir); p != "" {
+		return LoadConfig(p)
+	}
+	return DefaultConfig(), nil
+}
+
+// RunStandalone implements `trod-lint [flags] [packages]`: it re-executes
+// the Go toolchain with itself as the vettool, which hands every package
+// in the build graph back to RunVetTool with full export data.
+func RunStandalone(args []string, stdout, stderr io.Writer) int {
+	patterns := []string{"./..."}
+	var rest []string
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "-config", "--config":
+			if i+1 >= len(args) {
+				fmt.Fprintln(stderr, "trod-lint: -config requires a path")
+				return 1
+			}
+			abs, err := filepath.Abs(args[i+1])
+			if err != nil {
+				fmt.Fprintf(stderr, "trod-lint: %v\n", err)
+				return 1
+			}
+			os.Setenv("TRODLINT_CONFIG", abs)
+			i++
+		case "-list", "--list":
+			for _, a := range Analyzers {
+				fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+			}
+			return 0
+		case "-h", "-help", "--help":
+			fmt.Fprintln(stdout, "usage: trod-lint [-config trodlint.yaml] [-list] [packages]")
+			return 0
+		default:
+			rest = append(rest, args[i])
+		}
+	}
+	if len(rest) > 0 {
+		patterns = rest
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(stderr, "trod-lint: %v\n", err)
+		return 1
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, patterns...)...)
+	cmd.Stdout = stdout
+	cmd.Stderr = stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(stderr, "trod-lint: running go vet: %v\n", err)
+		return 1
+	}
+	return 0
+}

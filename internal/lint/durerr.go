@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DurerrAnalyzer covers durability bookkeeping: in the WAL and storage
+// packages, the error results of Sync/Close on files must be handled.
+// A silently discarded call (bare statement, defer, or go) is flagged;
+// an explicit `_ = f.Close()` is accepted as a reviewed, greppable
+// discard — the analyzer's job is to force the intent into the code.
+var DurerrAnalyzer = &Analyzer{
+	Name: "durerr",
+	Doc:  "flags silently discarded Sync/Close errors in durability paths",
+	Run:  runDurerr,
+}
+
+func runDurerr(pass *Pass) {
+	cfg := pass.Config.Durerr
+	inSet := false
+	for _, p := range cfg.Packages {
+		if pass.Pkg.Path() == p {
+			inSet = true
+		}
+	}
+	if !inSet {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			var how string
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = ast.Unparen(s.X).(*ast.CallExpr)
+				how = "silently discarded"
+			case *ast.DeferStmt:
+				call = s.Call
+				how = "discarded by defer"
+			case *ast.GoStmt:
+				call = s.Call
+				how = "discarded in a goroutine"
+			default:
+				return true
+			}
+			if call == nil {
+				return true
+			}
+			name := calleeName(pass.TypesInfo, call)
+			if !matchName(name, cfg.Calls) || !returnsError(pass.TypesInfo, call) {
+				return true
+			}
+			pass.Report(call.Pos(), "error from %s is %s; handle it or discard explicitly with `_ =` and a comment", name, how)
+			return true
+		})
+	}
+}
+
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	t := info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type()
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if types.Identical(tuple.At(i).Type(), errType) {
+				return true
+			}
+		}
+		return false
+	}
+	return types.Identical(t, errType)
+}

@@ -1,0 +1,195 @@
+// Package lint implements trod-lint, a suite of static analyzers that
+// enforce the codebase's load-bearing invariants: lock discipline around
+// blocking calls (lockhold), typed error codes at the wire boundary
+// (wirecode), bound-checked allocations from wire-decoded lengths
+// (boundalloc), determinism of replay/snapshot/diff paths (detpath), and
+// explicit handling of durability-relevant error returns (durerr).
+//
+// The package is deliberately self-contained: it depends only on the
+// standard library (go/ast, go/types, go/token), not on
+// golang.org/x/tools, so the repo builds and lints offline. The subset of
+// the go/analysis API it implements (Analyzer, Pass, Diagnostic) mirrors
+// the upstream shapes so analyzers could be ported to x/tools verbatim if
+// a dependency ever becomes acceptable.
+//
+// Diagnostics can be suppressed with an annotation on the offending line
+// or the line above it:
+//
+//	//trodlint:allow <analyzer> -- <justification>
+//
+// The justification is mandatory; an allow comment without one is itself
+// reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant check.
+type Analyzer struct {
+	Name string // short lowercase identifier, e.g. "lockhold"
+	Doc  string // one-line description of the invariant
+
+	// Run analyzes one package and reports findings via pass.Report.
+	Run func(pass *Pass)
+}
+
+// A Pass provides one analyzer with the parsed, type-checked source of a
+// single package plus the repo configuration.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Config    *Config
+
+	diags *[]Diagnostic
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Report records a finding at pos.
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyze runs the given analyzers over one type-checked package and
+// returns the surviving diagnostics: findings on lines carrying a valid
+// //trodlint:allow annotation for the reporting analyzer are dropped, and
+// malformed allow annotations (no justification, unknown analyzer name)
+// are reported as findings of the pseudo-analyzer "allow".
+//
+// Files named *_test.go are excluded: the invariants guard production
+// code, and test helpers legitimately use time.Now, math/rand, etc.
+func Analyze(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, cfg *Config, analyzers []*Analyzer) []Diagnostic {
+	if cfg == nil {
+		cfg = DefaultConfig()
+	}
+	var kept []*ast.File
+	for _, f := range files {
+		name := fset.Position(f.Package).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		kept = append(kept, f)
+	}
+	if len(kept) == 0 {
+		return nil
+	}
+
+	allows, badAllows := collectAllows(fset, kept, analyzers)
+
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if !cfg.enabled(a.Name) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     kept,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Config:    cfg,
+			diags:     &diags,
+		}
+		a.Run(pass)
+	}
+
+	var out []Diagnostic
+	for _, d := range diags {
+		if allows[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+			continue
+		}
+		out = append(out, d)
+	}
+	out = append(out, badAllows...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+	return out
+}
+
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+const allowPrefix = "//trodlint:allow"
+
+// collectAllows scans comments for //trodlint:allow annotations. A valid
+// annotation suppresses the named analyzer on its own line and on the
+// line directly below (so it can sit above the offending statement).
+func collectAllows(fset *token.FileSet, files []*ast.File, analyzers []*Analyzer) (map[allowKey]bool, []Diagnostic) {
+	known := make(map[string]bool)
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	allows := make(map[allowKey]bool)
+	var bad []Diagnostic
+	report := func(pos token.Position, format string, args ...any) {
+		bad = append(bad, Diagnostic{Analyzer: "allow", Pos: pos, Message: fmt.Sprintf(format, args...)})
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //trodlint:allowance — not ours
+				}
+				name, just, found := strings.Cut(rest, "--")
+				name = strings.TrimSpace(name)
+				just = strings.TrimSpace(just)
+				if name == "" {
+					report(pos, "allow annotation is missing an analyzer name: %q", c.Text)
+					continue
+				}
+				if !known[name] {
+					report(pos, "allow annotation names unknown analyzer %q", name)
+					continue
+				}
+				if !found || just == "" {
+					report(pos, "allow annotation for %q requires a justification: //trodlint:allow %s -- <why>", name, name)
+					continue
+				}
+				allows[allowKey{pos.Filename, pos.Line, name}] = true
+				allows[allowKey{pos.Filename, pos.Line + 1, name}] = true
+			}
+		}
+	}
+	return allows, bad
+}

@@ -1,0 +1,199 @@
+// Package linttest is a small analysistest analogue for the trod-lint
+// analyzers (stdlib-only, like the analyzers themselves). A fixture is a
+// package directory under testdata/src; expected findings are marked with
+// comments on the offending line:
+//
+//	n, _ := binary.Uvarint(src)
+//	out := make([]byte, n) // want "allocation sized by wire-decoded length"
+//
+// Each quoted string is a regexp that must match a diagnostic message
+// reported on that line; every diagnostic must likewise match a want.
+// Fixtures are type-checked with the stdlib source importer, so they may
+// import the standard library and sibling fixture packages (by their
+// directory name under testdata/src), nothing else.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// A shared FileSet keeps the source importer's stdlib cache warm across
+// Run calls within a test binary.
+var (
+	fset    = token.NewFileSet()
+	stdOnce sync.Once
+	std     types.Importer
+)
+
+// Run loads the fixture package at testdata/src/<name> relative to the
+// caller's working directory, runs the analyzers with cfg, and compares
+// diagnostics against the fixture's want comments.
+func Run(t *testing.T, name string, cfg *lint.Config, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld := &loader{root: root, pkgs: map[string]*types.Package{}}
+	files, pkg, info, err := ld.load(name)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+
+	diags := lint.Analyze(fset, files, pkg, info, cfg, analyzers)
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*wantExpect{}
+	for _, f := range files {
+		for _, w := range parseWants(t, f) {
+			k := key{w.pos.Filename, w.pos.Line}
+			wants[k] = append(wants[k], w)
+		}
+	}
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants[key{d.Pos.Filename, d.Pos.Line}] {
+			if w.re.MatchString(d.Message) {
+				w.hits++
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, ws := range wants {
+		for _, w := range ws {
+			if w.hits == 0 {
+				t.Errorf("%s:%d: no diagnostic matched want %q", w.pos.Filename, w.pos.Line, w.re)
+			}
+		}
+	}
+}
+
+type wantExpect struct {
+	pos  token.Position
+	re   *regexp.Regexp
+	hits int
+}
+
+// parseWants extracts `// want "re" "re2"` comments.
+func parseWants(t *testing.T, f *ast.File) []*wantExpect {
+	t.Helper()
+	var out []*wantExpect
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if !strings.HasPrefix(text, "want ") {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			rest := strings.TrimSpace(strings.TrimPrefix(text, "want"))
+			for rest != "" {
+				if rest[0] != '"' && rest[0] != '`' {
+					t.Fatalf("%s:%d: malformed want comment: %q", pos.Filename, pos.Line, c.Text)
+				}
+				var lit string
+				if rest[0] == '`' {
+					end := strings.IndexByte(rest[1:], '`')
+					if end < 0 {
+						t.Fatalf("%s:%d: unterminated want pattern", pos.Filename, pos.Line)
+					}
+					lit, rest = rest[:end+2], strings.TrimSpace(rest[end+2:])
+				} else {
+					end := 1
+					for end < len(rest) && (rest[end] != '"' || rest[end-1] == '\\') {
+						end++
+					}
+					if end >= len(rest) {
+						t.Fatalf("%s:%d: unterminated want pattern", pos.Filename, pos.Line)
+					}
+					lit, rest = rest[:end+1], strings.TrimSpace(rest[end+1:])
+				}
+				unq, err := strconv.Unquote(lit)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, lit, err)
+				}
+				re, err := regexp.Compile(unq)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, unq, err)
+				}
+				out = append(out, &wantExpect{pos: pos, re: re})
+			}
+		}
+	}
+	return out
+}
+
+// loader type-checks fixture packages, resolving imports first against
+// sibling fixture directories and then against the standard library.
+type loader struct {
+	root string
+	pkgs map[string]*types.Package
+}
+
+func (l *loader) load(name string) ([]*ast.File, *types.Package, *types.Info, error) {
+	dir := filepath.Join(l.root, name)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil, nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(name, fset, files, info)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	l.pkgs[name] = pkg
+	return files, pkg, info, nil
+}
+
+// Import implements types.Importer for the fixture loader.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if st, err := os.Stat(filepath.Join(l.root, path)); err == nil && st.IsDir() {
+		_, pkg, _, err := l.load(path)
+		return pkg, err
+	}
+	stdOnce.Do(func() { std = importer.ForCompiler(fset, "source", nil) })
+	return std.Import(path)
+}

@@ -1,0 +1,280 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockholdAnalyzer enforces the PR 3 group-commit discipline: no call to
+// a configured blocking function (WaitDurable, fsync, net.Conn I/O,
+// time.Sleep) and no receive from a non-signal channel while one of the
+// configured mutexes (store/WAL/source) is held.
+//
+// The analysis is a linear, source-order scan of each function body.
+// mu.Lock()/mu.RLock() marks the mutex held; an explicit
+// mu.Unlock()/mu.RUnlock() statement clears it; a deferred unlock does
+// not (it runs at return), which is exactly what makes the
+// unlock-fsync-relock shape of WaitDurable pass and a plain
+// fsync-under-lock fail. Branch bodies are scanned with a copy of the
+// held set so an early-exit unlock inside an if does not hide blocking
+// calls after it. Function literals are scanned independently with an
+// empty held set.
+var LockholdAnalyzer = &Analyzer{
+	Name: "lockhold",
+	Doc:  "flags blocking calls made while holding a store/WAL/source mutex",
+	Run:  runLockhold,
+}
+
+func runLockhold(pass *Pass) {
+	w := &lockholdWalker{pass: pass, held: map[string]token.Pos{}}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					w.resetAnd(func() { w.stmts(fn.Body.List) })
+				}
+				return false
+			case *ast.FuncLit:
+				// Reached only for literals outside any FuncDecl
+				// (package-level vars); nested ones are handled by expr.
+				w.resetAnd(func() { w.stmts(fn.Body.List) })
+				return false
+			}
+			return true
+		})
+	}
+}
+
+type lockholdWalker struct {
+	pass *Pass
+	held map[string]token.Pos // mutex qualified name -> Lock() position
+}
+
+func (w *lockholdWalker) resetAnd(fn func()) {
+	saved := w.held
+	w.held = map[string]token.Pos{}
+	fn()
+	w.held = saved
+}
+
+// withClone runs fn against a copy of the held set and then restores the
+// original, so conditional lock-state changes stay local to the branch.
+func (w *lockholdWalker) withClone(fn func()) {
+	saved := w.held
+	clone := make(map[string]token.Pos, len(saved))
+	for k, v := range saved {
+		clone[k] = v
+	}
+	w.held = clone
+	fn()
+	w.held = saved
+}
+
+// mutexOp decodes calls of the form x.mu.Lock() for configured mutexes.
+func (w *lockholdWalker) mutexOp(call *ast.CallExpr) (mutex, method string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", ""
+	}
+	field, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	name := fieldName(w.pass.TypesInfo, field)
+	if !matchName(name, w.pass.Config.Lockhold.Mutexes) {
+		return "", ""
+	}
+	return name, sel.Sel.Name
+}
+
+func (w *lockholdWalker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		w.stmt(s)
+	}
+}
+
+func (w *lockholdWalker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if mu, op := w.mutexOp(call); mu != "" {
+				switch op {
+				case "Lock", "RLock":
+					w.held[mu] = call.Pos()
+				case "Unlock", "RUnlock":
+					delete(w.held, mu)
+				}
+				return
+			}
+		}
+		w.expr(s.X)
+	case *ast.DeferStmt:
+		// A deferred unlock releases at return; the body below it still
+		// runs under the lock, so held is unchanged. Other deferred
+		// calls: only their arguments evaluate now.
+		if mu, _ := w.mutexOp(s.Call); mu != "" {
+			return
+		}
+		for _, a := range s.Call.Args {
+			w.expr(a)
+		}
+	case *ast.GoStmt:
+		// The new goroutine does not inherit the caller's lock; only the
+		// argument expressions evaluate here.
+		for _, a := range s.Call.Args {
+			w.expr(a)
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e)
+		}
+	case *ast.IfStmt:
+		w.stmt(s.Init)
+		w.expr(s.Cond)
+		w.withClone(func() { w.stmts(s.Body.List) })
+		if s.Else != nil {
+			w.withClone(func() { w.stmt(s.Else) })
+		}
+	case *ast.ForStmt:
+		w.stmt(s.Init)
+		w.expr(s.Cond)
+		w.withClone(func() {
+			w.stmts(s.Body.List)
+			w.stmt(s.Post)
+		})
+	case *ast.RangeStmt:
+		if t, ok := typeOf(w.pass.TypesInfo, s.X).Underlying().(*types.Chan); ok {
+			w.checkReceive(s.X.Pos(), t)
+		}
+		w.expr(s.X)
+		w.withClone(func() { w.stmts(s.Body.List) })
+	case *ast.SwitchStmt:
+		w.stmt(s.Init)
+		w.expr(s.Tag)
+		w.withClone(func() { w.stmts(s.Body.List) })
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init)
+		w.stmt(s.Assign)
+		w.withClone(func() { w.stmts(s.Body.List) })
+	case *ast.SelectStmt:
+		// A select with a default case never blocks; its comm
+		// expressions are fair game under a lock.
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			w.withClone(func() {
+				if cc.Comm != nil && !hasDefault {
+					w.stmt(cc.Comm)
+				}
+				w.stmts(cc.Body)
+			})
+		}
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			w.expr(e)
+		}
+		w.withClone(func() { w.stmts(s.Body) })
+	case *ast.BlockStmt:
+		w.withClone(func() { w.stmts(s.List) })
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	case *ast.SendStmt:
+		w.expr(s.Chan)
+		w.expr(s.Value)
+	case *ast.IncDecStmt:
+		w.expr(s.X)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// expr scans an expression tree for blocking calls and channel receives.
+func (w *lockholdWalker) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.resetAnd(func() { w.stmts(n.Body.List) })
+			return false
+		case *ast.CallExpr:
+			w.checkCall(n)
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if t, ok := typeOf(w.pass.TypesInfo, n.X).Underlying().(*types.Chan); ok {
+					w.checkReceive(n.Pos(), t)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (w *lockholdWalker) checkCall(call *ast.CallExpr) {
+	if len(w.held) == 0 {
+		return
+	}
+	name := calleeName(w.pass.TypesInfo, call)
+	if !matchName(name, w.pass.Config.Lockhold.Blocking) {
+		return
+	}
+	for mu, at := range w.held {
+		w.pass.Report(call.Pos(), "blocking call to %s while holding %s (locked at line %d)",
+			name, mu, w.pass.Fset.Position(at).Line)
+	}
+}
+
+// checkReceive flags receives from non-signal channels under a lock.
+// chan struct{} carries no data and is the conventional signal/close
+// channel shape, so it is exempt.
+func (w *lockholdWalker) checkReceive(pos token.Pos, ch *types.Chan) {
+	if len(w.held) == 0 {
+		return
+	}
+	if st, ok := ch.Elem().Underlying().(*types.Struct); ok && st.NumFields() == 0 {
+		return
+	}
+	for mu, at := range w.held {
+		w.pass.Report(pos, "receive from non-signal channel (chan %s) while holding %s (locked at line %d)",
+			ch.Elem(), mu, w.pass.Fset.Position(at).Line)
+	}
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if t := info.TypeOf(e); t != nil {
+		return t
+	}
+	return types.Typ[types.Invalid]
+}

@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Analyzer configuration refers to program entities by qualified name:
+//
+//	pkgpath.Func                  package-level function, e.g. time.Now
+//	pkgpath.Type.Method           method (pointer receivers stripped), e.g. os.File.Sync
+//	pkgpath.Type.Field            struct field, e.g. repro/internal/storage.Store.mu
+//	pkgpath.*                     every exported name in a package, e.g. math/rand.*
+//
+// Interface methods are matched through the interface's own qualified
+// name (net.Conn.Read matches a call through any net.Conn value).
+
+// calleeName resolves the qualified name of a call's target, or "" if the
+// call is through a function value, a builtin, or anything else that has
+// no stable name.
+func calleeName(info *types.Info, call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return funcName(info.Uses[fun])
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			return methodName(sel)
+		}
+		// Package-qualified reference: pkg.Func.
+		return funcName(info.Uses[fun.Sel])
+	}
+	return ""
+}
+
+func funcName(obj types.Object) string {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	sig := fn.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil {
+		if tn := namedOf(recv.Type()); tn != "" {
+			return tn + "." + fn.Name()
+		}
+		return ""
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+func methodName(sel *types.Selection) string {
+	fn, ok := sel.Obj().(*types.Func)
+	if !ok {
+		return ""
+	}
+	// Name the method after the receiver the call site sees (sel.Recv),
+	// so a call through an interface value matches the interface's
+	// qualified name even though sel.Obj may be declared elsewhere.
+	if tn := namedOf(sel.Recv()); tn != "" {
+		return tn + "." + fn.Name()
+	}
+	return funcName(fn)
+}
+
+// fieldName resolves a selector expression denoting a struct field access
+// to pkgpath.Type.Field, or "" if it is not a field of a named type.
+func fieldName(info *types.Info, sel *ast.SelectorExpr) string {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return ""
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok {
+		return ""
+	}
+	// Walk the selection down to the struct that directly declares the
+	// field, following the embedding index path.
+	t := s.Recv()
+	idx := s.Index()
+	for i := 0; i < len(idx)-1; i++ {
+		st, ok := derefStruct(t)
+		if !ok {
+			return ""
+		}
+		t = st.Field(idx[i]).Type()
+	}
+	if tn := namedOf(t); tn != "" {
+		return tn + "." + v.Name()
+	}
+	return ""
+}
+
+func derefStruct(t types.Type) (*types.Struct, bool) {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	return st, ok
+}
+
+// namedOf returns pkgpath.Name for a (possibly pointer-to) named type.
+func namedOf(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name() // error, comparable, ...
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// exprString renders an expression for diagnostics.
+func exprString(e ast.Expr) string { return types.ExprString(e) }
+
+// matchName reports whether qualified name q matches any pattern in pats.
+// A pattern ending in ".*" matches every name in that package.
+func matchName(q string, pats []string) bool {
+	if q == "" {
+		return false
+	}
+	for _, p := range pats {
+		if p == q {
+			return true
+		}
+		if strings.HasSuffix(p, ".*") && strings.HasPrefix(q, p[:len(p)-1]) {
+			return true
+		}
+	}
+	return false
+}
+
+// isNamedType reports whether t (after stripping pointers) is the named
+// type pkgpath.Name.
+func isNamedType(t types.Type, pkgpath, name string) bool {
+	return namedOf(t) == pkgpath+"."+name
+}

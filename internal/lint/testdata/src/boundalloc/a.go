@@ -1,0 +1,70 @@
+// Fixture for the boundalloc analyzer. Config for this fixture:
+// sources = [encoding/binary.Uvarint], clamps = [boundalloc.clamp],
+// limits = [boundalloc.maxItems].
+package boundalloc
+
+import "encoding/binary"
+
+const maxItems = 1 << 10
+
+func uncheckedSlice(src []byte) []uint64 {
+	n, _ := binary.Uvarint(src)
+	return make([]uint64, 0, n) // want `allocation sized by wire-decoded length "n" with no dominating bound check`
+}
+
+func uncheckedMap(src []byte) map[uint64]bool {
+	n, _ := binary.Uvarint(src)
+	return make(map[uint64]bool, n) // want `allocation sized by wire-decoded length "n"`
+}
+
+func uncheckedViaConversion(src []byte) []byte {
+	n, _ := binary.Uvarint(src)
+	return make([]byte, int(n)) // want `allocation sized by wire-decoded length`
+}
+
+func checkedAgainstRemaining(src []byte) []byte {
+	n, used := binary.Uvarint(src)
+	if n > uint64(len(src)-used) {
+		return nil
+	}
+	return make([]byte, n) // ok: dominated by a uint64-space bound check
+}
+
+func checkedAgainstLimit(src []byte) []uint64 {
+	n, _ := binary.Uvarint(src)
+	if n > maxItems {
+		return nil
+	}
+	return make([]uint64, 0, n) // ok: dominated by a named-limit check
+}
+
+func intSpaceCheck(src []byte) []byte {
+	n, used := binary.Uvarint(src)
+	if used+int(n) > len(src) { // want `bound check converts a wire-decoded length with int\(n\) before comparing`
+		return nil
+	}
+	return make([]byte, n)
+}
+
+func clamped(src []byte) []uint64 {
+	n, _ := binary.Uvarint(src)
+	return make([]uint64, 0, clamp(n, maxItems)) // ok: clamp sanitizes the length
+}
+
+func clamp(n, max uint64) uint64 {
+	if n > max {
+		return max
+	}
+	return n
+}
+
+func reassignedClean(src []byte) []byte {
+	n, _ := binary.Uvarint(src)
+	n = 16
+	return make([]byte, n) // ok: reassigned from a trusted value
+}
+
+func notWireLength(rows [][]byte) [][]byte {
+	// len() of in-memory data is not wire-tainted.
+	return make([][]byte, 0, len(rows))
+}

@@ -1,0 +1,85 @@
+// Fixture for the detpath analyzer. Config for this fixture:
+// packages = [detpath], forbidden = [time.Now, time.Since, math/rand.*].
+package detpath
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `call to time.Now in a deterministic path`
+}
+
+func randomJitter() int {
+	return rand.Intn(4) // want `call to math/rand.Intn in a deterministic path`
+}
+
+func sleepIsFine() {
+	time.Sleep(time.Millisecond) // ok: slow but not nondeterministic output
+}
+
+func mapOrderLeaks(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `appends to "out" while ranging over a map and never sorts it`
+		out = append(out, k)
+	}
+	return out
+}
+
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // ok: sorted before use
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func mapOrderThroughCallback(m map[string]func(func(string))) []string {
+	var out []string
+	for _, iter := range m { // want `appends to "out" while ranging over a map`
+		iter(func(pk string) {
+			out = append(out, pk)
+		})
+	}
+	return out
+}
+
+func orderedSink(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `write to an ordered sink \(fmt.Fprintf\) while ranging over a map`
+	}
+}
+
+func reduction(m map[uint64]bool) uint64 {
+	var min uint64
+	for k := range m { // ok: order-independent reduction, no append
+		if min == 0 || k < min {
+			min = k
+		}
+	}
+	return min
+}
+
+func scratchInsideBody(m map[string][]int) int {
+	total := 0
+	for _, vs := range m { // ok: scratch slice never escapes the iteration
+		var evens []int
+		for _, v := range vs {
+			if v%2 == 0 {
+				evens = append(evens, v)
+			}
+		}
+		total += len(evens)
+	}
+	return total
+}
+
+func allowedClock() int64 {
+	//trodlint:allow detpath -- fixture: wall clock feeds a metrics counter, never serialized state
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,37 @@
+// Fixture for the durerr analyzer. Config for this fixture:
+// packages = [durerr], calls = [os.File.Sync, os.File.Close].
+package durerr
+
+import "os"
+
+func silentClose(f *os.File) {
+	f.Close() // want `error from os.File.Close is silently discarded`
+}
+
+func silentSync(f *os.File) {
+	f.Sync() // want `error from os.File.Sync is silently discarded`
+}
+
+func deferredClose(f *os.File) {
+	defer f.Close() // want `error from os.File.Close is discarded by defer`
+}
+
+func handled(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func explicitDiscard(f *os.File) {
+	_ = f.Close() // ok: reviewed, greppable discard
+}
+
+func allowedDiscard(f *os.File) {
+	//trodlint:allow durerr -- fixture: read-only handle, close error cannot lose data
+	f.Close()
+}
+
+func otherMethodsUnaffected(f *os.File) {
+	f.Name() // ok: not a configured call (and returns no error)
+}

@@ -1,0 +1,90 @@
+// Fixture for the lockhold analyzer. Config for this fixture:
+// mutexes = [lockhold.Store.mu], blocking = [time.Sleep, os.File.Sync].
+package lockhold
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type Store struct {
+	mu    sync.RWMutex
+	other sync.Mutex // not configured; never reported
+}
+
+func (s *Store) blockUnderLock() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `blocking call to time.Sleep while holding lockhold.Store.mu`
+	s.mu.Unlock()
+}
+
+func (s *Store) blockUnderRLock(f *os.File) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	f.Sync() // want `blocking call to os.File.Sync while holding lockhold.Store.mu`
+}
+
+func (s *Store) unlockAroundBlocking() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	time.Sleep(time.Millisecond) // ok: released before blocking
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+// The WAL group-commit shape: a deferred unlock stays "held", but an
+// explicit unlock inside the leader branch releases around the fsync.
+func (s *Store) groupCommit(leader bool, f *os.File) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if leader {
+		s.mu.Unlock()
+		f.Sync() // ok: lock released around the sync
+		s.mu.Lock()
+	}
+}
+
+// An early-exit unlock inside a branch must not hide blocking calls on
+// the fallthrough path.
+func (s *Store) earlyExit(bad bool) {
+	s.mu.Lock()
+	if bad {
+		s.mu.Unlock()
+		return
+	}
+	time.Sleep(time.Millisecond) // want `blocking call to time.Sleep`
+	s.mu.Unlock()
+}
+
+func (s *Store) unconfiguredMutex() {
+	s.other.Lock()
+	time.Sleep(time.Millisecond) // ok: s.other is not a configured mutex
+	s.other.Unlock()
+}
+
+func (s *Store) receives(data chan int, sig chan struct{}) {
+	s.mu.Lock()
+	<-data // want `receive from non-signal channel \(chan int\) while holding lockhold.Store.mu`
+	<-sig  // ok: chan struct{} is a signal channel
+	select {
+	case <-data: // ok: select with default never blocks
+	default:
+	}
+	s.mu.Unlock()
+}
+
+func (s *Store) goroutineDoesNotHold() {
+	s.mu.Lock()
+	go func() {
+		time.Sleep(time.Millisecond) // ok: new goroutine, lock not held there
+	}()
+	s.mu.Unlock()
+}
+
+func (s *Store) allowed() {
+	s.mu.Lock()
+	//trodlint:allow lockhold -- fixture: stop-the-world by design, mirrors WAL rotation
+	time.Sleep(time.Millisecond)
+	s.mu.Unlock()
+}

@@ -1,0 +1,55 @@
+// Fixture for the wirecode analyzer. Config for this fixture:
+// protocol = wireproto, packages = [wirecode].
+package wirecode
+
+import (
+	"errors"
+	"fmt"
+
+	"wireproto"
+)
+
+func missingCode() *wireproto.Message {
+	return &wireproto.Message{Type: wireproto.MsgError, Err: "boom"} // want `Type: MsgError but no Code`
+}
+
+func hasCode() *wireproto.Message {
+	return &wireproto.Message{Type: wireproto.MsgError, Code: wireproto.CodeBadRequest, Err: "x"}
+}
+
+func notAnError() *wireproto.Message {
+	return &wireproto.Message{Type: wireproto.MsgPing} // ok: not an error message
+}
+
+func positionalMissingCode() wireproto.Message {
+	return wireproto.Message{wireproto.MsgError, wireproto.CodeConflict, "x"} // ok: positional literal sets Code
+}
+
+func serverErrNoCode() error {
+	return &wireproto.ServerError{Msg: "x"} // want `ServerError literal without a Code`
+}
+
+func serverErrTyped() error {
+	return &wireproto.ServerError{Code: wireproto.CodeConflict, Msg: "x"}
+}
+
+func internalLeak() wireproto.ErrCode {
+	return wireproto.CodeInternal // want `use of wireproto.CodeInternal outside the protocol package`
+}
+
+func stringifiedWrap(err error) error {
+	return fmt.Errorf("apply: %v", err) // want `stringifies an error without %w`
+}
+
+func properWrap(err error) error {
+	return fmt.Errorf("apply: %w", err)
+}
+
+func sentinelWrapPlusCause(err error) error {
+	// The deliberate two-error idiom: wrap the sentinel, stringify the cause.
+	return fmt.Errorf("%w: %v", errors.ErrUnsupported, err)
+}
+
+func noErrorArgs(n int) error {
+	return fmt.Errorf("bad message type %d", n) // ok: no error argument
+}

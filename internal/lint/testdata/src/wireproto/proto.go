@@ -1,0 +1,35 @@
+// Package wireproto is a miniature stand-in for repro/internal/protocol
+// used by the wirecode fixture (config sets wirecode.protocol to this
+// package's path).
+package wireproto
+
+type ErrCode uint8
+
+const (
+	CodeInternal ErrCode = iota + 1
+	CodeBadRequest
+	CodeConflict
+)
+
+type MsgType uint8
+
+const (
+	MsgPing MsgType = iota
+	MsgError
+)
+
+type Message struct {
+	Type MsgType
+	Code ErrCode
+	Err  string
+}
+
+type ServerError struct {
+	Code ErrCode
+	Msg  string
+}
+
+func (e *ServerError) Error() string { return e.Msg }
+
+// Inside the protocol package itself CodeInternal may be named freely.
+func defaultCode() ErrCode { return CodeInternal }

@@ -1,0 +1,85 @@
+package lint_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestVettoolEndToEnd exercises the whole go vet -vettool protocol: build
+// the real binary, hand it to the toolchain, and vet hardened packages
+// that must come back clean. This is what CI runs over the full tree.
+func TestVettoolEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and re-runs the toolchain")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool := filepath.Join(t.TempDir(), "trod-lint")
+	build := exec.Command("go", "build", "-o", tool, "./cmd/trod-lint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building trod-lint: %v\n%s", err, out)
+	}
+
+	t.Run("clean packages pass", func(t *testing.T) {
+		cmd := exec.Command("go", "vet", "-vettool="+tool,
+			"./internal/wal", "./internal/protocol", "./internal/value")
+		cmd.Dir = root
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("vet failed on a clean tree: %v\n%s", err, out)
+		}
+	})
+
+	t.Run("seeded violation fails", func(t *testing.T) {
+		// A scratch module with its own trodlint.yaml registering the
+		// scratch mutex; the violation must fail the vet run.
+		dir := t.TempDir()
+		writeFile(t, filepath.Join(dir, "go.mod"), "module scratch\n\ngo 1.22\n")
+		writeFile(t, filepath.Join(dir, "trodlint.yaml"), `
+lockhold:
+  mutexes:
+    - scratch.Store.mu
+  blocking:
+    - time.Sleep
+`)
+		writeFile(t, filepath.Join(dir, "store.go"), `package scratch
+
+import (
+	"sync"
+	"time"
+)
+
+type Store struct{ mu sync.Mutex }
+
+func (s *Store) Bad() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond)
+	s.mu.Unlock()
+}
+`)
+		cmd := exec.Command("go", "vet", "-vettool="+tool, ".")
+		cmd.Dir = dir
+		var out bytes.Buffer
+		cmd.Stdout = &out
+		cmd.Stderr = &out
+		err := cmd.Run()
+		if err == nil {
+			t.Fatalf("vet passed on a seeded lockhold violation:\n%s", out.String())
+		}
+		if !bytes.Contains(out.Bytes(), []byte("lockhold")) {
+			t.Fatalf("expected a lockhold diagnostic, got:\n%s", out.String())
+		}
+	})
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// WirecodeAnalyzer enforces the PR 4 protocol contract: every error that
+// crosses the wire carries a typed protocol.ErrCode, and no path silently
+// degrades to the catch-all internal code. Concretely, in the configured
+// wire-facing packages it flags:
+//
+//  1. protocol.Message literals with Type: MsgError but no explicit Code;
+//  2. protocol.ServerError literals without an explicit Code;
+//  3. any use of protocol.CodeInternal outside the protocol package
+//     itself (handlers must pick a specific code);
+//  4. fmt.Errorf calls that stringify an error argument without %w —
+//     wrapping without %w strips the typed code that errors.As/IsCode
+//     recover on the client side.
+var WirecodeAnalyzer = &Analyzer{
+	Name: "wirecode",
+	Doc:  "requires typed protocol error codes on every wire-facing error path",
+	Run:  runWirecode,
+}
+
+func runWirecode(pass *Pass) {
+	cfg := pass.Config.Wirecode
+	if !matchName(pass.Pkg.Path()+".x", packageGlobs(cfg.Packages)) {
+		return
+	}
+	inProtocol := pass.Pkg.Path() == cfg.Protocol
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				pass.checkWireLit(n, cfg.Protocol)
+			case *ast.Ident:
+				if !inProtocol && pass.isProtocolObj(n, cfg.Protocol, "CodeInternal") {
+					pass.Report(n.Pos(), "use of %s.CodeInternal outside the protocol package; pick a specific error code", pathBase(cfg.Protocol))
+				}
+			case *ast.CallExpr:
+				pass.checkErrorfWrap(n)
+			}
+			return true
+		})
+	}
+}
+
+// packageGlobs turns package paths into matchName patterns (exact match
+// on any symbol in the package).
+func packageGlobs(pkgs []string) []string {
+	out := make([]string, len(pkgs))
+	for i, p := range pkgs {
+		out[i] = p + ".*"
+	}
+	return out
+}
+
+func pathBase(p string) string {
+	if i := strings.LastIndexByte(p, '/'); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}
+
+// checkWireLit inspects Message{...} and ServerError{...} literals.
+func (p *Pass) checkWireLit(lit *ast.CompositeLit, protoPath string) {
+	t := typeOf(p.TypesInfo, lit)
+	var isMsg bool
+	switch {
+	case isNamedType(t, protoPath, "Message"):
+		isMsg = true
+	case isNamedType(t, protoPath, "ServerError"):
+	default:
+		return
+	}
+	fields := litFields(p.TypesInfo, t, lit)
+	if isMsg {
+		typeExpr, ok := fields["Type"]
+		if !ok || !p.isProtocolObjExpr(typeExpr, protoPath, "MsgError") {
+			return
+		}
+		if _, ok := fields["Code"]; !ok {
+			p.Report(lit.Pos(), "Message literal with Type: MsgError but no Code; wire errors must carry a typed protocol code")
+		}
+		return
+	}
+	if _, ok := fields["Code"]; !ok {
+		p.Report(lit.Pos(), "ServerError literal without a Code; wire errors must carry a typed protocol code")
+	}
+}
+
+// litFields maps struct field names to the expressions assigned to them,
+// handling both keyed and positional composite literals.
+func litFields(info *types.Info, t types.Type, lit *ast.CompositeLit) map[string]ast.Expr {
+	st, ok := derefStruct(t)
+	if !ok {
+		return nil
+	}
+	out := make(map[string]ast.Expr, len(lit.Elts))
+	for i, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if id, ok := kv.Key.(*ast.Ident); ok {
+				out[id.Name] = kv.Value
+			}
+			continue
+		}
+		if i < st.NumFields() {
+			out[st.Field(i).Name()] = elt
+		}
+	}
+	return out
+}
+
+func (p *Pass) isProtocolObjExpr(e ast.Expr, protoPath, name string) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return p.isProtocolObj(e, protoPath, name)
+	case *ast.SelectorExpr:
+		return p.isProtocolObj(e.Sel, protoPath, name)
+	}
+	return false
+}
+
+func (p *Pass) isProtocolObj(id *ast.Ident, protoPath, name string) bool {
+	obj := p.TypesInfo.Uses[id]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == protoPath && obj.Name() == name
+}
+
+// checkErrorfWrap flags fmt.Errorf("... %v ...", err) — an error argument
+// flattened to text without %w, which strips the typed code.
+func (p *Pass) checkErrorfWrap(call *ast.CallExpr) {
+	if calleeName(p.TypesInfo, call) != "fmt.Errorf" || len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || strings.Contains(lit.Value, "%w") {
+		return
+	}
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	for _, arg := range call.Args[1:] {
+		t := typeOf(p.TypesInfo, arg)
+		if t == types.Typ[types.Invalid] || types.Identical(t, types.Typ[types.UntypedNil]) {
+			continue
+		}
+		if types.Implements(t, errType) {
+			p.Report(call.Pos(), "fmt.Errorf stringifies an error without %%w; the typed protocol code is lost — wrap with %%w or build a typed error")
+			return
+		}
+	}
+}

@@ -165,6 +165,13 @@ func DecodeSnapshot(data []byte) (*Store, error) {
 		if nCols, off, err = snapUvarint(src, off); err != nil {
 			return nil, err
 		}
+		// Snapshot bytes arrive over the wire during replica bootstrap, so
+		// every decoded count is bound-checked against the remaining
+		// payload before it sizes an allocation (a column needs at least 3
+		// bytes: name header, type, nullability).
+		if nCols > uint64(len(src)-off)/3 {
+			return nil, fmt.Errorf("%w: column count exceeds payload", ErrSnapshotCorrupt)
+		}
 		cols := make([]schema.Column, nCols)
 		for i := range cols {
 			if cols[i].Name, off, err = snapReadString(src, off); err != nil {
@@ -180,6 +187,9 @@ func DecodeSnapshot(data []byte) (*Store, error) {
 		var nPK uint64
 		if nPK, off, err = snapUvarint(src, off); err != nil {
 			return nil, err
+		}
+		if nPK > uint64(len(src)-off) {
+			return nil, fmt.Errorf("%w: pk count exceeds payload", ErrSnapshotCorrupt)
 		}
 		pk := make([]string, nPK)
 		for i := range pk {
@@ -203,6 +213,9 @@ func DecodeSnapshot(data []byte) (*Store, error) {
 		if nIdx, off, err = snapUvarint(src, off); err != nil {
 			return nil, err
 		}
+		if nIdx > uint64(len(src)-off)/3 {
+			return nil, fmt.Errorf("%w: index count exceeds payload", ErrSnapshotCorrupt)
+		}
 		indexes := make([]*schema.Index, nIdx)
 		for i := range indexes {
 			ix := &schema.Index{Table: name}
@@ -212,6 +225,9 @@ func DecodeSnapshot(data []byte) (*Store, error) {
 			var nc uint64
 			if nc, off, err = snapUvarint(src, off); err != nil {
 				return nil, err
+			}
+			if nc > uint64(len(src)-off) {
+				return nil, fmt.Errorf("%w: index column count exceeds payload", ErrSnapshotCorrupt)
 			}
 			ix.Columns = make([]int, nc)
 			for j := range ix.Columns {
@@ -310,12 +326,12 @@ func WriteSnapshotFile(path string, data []byte) error {
 		return fmt.Errorf("storage: snapshot write: %w", err)
 	}
 	if _, err := f.Write(data); err != nil {
-		f.Close()
+		_ = f.Close() // already failing; surface the write error, not the cleanup
 		os.Remove(tmp)
 		return fmt.Errorf("storage: snapshot write: %w", err)
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close() // already failing; surface the sync error, not the cleanup
 		os.Remove(tmp)
 		return fmt.Errorf("storage: snapshot sync: %w", err)
 	}
@@ -351,7 +367,7 @@ func LoadSnapshotFile(path string) (*Store, error) {
 func SyncDir(dir string) {
 	if d, err := os.Open(dir); err == nil {
 		_ = d.Sync()
-		d.Close()
+		_ = d.Close() // read-only directory handle; nothing to lose
 	}
 }
 
@@ -394,7 +410,10 @@ func snapReadString(src []byte, off int) (string, int, error) {
 	if err != nil {
 		return "", off, err
 	}
-	if off+int(n) > len(src) {
+	// Compare in uint64 space: converting first would let a length >=
+	// 2^63 wrap negative and slip past an int-space check into the slice
+	// expression below.
+	if n > uint64(len(src)-off) {
 		return "", off, fmt.Errorf("%w: truncated string", ErrSnapshotCorrupt)
 	}
 	return string(src[off : off+int(n)]), off + int(n), nil

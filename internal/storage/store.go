@@ -957,8 +957,16 @@ func (s *Store) CloneAt(seq uint64) (*Store, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	dst := NewStore()
-	for tkey, tbl := range s.catalog {
-		if err := dst.CreateTable(tbl.Clone(), false); err != nil {
+	// Iterate the catalog in sorted order so the clone's schema log and
+	// the synthetic commit below are byte-stable across runs; map order
+	// would make two clones of the same store diverge.
+	tkeys := make([]string, 0, len(s.catalog))
+	for tkey := range s.catalog {
+		tkeys = append(tkeys, tkey)
+	}
+	sort.Strings(tkeys)
+	for _, tkey := range tkeys {
+		if err := dst.CreateTable(s.catalog[tkey].Clone(), false); err != nil {
 			return nil, err
 		}
 		for _, ix := range s.indexDef[tkey] {
@@ -970,7 +978,7 @@ func (s *Store) CloneAt(seq uint64) (*Store, error) {
 	}
 	// Copy rows via one synthetic commit per table batch.
 	var changes []Change
-	for tkey := range s.catalog {
+	for _, tkey := range tkeys {
 		td := s.data[tkey]
 		tableName := s.catalog[tkey].Name
 		td.rows.Ascend(func(pk string, e *entry) bool {

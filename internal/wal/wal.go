@@ -351,6 +351,7 @@ func (l *Log) Rotate(cp Checkpoint, tail []storage.CommitRecord) error {
 		l.durable.Broadcast()
 		return l.syncErr
 	}
+	//trodlint:allow lockhold -- rotation is a deliberate stop-the-world swap; the outgoing log must be durable before the rename, and appenders must stay parked until the new file is in place
 	if err := l.f.Sync(); err != nil {
 		l.syncErr = fmt.Errorf("wal: sync: %w", err)
 		l.durable.Broadcast()
@@ -382,16 +383,17 @@ func (l *Log) Rotate(cp Checkpoint, tail []storage.CommitRecord) error {
 		err = nw.Flush()
 	}
 	if err == nil {
+		//trodlint:allow lockhold -- rotation is a deliberate stop-the-world swap; the replacement log must be durable before it can take the live name
 		err = nf.Sync()
 	}
 	if err != nil {
-		nf.Close()
+		_ = nf.Close() // already failing; surface the write/sync error, not the cleanup
 		os.Remove(tmp)
 		return fmt.Errorf("wal: rotate: %w", err)
 	}
 	// Swap: keep the old generation, then move the new log into place.
 	if err := os.Rename(l.path, l.path+".old"); err != nil {
-		nf.Close()
+		_ = nf.Close() // already failing; surface the rename error, not the cleanup
 		os.Remove(tmp)
 		return fmt.Errorf("wal: rotate: %w", err)
 	}
@@ -401,13 +403,15 @@ func (l *Log) Rotate(cp Checkpoint, tail []storage.CommitRecord) error {
 		// acknowledged commits to a file the next recovery (which repairs
 		// the swap from .rotate) never reads — poison the log so every
 		// later operation fails instead of silently losing durability.
-		nf.Close()
+		_ = nf.Close() // the log is being poisoned below; the close error is immaterial
 		l.syncErr = fmt.Errorf("wal: rotate: swap failed, log requires recovery: %w", err)
 		l.durable.Broadcast()
 		return l.syncErr
 	}
 	syncDirOf(l.path)
-	l.f.Close()
+	// The outgoing generation was fsynced above and is no longer written;
+	// a close error cannot affect durability of acknowledged commits.
+	_ = l.f.Close()
 	l.f = nf
 	l.w = bufio.NewWriterSize(nf, 1<<16)
 	l.appended += int64(written)
@@ -452,11 +456,11 @@ func (l *Log) Close() error {
 	l.closed = true
 	l.durable.Broadcast()
 	if l.syncErr != nil {
-		l.f.Close()
+		_ = l.f.Close() // the log is already poisoned; report the sync error
 		return l.syncErr
 	}
 	if err := l.w.Flush(); err != nil {
-		l.f.Close()
+		_ = l.f.Close() // report the flush error that lost buffered records
 		return err
 	}
 	return l.f.Close()
@@ -483,6 +487,7 @@ func Replay(path string, fn func(Record) error) error {
 		}
 		return fmt.Errorf("wal: replay open: %w", err)
 	}
+	//trodlint:allow durerr -- replay only reads; a close error on a read-only fd cannot lose data
 	defer f.Close()
 	r := bufio.NewReaderSize(f, 1<<16)
 	for {
@@ -636,6 +641,13 @@ func DecodeCommit(src []byte) (storage.CommitRecord, error) {
 	if n, off, err = readUvarint(src, off); err != nil {
 		return rec, err
 	}
+	// Each change needs at least 4 payload bytes (two string headers, op,
+	// flags), so a count beyond remaining/4 is a corrupt or hostile
+	// record; checking before make keeps a crafted frame from forcing a
+	// huge allocation.
+	if n > uint64(len(src)-off)/4 {
+		return rec, errors.New("wal: change count exceeds payload")
+	}
 	rec.Changes = make([]storage.Change, 0, n)
 	for i := uint64(0); i < n; i++ {
 		var ch storage.Change
@@ -690,7 +702,10 @@ func readString(src []byte, off int) (string, int, error) {
 	if err != nil {
 		return "", off, err
 	}
-	if off+int(n) > len(src) {
+	// Compare in uint64 space: converting first would let a length >=
+	// 2^63 wrap negative and slip past an int-space check into the slice
+	// expression below.
+	if n > uint64(len(src)-off) {
 		return "", off, errors.New("wal: truncated string")
 	}
 	return string(src[off : off+int(n)]), off + int(n), nil
