@@ -210,6 +210,11 @@ func printStats(st protocol.Stats, asJSON bool) {
 			"is_replica":        st.IsReplica == 1,
 			"epoch":             st.Epoch,
 			"fenced":            st.Fenced == 1,
+			"vacuum_runs":       st.VacuumRuns,
+			"vacuum_dropped":    st.VacuumDropped,
+			"history_floor":     st.HistoryFloor,
+			"resident_versions": st.ResidentVersions,
+			"max_chain_length":  st.MaxChainLength,
 		}
 		if st.IsReplica == 1 {
 			out["applied_seq"] = st.AppliedSeq
@@ -259,6 +264,11 @@ func printStats(st protocol.Stats, asJSON bool) {
 	}
 	fmt.Printf("epoch:              %d\n", st.Epoch)
 	fmt.Printf("fenced:             %v\n", st.Fenced == 1)
+	fmt.Printf("vacuum_runs:        %d\n", st.VacuumRuns)
+	fmt.Printf("vacuum_dropped:     %d\n", st.VacuumDropped)
+	fmt.Printf("history_floor:      %d\n", st.HistoryFloor)
+	fmt.Printf("resident_versions:  %d\n", st.ResidentVersions)
+	fmt.Printf("max_chain_length:   %d\n", st.MaxChainLength)
 	for i, l := range st.SubscriberLags {
 		fmt.Printf("subscriber_%d:       acked_seq=%d lag_seqs=%d last_ack_age_ms=%d\n",
 			i, l.AckedSeq, l.LagSeqs, l.LastAckAgeMs)

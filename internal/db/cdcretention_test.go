@@ -64,7 +64,10 @@ func TestCDCRetentionReleasesPrefix(t *testing.T) {
 	// Time travel inside (and before) the retained window still works:
 	// version chains are untouched by CDC release.
 	for _, seq := range []uint64{seqBefore, seqBefore - uint64(retain)/2, seqBefore - 20} {
-		tx := d.BeginAt(seq)
+		tx, err := d.BeginAt(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
 		res, err := tx.Query(`SELECT v FROM t WHERE id = 1`)
 		if err != nil {
 			t.Fatal(err)

@@ -68,6 +68,15 @@ type Options struct {
 	// never truncated out from under a long-running transaction. 0 keeps the
 	// full log in memory.
 	CDCRetention int
+	// HistoryRetention, when > 0, garbage-collects MVCC version history on
+	// every checkpoint (and on explicit Vacuum calls): version chains are
+	// compacted to the versions visible within the most recent
+	// HistoryRetention commits, clamped to the oldest pinned snapshot so an
+	// active reader never loses versions it can see. Time travel (BeginAt,
+	// replay) below the resulting history floor fails with a typed error
+	// (storage.ErrHistoryTruncated). 0 keeps all history resident — version
+	// chains grow without bound under sustained updates.
+	HistoryRetention int
 }
 
 // RecoveryInfo describes what the last Open did to rebuild state.
@@ -160,6 +169,7 @@ type DB struct {
 	ckptBytes   int64
 	ckptRecords int
 	cdcRetain   int
+	histRetain  int
 	ckptErrMu   sync.Mutex
 	ckptErr     error // last automatic-checkpoint failure, surfaced on Close
 
@@ -219,6 +229,7 @@ func Open(opts Options) (*DB, error) {
 		ckptBytes:   opts.CheckpointBytes,
 		ckptRecords: opts.CheckpointRecords,
 		cdcRetain:   opts.CDCRetention,
+		histRetain:  opts.HistoryRetention,
 		plans:       newPlanCache(0),
 	}
 	if opts.Mode == Memory {
@@ -521,7 +532,29 @@ func (db *DB) checkpointLocked() error {
 	if db.cdcRetain > 0 && seq > uint64(db.cdcRetain) {
 		db.store.TruncateLog(seq - uint64(db.cdcRetain))
 	}
+	// With the snapshot durable, version chains older than the retention
+	// window serve no read that is still allowed: compact them. Vacuum clamps
+	// to the oldest pinned snapshot itself, so long-running readers are safe.
+	db.Vacuum()
 	return nil
+}
+
+// Vacuum garbage-collects MVCC version history outside the configured
+// HistoryRetention window (a no-op when HistoryRetention is 0): version
+// chains compact to what is visible within the last HistoryRetention
+// commits, tombstoned rows older than that are physically removed, and the
+// history floor (Store.HistoryRetainedFrom) rises to the vacuum horizon.
+// Checkpoints call it automatically; Memory-mode databases (no checkpoints)
+// call it directly when they want the same bound.
+func (db *DB) Vacuum() storage.VacuumStats {
+	if db.histRetain <= 0 {
+		return storage.VacuumStats{}
+	}
+	seq := db.store.CurrentSeq()
+	if seq <= uint64(db.histRetain) {
+		return storage.VacuumStats{}
+	}
+	return db.store.Vacuum(seq - uint64(db.histRetain))
 }
 
 // cleanupSnapshots removes snapshot files no longer reachable from either
@@ -779,6 +812,26 @@ func (db *DB) exec(meta TxMeta, query string, args ...any) (*Rows, error) {
 	if err != nil {
 		return nil, err
 	}
+	if _, isSelect := stmt.(*sqlparse.Select); isSelect {
+		// Auto-commit SELECT: a read-only snapshot transaction. No read-set
+		// tracking, no validation, and — by construction — no conflict-retry
+		// loop: a snapshot read cannot be invalidated by concurrent writers.
+		tx := db.beginReadOnlyMeta(meta)
+		plan, err := db.planFor(query, stmt)
+		if err != nil {
+			tx.Rollback()
+			return nil, err
+		}
+		res, err := tx.execPlanned(stmt, plan, query, vals)
+		if err != nil {
+			tx.Rollback()
+			return nil, err
+		}
+		if err := tx.Commit(); err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
 	var res *Rows
 	err = db.runWithRetry(meta, func(tx *Tx) error {
 		// Re-validate the plan per attempt: a cache hit is a lock-free-ish
@@ -816,6 +869,17 @@ func (db *DB) ExecScript(script string) error {
 		}
 		if isDDL(stmt) {
 			if err := db.execDDL(stmt); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, isSelect := stmt.(*sqlparse.Select); isSelect {
+			tx := db.beginReadOnlyMeta(TxMeta{})
+			if _, err := tx.execPlanned(stmt, nil, "", nil); err != nil {
+				tx.Rollback()
+				return err
+			}
+			if err := tx.Commit(); err != nil {
 				return err
 			}
 			continue
@@ -920,10 +984,40 @@ func (db *DB) BeginInteractive(meta TxMeta, timeout time.Duration, onExpire func
 	return tx
 }
 
+// ErrReadOnlyTxn re-exports the transaction layer's typed error for writes
+// attempted on a read-only snapshot transaction, so wire-facing layers can
+// map it without importing txn.
+var ErrReadOnlyTxn = txn.ErrReadOnlyTxn
+
+// BeginReadOnly starts a declared read-only snapshot transaction at the
+// current sequence: reads skip read-set tracking entirely, commit never
+// validates, and the transaction can never abort on serialization conflict.
+// Writes fail with ErrReadOnlyTxn. Auto-commit SELECTs, replica follower
+// reads, and analytics scans all run through this path.
+func (db *DB) BeginReadOnly() *Tx { return db.beginReadOnlyMeta(TxMeta{}) }
+
+func (db *DB) beginReadOnlyMeta(meta TxMeta) *Tx {
+	return &Tx{db: db, inner: txn.BeginReadOnly(db.store), meta: meta, start: time.Now()}
+}
+
 // BeginAt starts a read-only transaction at a historical snapshot (time
-// travel; used by the TROD replay engine).
-func (db *DB) BeginAt(seq uint64) *Tx {
-	return &Tx{db: db, inner: txn.BeginAt(db.store, seq), start: time.Now()}
+// travel; used by the TROD replay engine). Writes through the returned
+// handle fail with ErrReadOnlyTxn — a historical transaction has an empty
+// OCC footprint, so a write through it would skip validation entirely and
+// blindly clobber the present. Snapshots below the history floor (vacuumed
+// away, or behind the checkpoint a restart recovered from) fail with
+// storage.ErrHistoryTruncated rather than silently reading rows as missing.
+func (db *DB) BeginAt(seq uint64) (*Tx, error) {
+	inner := txn.BeginAt(db.store, seq)
+	// Pin first, check second: once the pin is at seq, Vacuum clamps its
+	// horizon at or below it, so a floor that passes here cannot rise past
+	// seq for the life of the transaction.
+	if floor := db.store.HistoryRetainedFrom(); seq < floor {
+		inner.Abort()
+		return nil, fmt.Errorf("db: time travel to seq %d: %w (history retained from seq %d)",
+			seq, storage.ErrHistoryTruncated, floor)
+	}
+	return &Tx{db: db, inner: inner, start: time.Now()}, nil
 }
 
 // Tx is an explicit transaction handle.
@@ -1095,9 +1189,9 @@ func (tx *Tx) Commit() error {
 func (tx *Tx) commit() error {
 	seq, err := tx.inner.Commit()
 	var durErr, ackErr error
-	if err == nil && seq > tx.inner.Snapshot() {
+	if err == nil && seq > 0 {
 		// A write commit produced a WAL record; block until it is durable.
-		// Read-only commits (seq == snapshot) have nothing to sync.
+		// Read-only and no-op commits report seq 0 and have nothing to sync.
 		durErr = tx.db.waitDurable(seq)
 		if durErr == nil && tx.db.commitBarrier != nil {
 			// Locally durable; now clear the replication barrier (quorum

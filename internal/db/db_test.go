@@ -349,7 +349,10 @@ func TestBeginAtTimeTravel(t *testing.T) {
 	seq := d.Store().CurrentSeq()
 	d.Exec(`UPDATE t SET v = 20 WHERE id = 1`)
 
-	tx := d.BeginAt(seq)
+	tx, err := d.BeginAt(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer tx.Rollback()
 	res, err := tx.Query(`SELECT v FROM t WHERE id = 1`)
 	if err != nil {

@@ -1,0 +1,265 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/db"
+	"repro/internal/wal"
+)
+
+// MVCCResult is the outcome of the mixed analytics+OLTP experiment: long
+// read-only scans running concurrently with read-modify-write transfer
+// transactions, with version garbage collection enabled. The headline
+// claims under test: declared read-only transactions never abort (zero is
+// structural, not statistical — they carry no read set to validate), every
+// scan observes a consistent snapshot (the transfer invariant holds), and
+// vacuum keeps resident version count plateaued under sustained updates
+// instead of growing linearly with commits.
+type MVCCResult struct {
+	Writers int
+	Readers int
+	Rows    int
+
+	WriteTxns    int // committed RMW transfer transactions
+	ReaderScans  int // completed read-only full-table scans
+	ReaderAborts int // read-only scans that failed for any reason (must be 0)
+	InvariantOK  bool
+
+	// Version residency. UnboundedVersions is what residency would be with
+	// GC off (seed versions + 2 per transfer); Plateaued asserts the
+	// observed peak stayed well under it. ResidentPeak is the steady-state
+	// peak: sampling starts after the first write-phase vacuum, since the
+	// ramp before it reflects checkpoint latency, not GC behavior.
+	VacuumRuns        uint64
+	VacuumDropped     uint64 // row + index versions compacted out
+	HistoryFloor      uint64
+	ResidentPeak      uint64
+	ResidentFinal     uint64
+	UnboundedVersions uint64
+	Plateaued         bool
+
+	DurationMs float64
+}
+
+// Err returns a non-nil error when the experiment's invariants were
+// violated, so callers (the CI smoke) can fail on exit code.
+func (r *MVCCResult) Err() error {
+	switch {
+	case r.ReaderAborts != 0:
+		return fmt.Errorf("experiments: mvcc: %d read-only scans aborted; read-only transactions must never abort", r.ReaderAborts)
+	case !r.InvariantOK:
+		return fmt.Errorf("experiments: mvcc: a read-only scan observed an inconsistent snapshot (transfer invariant broken)")
+	case r.VacuumRuns == 0:
+		return fmt.Errorf("experiments: mvcc: vacuum never ran; GC is not wired into the checkpoint triggers")
+	case r.VacuumDropped == 0:
+		return fmt.Errorf("experiments: mvcc: vacuum ran %d times but dropped nothing", r.VacuumRuns)
+	case !r.Plateaued:
+		return fmt.Errorf("experiments: mvcc: resident versions peaked at %d of an unbounded %d; version count did not plateau",
+			r.ResidentPeak, r.UnboundedVersions)
+	}
+	return nil
+}
+
+// mvccRetention is the history window (in commits) the experiment's database
+// keeps for time travel; mvccCheckpointEvery is the WAL-records checkpoint
+// trigger that fires the vacuum. Retention deliberately smaller than the
+// write volume, so a plateau is only possible if vacuum actually works.
+// mvccWritePace spaces each writer's transfers out: the claim under test is
+// residency under *sustained* updates, and checkpoints (whose duration is
+// fsync-bound) are the GC cadence — an unpaced burst can outrun a single
+// checkpoint entirely, which measures disk latency, not MVCC behavior.
+// mvccReadPace keeps the scan readers from monopolizing the CPU on small
+// machines: unpaced readers spin at full-table-scan speed and starve the
+// paced writers out of the scheduler on a single-core host.
+const (
+	mvccRows            = 512
+	mvccRetention       = 128
+	mvccCheckpointEvery = 256
+	mvccWritePace       = 200 * time.Microsecond
+	mvccReadPace        = 500 * time.Microsecond
+)
+
+// RunMVCC runs `writers` goroutines doing balance transfers (read two rows,
+// move one unit) for a total of writeTxns committed transactions, while
+// `readers` goroutines continuously run full-table scans in declared
+// read-only transactions, on a disk-backed database with HistoryRetention
+// GC. It reports abort counts, snapshot-consistency, and version residency.
+func RunMVCC(writers, readers, writeTxns int) (*MVCCResult, error) {
+	if writers <= 0 || readers <= 0 || writeTxns <= 0 {
+		return nil, fmt.Errorf("experiments: mvcc needs positive writers/readers/writeTxns, got %d/%d/%d", writers, readers, writeTxns)
+	}
+	dir, err := os.MkdirTemp("", "trod-mvcc")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	// SyncNever: this experiment measures MVCC behavior (aborts, snapshot
+	// consistency, version residency), not durability; per-commit fsync
+	// would make checkpoint cadence — and so vacuum cadence — fsync-bound.
+	d, err := db.Open(db.Options{
+		Mode:              db.Disk,
+		Path:              filepath.Join(dir, "mvcc.wal"),
+		Sync:              wal.SyncNever,
+		CheckpointRecords: mvccCheckpointEvery,
+		CDCRetention:      mvccRetention,
+		HistoryRetention:  mvccRetention,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer d.Close()
+
+	if _, err := d.Exec("CREATE TABLE acct (id INTEGER PRIMARY KEY, bal INTEGER NOT NULL)"); err != nil {
+		return nil, err
+	}
+	for i := 0; i < mvccRows; i++ {
+		if _, err := d.Exec("INSERT INTO acct (id, bal) VALUES (?, ?)", int64(i), int64(100)); err != nil {
+			return nil, err
+		}
+	}
+	wantTotal := int64(mvccRows) * 100
+
+	res := &MVCCResult{Writers: writers, Readers: readers, Rows: mvccRows, InvariantOK: true}
+	var (
+		writesDone   atomic.Bool
+		writeCount   atomic.Int64
+		scanCount    atomic.Int64
+		abortCount   atomic.Int64
+		invariantBad atomic.Bool
+		peakResident atomic.Uint64
+		wg           sync.WaitGroup
+		errMu        sync.Mutex
+		firstErr     error
+	)
+	keep := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+
+	start := time.Now()
+
+	// Writers: random transfers until the global budget is spent. RunTx
+	// retries serialization conflicts internally; every return counts one
+	// committed transaction.
+	var writersWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func(seed int64) {
+			defer writersWG.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for writeCount.Add(1) <= int64(writeTxns) {
+				from := rng.Intn(mvccRows)
+				to := rng.Intn(mvccRows)
+				if from == to {
+					to = (to + 1) % mvccRows
+				}
+				err := d.RunTx(db.TxMeta{}, func(tx *db.Tx) error {
+					if _, err := tx.Exec("UPDATE acct SET bal = bal - 1 WHERE id = ?", int64(from)); err != nil {
+						return err
+					}
+					_, err := tx.Exec("UPDATE acct SET bal = bal + 1 WHERE id = ?", int64(to))
+					return err
+				})
+				if err != nil {
+					keep(err)
+					return
+				}
+				time.Sleep(mvccWritePace)
+			}
+		}(int64(w) + 1)
+	}
+
+	// Readers: long analytic scans in declared read-only transactions,
+	// concurrent with the writers (and with the vacuums their checkpoints
+	// trigger). Each scan must see a consistent snapshot: the transfer
+	// invariant (total balance constant) holds at every commit sequence.
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !writesDone.Load() {
+				tx := d.BeginReadOnly()
+				rows, err := tx.Query("SELECT id, bal FROM acct")
+				if err != nil {
+					abortCount.Add(1)
+					tx.Rollback()
+					continue
+				}
+				var total int64
+				for _, row := range rows.Rows {
+					total += row[1].AsInt()
+				}
+				if err := tx.Commit(); err != nil {
+					abortCount.Add(1)
+					continue
+				}
+				if total != wantTotal {
+					invariantBad.Store(true)
+				}
+				scanCount.Add(1)
+				time.Sleep(mvccReadPace)
+			}
+		}()
+	}
+
+	// Sampler: track the steady-state peak of resident row versions. The
+	// seed inserts and the ramp up to the first write-phase vacuum are
+	// warmup (their residency reflects checkpoint latency, not the GC
+	// steady state), so sampling starts once a post-seed vacuum has run.
+	seedRuns := d.Store().VacuumTotals().Runs
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		store := d.Store()
+		for !writesDone.Load() {
+			if store.VacuumTotals().Runs > seedRuns {
+				census := store.VersionCensus()
+				if v := census.ResidentRowVersions; v > peakResident.Load() {
+					peakResident.Store(v)
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	// Wait for the writer budget, then release readers and sampler.
+	writersWG.Wait()
+	writesDone.Store(true)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	res.DurationMs = float64(time.Since(start).Microseconds()) / 1000
+	res.WriteTxns = writeTxns
+	res.ReaderScans = int(scanCount.Load())
+	res.ReaderAborts = int(abortCount.Load())
+	res.InvariantOK = !invariantBad.Load()
+
+	store := d.Store()
+	vac := store.VacuumTotals()
+	census := store.VersionCensus()
+	res.VacuumRuns = vac.Runs
+	res.VacuumDropped = vac.DroppedRowVersions + vac.DroppedIndexVersions
+	res.HistoryFloor = store.HistoryRetainedFrom()
+	res.ResidentFinal = census.ResidentRowVersions
+	res.ResidentPeak = peakResident.Load()
+	if res.ResidentFinal > res.ResidentPeak {
+		res.ResidentPeak = res.ResidentFinal
+	}
+	// With GC off every transfer leaves two dead row versions behind the
+	// seed images; a plateau means the peak stayed well under that line.
+	res.UnboundedVersions = uint64(mvccRows + 2*writeTxns)
+	res.Plateaued = res.ResidentPeak < res.UnboundedVersions/2
+	return res, nil
+}

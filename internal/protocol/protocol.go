@@ -130,6 +130,12 @@ const (
 	// commit's fate on the surviving timeline is unknown until the cluster
 	// heals; clients must not assume it is durable.
 	CodeQuorumUnavailable
+	// CodeReadOnlyTxn: a write statement ran inside a read-only snapshot
+	// transaction (a declared read-only transaction or a time-travel
+	// transaction at a historical snapshot). Unlike CodeReadOnly — the whole
+	// node rejects writes — this is a property of the transaction: retry the
+	// write in a normal read-write transaction.
+	CodeReadOnlyTxn
 )
 
 // String names the code for error text.
@@ -159,6 +165,8 @@ func (c ErrCode) String() string {
 		return "fenced"
 	case CodeQuorumUnavailable:
 		return "quorum-unavailable"
+	case CodeReadOnlyTxn:
+		return "read-only-txn"
 	default:
 		return fmt.Sprintf("code(%d)", uint8(c))
 	}
@@ -205,6 +213,10 @@ func IsFenced(err error) bool { return IsCode(err, CodeFenced) }
 // acknowledgement in time.
 func IsQuorumUnavailable(err error) bool { return IsCode(err, CodeQuorumUnavailable) }
 
+// IsReadOnlyTxn reports a write attempted inside a read-only snapshot
+// transaction (declared read-only, or time travel at a historical snapshot).
+func IsReadOnlyTxn(err error) bool { return IsCode(err, CodeReadOnlyTxn) }
+
 // Stats is the MsgStatsResult payload: a snapshot of the server's gauges
 // and counters, plus the WAL sync counter so load tests can verify group
 // commit (Syncs < Commits) over the wire.
@@ -242,6 +254,17 @@ type Stats struct {
 	// refuses writes and subscribers.
 	Epoch  uint64
 	Fenced uint64
+
+	// MVCC garbage collection and residency. VacuumRuns/VacuumDropped count
+	// vacuum activity (dropped = row and index versions compacted out of
+	// chains); HistoryFloor is the oldest snapshot still answerable by time
+	// travel; ResidentVersions and MaxChainLength describe current row
+	// version residency (census taken when stats are requested).
+	VacuumRuns       uint64
+	VacuumDropped    uint64
+	HistoryFloor     uint64
+	ResidentVersions uint64
+	MaxChainLength   uint64
 
 	// SubscriberLags describes each live replication stream the node serves
 	// (a primary's per-subscriber view); empty on replicas and on primaries
@@ -518,6 +541,8 @@ func (s *Stats) fields() []*uint64 {
 		&s.Subscribers, &s.IsReplica, &s.AppliedSeq, &s.PrimarySeq,
 		&s.ReplConnected,
 		&s.Epoch, &s.Fenced,
+		&s.VacuumRuns, &s.VacuumDropped, &s.HistoryFloor,
+		&s.ResidentVersions, &s.MaxChainLength,
 	}
 }
 

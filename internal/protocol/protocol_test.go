@@ -70,6 +70,8 @@ func TestRoundTripAllMessages(t *testing.T) {
 		ExpiredTxns: 2, WALSyncs: 20, PlanCacheHits: 40, PlanCacheMisses: 7,
 		Subscribers: 2, IsReplica: 1, AppliedSeq: 900, PrimarySeq: 905,
 		ReplConnected: 1, Epoch: 3, Fenced: 1,
+		VacuumRuns: 6, VacuumDropped: 4200, HistoryFloor: 870,
+		ResidentVersions: 1234, MaxChainLength: 9,
 		SubscriberLags: []SubscriberLag{
 			{AckedSeq: 898, LagSeqs: 7, LastAckAgeMs: 120},
 			{AckedSeq: 905, LagSeqs: 0, LastAckAgeMs: 4},
@@ -339,5 +341,17 @@ func TestFailoverErrorHelpers(t *testing.T) {
 	}
 	if CodeFenced.String() != "fenced" || CodeQuorumUnavailable.String() != "quorum-unavailable" {
 		t.Fatalf("code strings: %q %q", CodeFenced.String(), CodeQuorumUnavailable.String())
+	}
+}
+
+// TestReadOnlyTxnErrorHelpers pins the wire code for writes inside declared
+// read-only snapshot transactions, distinct from the replica's read-only
+// session code.
+func TestReadOnlyTxnErrorHelpers(t *testing.T) {
+	if !IsReadOnlyTxn(&ServerError{Code: CodeReadOnlyTxn}) || IsReadOnlyTxn(&ServerError{Code: CodeReadOnly}) {
+		t.Fatal("read-only-txn classification")
+	}
+	if CodeReadOnlyTxn.String() != "read-only-txn" {
+		t.Fatalf("code string: %q", CodeReadOnlyTxn.String())
 	}
 }

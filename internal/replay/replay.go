@@ -299,6 +299,14 @@ func (r *Replayer) Replay(reqID string, register func(app *runtime.App), opts Op
 			"replay: request %q needs production history from commit %d, but the CDC log is truncated to %d (CDC retention window passed); replay unavailable",
 			reqID, baseSeq+1, from)
 	}
+	// Same check-after-pin discipline for MVCC history: restoring the dev
+	// database reads row versions at baseSeq, which Vacuum (or a checkpointed
+	// restart) may have compacted away.
+	if floor := prodStore.HistoryRetainedFrom(); baseSeq < floor {
+		return nil, fmt.Errorf(
+			"replay: request %q needs row versions at snapshot %d: %w (history retained from %d)",
+			reqID, baseSeq, storage.ErrHistoryTruncated, floor)
+	}
 
 	dev, err := r.restore(baseSeq, opts.Tables)
 	if err != nil {

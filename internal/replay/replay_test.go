@@ -1,6 +1,7 @@
 package replay
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -196,6 +197,21 @@ func TestReplayUnknownRequest(t *testing.T) {
 	rp := New(prod, tr.Writer())
 	if _, err := rp.Replay("R999", workload.RegisterMoodle, Options{}); err == nil {
 		t.Error("unknown request should error")
+	}
+}
+
+// TestReplayBelowHistoryFloor: once vacuum (or a checkpointed restart)
+// raised the production store's history floor past a request's base
+// snapshot, replay refuses with the typed error instead of rebuilding the
+// base state from compacted — silently wrong — version chains.
+func TestReplayBelowHistoryFloor(t *testing.T) {
+	prod, tr, _ := racedScenario(t)
+	late, _ := lateReq(t, tr)
+	prod.Store().Vacuum(prod.Store().CurrentSeq())
+	rp := New(prod, tr.Writer())
+	_, err := rp.Replay(late, workload.RegisterMoodle, Options{})
+	if !errors.Is(err, storage.ErrHistoryTruncated) {
+		t.Fatalf("replay below floor: err = %v, want ErrHistoryTruncated", err)
 	}
 }
 

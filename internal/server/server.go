@@ -370,6 +370,14 @@ func (s *Server) Stats() protocol.Stats {
 			st.Fenced = 1
 		}
 	}
+	store := s.cfg.DB.Store()
+	vac := store.VacuumTotals()
+	st.VacuumRuns = vac.Runs
+	st.VacuumDropped = vac.DroppedRowVersions + vac.DroppedIndexVersions
+	st.HistoryFloor = store.HistoryRetainedFrom()
+	census := store.VersionCensus()
+	st.ResidentVersions = census.ResidentRowVersions
+	st.MaxChainLength = census.MaxChainLength
 	return st
 }
 
@@ -623,6 +631,10 @@ func (ss *session) sqlError(err error) *protocol.Message {
 		return errMsg(protocol.CodeTxnExpired, "transaction exceeded the server deadline and was rolled back")
 	case errors.Is(err, db.ErrReadOnly):
 		return errMsg(protocol.CodeReadOnly, "this server is a read-only replica; send writes to the primary")
+	case errors.Is(err, db.ErrReadOnlyTxn):
+		return errMsg(protocol.CodeReadOnlyTxn, "%v", err)
+	case errors.Is(err, storage.ErrHistoryTruncated):
+		return errMsg(protocol.CodeLogTruncated, "%v", err)
 	case errors.Is(err, db.ErrFenced):
 		return errMsg(protocol.CodeFenced, "%v", err)
 	case errors.Is(err, db.ErrQuorumUnavailable):

@@ -137,6 +137,10 @@ func TestServerBasicRoundTrips(t *testing.T) {
 	if st.Requests == 0 || st.Commits == 0 {
 		t.Fatalf("stats not counting: %+v", st)
 	}
+	// The MVCC census rides the same response: rows exist, so versions do.
+	if st.ResidentVersions == 0 || st.MaxChainLength == 0 {
+		t.Fatalf("stats missing version census: %+v", st)
+	}
 	_ = srv
 }
 

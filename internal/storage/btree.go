@@ -8,9 +8,10 @@ package storage
 import "sort"
 
 // btree is an in-memory B-tree mapping string keys to values of type V. It
-// supports insert/replace, point lookup, and ordered range scans. Keys are
-// never physically removed: MVCC deletion is expressed as tombstone versions
-// in the stored value, which keeps the tree logic simple and scan-safe.
+// supports insert/replace, point lookup, ordered range scans, and key
+// removal. MVCC deletion is expressed as tombstone versions in the stored
+// value; physical removal happens only when Vacuum drops an entry whose
+// whole chain fell below the history horizon.
 //
 // The tree uses preemptive splitting: full nodes are split on the way down,
 // so inserts never backtrack.
@@ -149,6 +150,96 @@ func (n *btreeNode[V]) splitChild(i int) {
 	n.children = append(n.children, nil)
 	copy(n.children[i+2:], n.children[i+1:])
 	n.children[i+1] = right
+}
+
+// Delete removes key, reporting whether it was present. Removal does not
+// rebalance: a node may drop below the usual minimum occupancy (or empty out
+// entirely), which search, insert, and iteration all tolerate — Vacuum's
+// deletions are sparse and later inserts re-split on the way down. The
+// balance invariant degrades gracefully instead of buying rotation/merge
+// complexity the workload never needs.
+func (t *btree[V]) Delete(key string) bool {
+	if !t.root.remove(key) {
+		return false
+	}
+	for len(t.root.keys) == 0 && !t.root.leaf() {
+		t.root = t.root.children[0]
+	}
+	t.size--
+	return true
+}
+
+func (n *btreeNode[V]) remove(key string) bool {
+	i, ok := n.find(key)
+	if ok {
+		if n.leaf() {
+			n.keys = append(n.keys[:i], n.keys[i+1:]...)
+			n.vals = append(n.vals[:i], n.vals[i+1:]...)
+			return true
+		}
+		// Internal hit: swap in the in-order predecessor (max of the left
+		// subtree) as the new separator, then remove that key from where it
+		// lived. Earlier deletions may have emptied the left subtree — fall
+		// back to the successor, and when both neighbours are empty the
+		// separator goes away along with the (empty) right subtree.
+		if pk, pv, found := n.children[i].maxEntry(); found {
+			n.keys[i] = pk
+			n.vals[i] = pv
+			return n.children[i].remove(pk)
+		}
+		if sk, sv, found := n.children[i+1].minEntry(); found {
+			n.keys[i] = sk
+			n.vals[i] = sv
+			return n.children[i+1].remove(sk)
+		}
+		n.keys = append(n.keys[:i], n.keys[i+1:]...)
+		n.vals = append(n.vals[:i], n.vals[i+1:]...)
+		n.children = append(n.children[:i+1], n.children[i+2:]...)
+		return true
+	}
+	if n.leaf() {
+		return false
+	}
+	return n.children[i].remove(key)
+}
+
+// maxEntry returns the largest key in the subtree, descending through empty
+// unbalanced nodes; found is false when the subtree holds no keys at all.
+func (n *btreeNode[V]) maxEntry() (string, V, bool) {
+	if n.leaf() {
+		if len(n.keys) == 0 {
+			var zero V
+			return "", zero, false
+		}
+		return n.keys[len(n.keys)-1], n.vals[len(n.vals)-1], true
+	}
+	if k, v, ok := n.children[len(n.children)-1].maxEntry(); ok {
+		return k, v, true
+	}
+	if len(n.keys) > 0 {
+		return n.keys[len(n.keys)-1], n.vals[len(n.vals)-1], true
+	}
+	var zero V
+	return "", zero, false
+}
+
+// minEntry is maxEntry's mirror: the smallest key in the subtree.
+func (n *btreeNode[V]) minEntry() (string, V, bool) {
+	if n.leaf() {
+		if len(n.keys) == 0 {
+			var zero V
+			return "", zero, false
+		}
+		return n.keys[0], n.vals[0], true
+	}
+	if k, v, ok := n.children[0].minEntry(); ok {
+		return k, v, true
+	}
+	if len(n.keys) > 0 {
+		return n.keys[0], n.vals[0], true
+	}
+	var zero V
+	return "", zero, false
 }
 
 // AscendRange visits keys in [lo, hi) in order; hi == "" means unbounded.

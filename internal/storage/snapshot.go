@@ -155,6 +155,13 @@ func DecodeSnapshot(data []byte) (*Store, error) {
 	// Rows carry the snapshot sequence and index backfill runs at it.
 	dst.seq = seq
 	dst.logBase = seq
+	// A snapshot holds single-version row images at seq — history below it
+	// does not survive encode/decode, however much the source store
+	// retained. The history floor therefore rides the seq field: a restored
+	// store answers time travel from the checkpoint sequence up, and
+	// BeginAt/replay below that fail typed (ErrHistoryTruncated) instead of
+	// silently reading rows as missing.
+	dst.historyFloor = seq
 	dst.nextTxn = nextTxn
 	for t := uint64(0); t < nTables; t++ {
 		var name string

@@ -223,6 +223,18 @@ type Store struct {
 	// validation (commits after the snapshot), so CDC memory release is safe
 	// under concurrent transactions of any age.
 	pins map[uint64]int
+
+	// historyFloor is the oldest snapshot at which version-chain reads are
+	// still complete. Vacuum raises it to the horizon it compacted to, and
+	// restoring from a checkpoint snapshot sets it to the snapshot sequence
+	// (a snapshot carries single-version row images, not history). Reads
+	// below the floor would silently return "row missing" for rows that did
+	// exist — time-travel entry points must refuse them instead (see
+	// ErrHistoryTruncated).
+	historyFloor uint64
+
+	// vac accumulates Vacuum run counters for Stats.
+	vac VacuumStats
 }
 
 // NewStore returns an empty store.
@@ -866,6 +878,37 @@ func (s *Store) LogRetainedFrom() uint64 {
 	return s.logBase + 1
 }
 
+// OldestPin returns the oldest pinned snapshot sequence and whether any pin
+// exists. Vacuum clamps its horizon to it so an active reader's snapshot can
+// never be compacted out from under it.
+func (s *Store) OldestPin() (uint64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.oldestPinLocked()
+}
+
+func (s *Store) oldestPinLocked() (uint64, bool) {
+	oldest, found := uint64(0), false
+	for seq := range s.pins {
+		if !found || seq < oldest {
+			oldest, found = seq, true
+		}
+	}
+	return oldest, found
+}
+
+// HistoryRetainedFrom returns the oldest snapshot sequence at which version
+// chains are still complete — the analogue of LogRetainedFrom for MVCC
+// history rather than the CDC log. Time-travel reads (BeginAt, CloneAt,
+// replay restore) below it must fail loudly: vacuum or a checkpointed
+// restart has discarded the versions they would need, and proceeding would
+// return plausible-but-empty results.
+func (s *Store) HistoryRetainedFrom() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.historyFloor
+}
+
 // TruncateLog discards commit records with Seq <= upTo, bounding CDC memory.
 // Version chains (time travel) are unaffected. The cut is clamped to the
 // oldest pinned snapshot: records in an active transaction's validation
@@ -947,6 +990,7 @@ func (s *Store) ResetTo(src *Store) {
 	}
 	s.log = nil
 	s.logBase = src.seq
+	s.historyFloor = src.historyFloor
 	s.epoch += src.epoch + 1
 }
 
@@ -956,6 +1000,9 @@ func (s *Store) ResetTo(src *Store) {
 func (s *Store) CloneAt(seq uint64) (*Store, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if seq < s.historyFloor {
+		return nil, historyTruncatedf(seq, s.historyFloor)
+	}
 	dst := NewStore()
 	// Iterate the catalog in sorted order so the clone's schema log and
 	// the synthetic commit below are byte-stable across runs; map order

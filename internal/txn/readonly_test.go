@@ -1,0 +1,141 @@
+package txn
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestReadOnlyTxnRejectsWrites(t *testing.T) {
+	s, tbl := setup(t)
+	seed := Begin(s)
+	if err := seed.Insert(tbl, row("a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seed.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	ro := BeginReadOnly(s)
+	if !ro.ReadOnly() {
+		t.Fatal("BeginReadOnly not marked read-only")
+	}
+	if err := ro.Insert(tbl, row("b", 2)); !errors.Is(err, ErrReadOnlyTxn) {
+		t.Fatalf("Insert: err = %v, want ErrReadOnlyTxn", err)
+	}
+	if err := ro.Update(tbl, row("a", 9)); !errors.Is(err, ErrReadOnlyTxn) {
+		t.Fatalf("Update: err = %v, want ErrReadOnlyTxn", err)
+	}
+	if _, err := ro.Delete(tbl, keyOf(tbl, "a")); !errors.Is(err, ErrReadOnlyTxn) {
+		t.Fatalf("Delete: err = %v, want ErrReadOnlyTxn", err)
+	}
+	got, found, err := ro.Get("kv", keyOf(tbl, "a"))
+	if err != nil || !found || got[1].AsInt() != 1 {
+		t.Fatalf("read in read-only txn: %v %v %v", got, found, err)
+	}
+	ro.Abort()
+}
+
+// TestReadOnlyTxnNoReadSetNoValidation: read-only transactions track no read
+// set, so a conflicting concurrent write cannot abort their commit — the
+// structural "zero aborts" guarantee.
+func TestReadOnlyTxnNoReadSetNoValidation(t *testing.T) {
+	s, tbl := setup(t)
+	seed := Begin(s)
+	if err := seed.Insert(tbl, row("a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seed.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	ro := BeginReadOnly(s)
+	if _, _, err := ro.Get("kv", keyOf(tbl, "a")); err != nil {
+		t.Fatal(err)
+	}
+	if ro.ReadSet() != nil {
+		t.Fatal("read-only txn tracked a read set")
+	}
+	// A conflicting write lands after the read.
+	w := Begin(s)
+	if err := w.Update(tbl, row("a", 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// An OCC transaction that performed the same read would abort here; the
+	// read-only transaction must not.
+	seq, err := ro.Commit()
+	if err != nil {
+		t.Fatalf("read-only commit aborted: %v", err)
+	}
+	if seq != 0 || ro.CommitSeq() != 0 {
+		t.Fatalf("read-only commit seq = %d/%d, want 0 (no commit position)", seq, ro.CommitSeq())
+	}
+}
+
+// TestReadOnlyTxnPinHygiene: both Commit and Abort release the snapshot pin;
+// a leak would clamp every future vacuum horizon.
+func TestReadOnlyTxnPinHygiene(t *testing.T) {
+	s, tbl := setup(t)
+	seed := Begin(s)
+	if err := seed.Insert(tbl, row("a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seed.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		ro := BeginReadOnly(s)
+		if i%2 == 0 {
+			if _, err := ro.Commit(); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			ro.Abort()
+		}
+	}
+	at := BeginAt(s, 1)
+	at.Abort()
+	if pin, ok := s.OldestPin(); ok {
+		t.Fatalf("read-only transactions leaked a pin at seq %d", pin)
+	}
+}
+
+// TestBeginAtReadsPast: BeginAt anchors a read-only transaction at an older
+// snapshot and keeps it pinned against vacuum for the transaction's life.
+func TestBeginAtReadsPast(t *testing.T) {
+	s, tbl := setup(t)
+	seed := Begin(s)
+	if err := seed.Insert(tbl, row("a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seed.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	past := s.CurrentSeq()
+	for i := int64(2); i <= 5; i++ {
+		w := Begin(s)
+		if err := w.Update(tbl, row("a", i)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	at := BeginAt(s, past)
+	defer at.Abort()
+	if at.Snapshot() != past {
+		t.Fatalf("Snapshot = %d, want %d", at.Snapshot(), past)
+	}
+	// The pin rides at the requested snapshot: vacuum to head must clamp.
+	st := s.Vacuum(s.CurrentSeq())
+	if st.LastHorizon != past {
+		t.Fatalf("vacuum horizon = %d, want clamp to BeginAt pin %d", st.LastHorizon, past)
+	}
+	got, found, err := at.Get("kv", keyOf(tbl, "a"))
+	if err != nil || !found || got[1].AsInt() != 1 {
+		t.Fatalf("time-travel read after vacuum: %v %v %v", got, found, err)
+	}
+}

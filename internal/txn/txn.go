@@ -33,6 +33,11 @@ const (
 // ErrDone is returned when operating on a finished transaction.
 var ErrDone = errors.New("txn: transaction already committed or aborted")
 
+// ErrReadOnlyTxn is returned when a write is attempted on a read-only
+// snapshot transaction (BeginReadOnly, or any historical-snapshot
+// transaction from BeginAt). It maps to the wire code "read-only-txn".
+var ErrReadOnlyTxn = errors.New("txn: write on read-only snapshot transaction")
+
 // pendingWrite is the buffered effect on one row: the image the transaction
 // first observed (orig, nil when the row did not exist) and the current
 // local image (cur, nil when locally deleted).
@@ -42,13 +47,19 @@ type pendingWrite struct {
 }
 
 // Txn is a single transaction.
+//
+// A read-only transaction (BeginReadOnly / BeginAt) carries a nil read set:
+// snapshot reads can never be invalidated, so there is nothing to track and
+// commit never validates. Writes on such a transaction fail with
+// ErrReadOnlyTxn.
 type Txn struct {
 	store     *storage.Store
 	id        uint64
 	snapshot  uint64
-	reads     *storage.ReadSet
+	reads     *storage.ReadSet // nil for read-only transactions
 	writes    map[string]map[string]*pendingWrite // lowercased table -> key
 	state     State
+	readOnly  bool
 	commitSeq uint64
 }
 
@@ -65,11 +76,27 @@ func Begin(store *storage.Store) *Txn {
 	}
 }
 
-// BeginAt starts a transaction reading at an explicit historical snapshot.
-// The TROD replay engine uses this for time-travel reads; such transactions
-// are typically read-only.
+// BeginReadOnly starts a read-only transaction at the store's current
+// snapshot. It keeps no read set — snapshot reads are consistent by
+// construction and can never be invalidated by concurrent writers — so
+// Commit never validates and the transaction can never abort on conflict.
+// All write methods fail with ErrReadOnlyTxn.
+func BeginReadOnly(store *storage.Store) *Txn {
+	return &Txn{
+		store:    store,
+		id:       store.NextTxnID(),
+		snapshot: store.PinSnapshot(),
+		readOnly: true,
+	}
+}
+
+// BeginAt starts a read-only transaction at an explicit historical snapshot.
+// The TROD replay engine uses this for time-travel reads. Historical
+// transactions are strictly read-only: a write through one would have an
+// empty OCC footprint (nothing to validate) and could blindly clobber the
+// present — see ErrReadOnlyTxn.
 func BeginAt(store *storage.Store, snapshot uint64) *Txn {
-	t := Begin(store)
+	t := BeginReadOnly(store)
 	t.store.MovePin(t.snapshot, snapshot)
 	t.snapshot = snapshot
 	return t
@@ -86,9 +113,15 @@ func (t *Txn) Snapshot() uint64 { return t.snapshot }
 func (t *Txn) State() State { return t.state }
 
 // CommitSeq returns the assigned commit sequence (valid after Commit).
+// Read-only and no-op commits report 0: they did not commit anywhere in the
+// sequence — the position they read at is Snapshot, a distinct notion.
 func (t *Txn) CommitSeq() uint64 { return t.commitSeq }
 
+// ReadOnly reports whether this is a declared read-only transaction.
+func (t *Txn) ReadOnly() bool { return t.readOnly }
+
 // ReadSet exposes the tracked reads (the TROD tracer snapshots it at commit).
+// Read-only transactions track nothing and return nil.
 func (t *Txn) ReadSet() *storage.ReadSet { return t.reads }
 
 // HasWrites reports whether the transaction has buffered writes on table.
@@ -114,7 +147,9 @@ func (t *Txn) Get(table, key string) (value.Row, bool, error) {
 	if t.state != StateActive {
 		return nil, false, ErrDone
 	}
-	t.reads.AddKey(table, key)
+	if t.reads != nil {
+		t.reads.AddKey(table, key)
+	}
 	if w, ok := t.writes[strings.ToLower(table)][key]; ok {
 		if w.cur == nil {
 			return nil, false, nil
@@ -135,7 +170,9 @@ func (t *Txn) Scan(table, lo, hi string, fn func(key string, row value.Row) bool
 	if t.state != StateActive {
 		return ErrDone
 	}
-	t.reads.AddRange(table, lo, hi)
+	if t.reads != nil {
+		t.reads.AddRange(table, lo, hi)
+	}
 
 	// Sorted local keys within range.
 	local := t.writes[strings.ToLower(table)]
@@ -208,7 +245,9 @@ func (t *Txn) IndexScan(tbl *schema.Table, ix *schema.Index, lo, hi string, fn f
 	if t.state != StateActive {
 		return ErrDone
 	}
-	t.reads.AddIndexRange(tbl.Name, ix.Name, lo, hi)
+	if t.reads != nil {
+		t.reads.AddIndexRange(tbl.Name, ix.Name, lo, hi)
+	}
 
 	// Project buffered writes into index order within [lo, hi).
 	local := t.writes[strings.ToLower(tbl.Name)]
@@ -267,6 +306,9 @@ func (t *Txn) Insert(tbl *schema.Table, row value.Row) error {
 	if t.state != StateActive {
 		return ErrDone
 	}
+	if t.readOnly {
+		return ErrReadOnlyTxn
+	}
 	checked, err := tbl.CheckRow(row)
 	if err != nil {
 		return err
@@ -295,6 +337,9 @@ func (t *Txn) Update(tbl *schema.Table, newRow value.Row) error {
 	if t.state != StateActive {
 		return ErrDone
 	}
+	if t.readOnly {
+		return ErrReadOnlyTxn
+	}
 	checked, err := tbl.CheckRow(newRow)
 	if err != nil {
 		return err
@@ -321,6 +366,9 @@ func (t *Txn) Update(tbl *schema.Table, newRow value.Row) error {
 func (t *Txn) Delete(tbl *schema.Table, key string) (bool, error) {
 	if t.state != StateActive {
 		return false, ErrDone
+	}
+	if t.readOnly {
+		return false, ErrReadOnlyTxn
 	}
 	old, found, err := t.Get(tbl.Name, key)
 	if err != nil {
@@ -383,17 +431,23 @@ func (t *Txn) PendingChanges() []storage.Change {
 // Commit validates and applies the transaction. On serialization conflict
 // it returns *storage.ConflictError and marks the transaction aborted; the
 // caller should retry with a fresh transaction (see Run).
+//
+// Read-only transactions (and writable transactions with no effective
+// changes) never validate and never abort: they return commit seq 0, which
+// is not a position in the commit sequence. The snapshot they read at is
+// available via Snapshot — reporting it here would let a time-travel reader
+// masquerade as a transaction that committed in the past.
 func (t *Txn) Commit() (uint64, error) {
 	if t.state != StateActive {
 		return 0, ErrDone
 	}
 	changes := t.PendingChanges()
 	if len(changes) == 0 {
-		// Read-only: nothing to validate (snapshot reads are consistent).
+		// Nothing to validate: snapshot reads are consistent by construction.
 		t.state = StateCommitted
-		t.commitSeq = t.snapshot
+		t.commitSeq = 0
 		t.store.UnpinSnapshot(t.snapshot)
-		return t.snapshot, nil
+		return 0, nil
 	}
 	seq, err := t.store.Commit(storage.CommitRequest{
 		TxnID:    t.id,
