@@ -206,6 +206,13 @@ func printStats(st protocol.Stats, asJSON bool) {
 			"wal_syncs":         st.WALSyncs,
 			"plan_cache_hits":   st.PlanCacheHits,
 			"plan_cache_misses": st.PlanCacheMisses,
+			"db_commits":        st.DBCommits,
+			"db_conflicts":      st.DBConflicts,
+			"checkpoints":       st.Checkpoints,
+			"quorum_stalls":     st.QuorumStalls,
+			"tracer_events":     st.TracerEvents,
+			"tracer_drops":      st.TracerDrops,
+			"tracer_flushes":    st.TracerFlushes,
 			"subscribers":       st.Subscribers,
 			"is_replica":        st.IsReplica == 1,
 			"epoch":             st.Epoch,
@@ -252,6 +259,13 @@ func printStats(st protocol.Stats, asJSON bool) {
 	fmt.Printf("wal_syncs:          %d\n", st.WALSyncs)
 	fmt.Printf("plan_cache_hits:    %d\n", st.PlanCacheHits)
 	fmt.Printf("plan_cache_misses:  %d\n", st.PlanCacheMisses)
+	fmt.Printf("db_commits:         %d\n", st.DBCommits)
+	fmt.Printf("db_conflicts:       %d\n", st.DBConflicts)
+	fmt.Printf("checkpoints:        %d\n", st.Checkpoints)
+	fmt.Printf("quorum_stalls:      %d\n", st.QuorumStalls)
+	fmt.Printf("tracer_events:      %d\n", st.TracerEvents)
+	fmt.Printf("tracer_drops:       %d\n", st.TracerDrops)
+	fmt.Printf("tracer_flushes:     %d\n", st.TracerFlushes)
 	fmt.Printf("subscribers:        %d\n", st.Subscribers)
 	if st.IsReplica == 1 {
 		fmt.Printf("role:               replica\n")

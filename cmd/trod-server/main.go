@@ -17,7 +17,17 @@
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, in-flight
 // requests drain, and the WAL is checkpointed so the next start recovers
-// from a snapshot.
+// from a snapshot. With -lame-duck, shutdown first flips /healthz to 503 and
+// keeps serving for the given window so load balancers stop routing before
+// the drain begins.
+//
+// With -metrics-addr the server also serves a Prometheus-style text endpoint
+// (GET /metrics) and a health check (GET /healthz) on a second listener.
+// With -slow-query-ms N, every statement slower than N milliseconds emits a
+// structured JSON line on stderr (query text, latency, plan shape, request
+// ID). With -prov the server attaches the always-on tracer: every remote
+// request is recorded in the given provenance database, and slow-query
+// request IDs resolve there (SELECT * FROM trod_requests WHERE ReqId = ...).
 package main
 
 import (
@@ -28,13 +38,17 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	trod "repro"
 	"repro/internal/db"
+	"repro/internal/metrics"
 	"repro/internal/repl"
+	"repro/internal/runtime"
 	"repro/internal/server"
+	"repro/internal/trace"
 	"repro/internal/wal"
 )
 
@@ -51,6 +65,11 @@ var (
 	replicaOf   = flag.String("replica-of", "", "primary address to replicate from (this server becomes a read-only replica)")
 	syncRepl    = flag.Int("sync-replicas", 0, "block each commit ack until this many replicas confirm it (0 = async replication)")
 	quorumWait  = flag.Duration("quorum-timeout", 5*time.Second, "max wait for -sync-replicas confirmations before failing the commit")
+	metricsAddr = flag.String("metrics-addr", "", "serve GET /metrics and /healthz on this address (empty = disabled)")
+	metricsPort = flag.String("metrics-portfile", "", "write the bound metrics address to this file once listening")
+	slowQueryMs = flag.Int("slow-query-ms", 0, "log statements slower than this many milliseconds as JSON lines on stderr (0 = disabled)")
+	provPath    = flag.String("prov", "", "provenance WAL path; attaches the always-on tracer (empty = disabled)")
+	lameDuck    = flag.Duration("lame-duck", 0, "on shutdown signal, answer /healthz with 503 for this long before draining")
 )
 
 func main() {
@@ -85,6 +104,30 @@ func main() {
 		IdleTimeout: *idleTimeout,
 		TxnTimeout:  *txnTimeout,
 	}
+	if *slowQueryMs > 0 {
+		cfg.SlowQueryThreshold = time.Duration(*slowQueryMs) * time.Millisecond
+		cfg.SlowQueryOutput = os.Stderr
+	}
+	// Always-on tracing: requests, statements, and row provenance land in
+	// a second database, queryable with the same SQL engine. Slow-query
+	// request IDs resolve there.
+	var tracer *trace.Tracer
+	if *provPath != "" {
+		prov, err := trod.OpenDB(trod.DBOptions{Mode: db.Disk, Path: *provPath})
+		if err != nil {
+			log.Fatalf("open provenance db %s: %v", *provPath, err)
+		}
+		defer prov.Close()
+		app := runtime.New(d)
+		tracer, err = trace.Attach(app, prov, trace.Config{})
+		if err != nil {
+			log.Fatalf("attach tracer: %v", err)
+		}
+		defer tracer.Close()
+		cfg.App = app
+		cfg.TracerStats = tracer.Counters
+		log.Printf("always-on tracing to %s", *provPath)
+	}
 	// The replication epoch lives next to the WAL and fences a deposed
 	// primary across restarts: a node whose epoch file records a newer
 	// epoch elsewhere boots fenced and rejects writes and subscribers.
@@ -116,6 +159,37 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// The metrics endpoint rides a second listener so scrapes never compete
+	// with the frame protocol. /healthz answers 503 once the lame-duck
+	// window opens or the drain begins — load balancers stop routing while
+	// in-flight requests finish.
+	var lameDucking atomic.Bool
+	if *metricsAddr != "" {
+		reg := metrics.NewRegistry()
+		d.RegisterMetrics(reg)
+		srv.RegisterMetrics(reg)
+		if tracer != nil {
+			tracer.RegisterMetrics(reg)
+		}
+		ms, err := metrics.ServeHTTP(*metricsAddr, reg, func() error {
+			if lameDucking.Load() || srv.Draining() {
+				return fmt.Errorf("draining")
+			}
+			return nil
+		})
+		if err != nil {
+			log.Fatalf("metrics listen %s: %v", *metricsAddr, err)
+		}
+		defer ms.Close()
+		log.Printf("metrics on http://%s/metrics", ms.Addr())
+		if *metricsPort != "" {
+			if err := os.WriteFile(*metricsPort, []byte(ms.Addr()), 0o644); err != nil {
+				log.Fatalf("metrics portfile: %v", err)
+			}
+		}
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("listen %s: %v", *addr, err)
@@ -134,7 +208,13 @@ func main() {
 
 	select {
 	case sig := <-sigc:
-		log.Printf("received %v; draining sessions and checkpointing", sig)
+		if *lameDuck > 0 {
+			lameDucking.Store(true)
+			log.Printf("received %v; lame-duck for %v (healthz now 503), then draining", sig, *lameDuck)
+			time.Sleep(*lameDuck)
+		} else {
+			log.Printf("received %v; draining sessions and checkpointing", sig)
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {

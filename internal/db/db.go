@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/schema"
 	"repro/internal/sqlexec"
 	"repro/internal/sqlparse"
@@ -209,6 +210,17 @@ type DB struct {
 	// be set before the database serves concurrent traffic.
 	commitBarrier func(seq uint64) error
 
+	// Engine-level observability: write commits applied and commit attempts
+	// aborted on serialization conflict, counted at the facade so every path
+	// (autocommit retries, interactive transactions, ApplyCommit batch
+	// writers) lands in one place; checkpoint runs and their durations.
+	// The storage layer itself is deliberately uninstrumented — it is in the
+	// deterministic set (trodlint detpath) where time.Now is forbidden.
+	commits     atomic.Uint64
+	conflicts   atomic.Uint64
+	checkpoints atomic.Uint64
+	ckptHist    *metrics.Histogram
+
 	closed bool
 	mu     sync.Mutex
 }
@@ -231,6 +243,7 @@ func Open(opts Options) (*DB, error) {
 		cdcRetain:   opts.CDCRetention,
 		histRetain:  opts.HistoryRetention,
 		plans:       newPlanCache(0),
+		ckptHist:    newCheckpointHist(),
 	}
 	if opts.Mode == Memory {
 		db.store.SetDDLHook(db.ddlFired)
@@ -431,6 +444,96 @@ func (db *DB) resolveSnapshot(cp wal.Checkpoint) string {
 // Recovery reports what the last Open did to rebuild state (Disk mode).
 func (db *DB) Recovery() RecoveryInfo { return db.recovery }
 
+// newCheckpointHist builds the checkpoint-duration instrument every DB
+// carries; RegisterMetrics exports it when a metrics endpoint is wired.
+func newCheckpointHist() *metrics.Histogram {
+	return metrics.NewHistogram("trod_db_checkpoint_seconds",
+		"Duration of checkpoint runs: snapshot encode + write + verify, log rotation, and vacuum.", nil)
+}
+
+// CommitStats reports the facade-level commit counters: write commits
+// applied (every path — autocommit, interactive transactions, ApplyCommit
+// batch writers) and commit attempts aborted on serialization conflict.
+// Unlike the server's per-session counters these include internal writers
+// and each retry of an autocommit statement, so conflict *rate* computed
+// from them reflects what the OCC validator actually saw.
+func (db *DB) CommitStats() (commits, conflicts uint64) {
+	return db.commits.Load(), db.conflicts.Load()
+}
+
+// Checkpoints reports completed checkpoint runs.
+func (db *DB) Checkpoints() uint64 { return db.checkpoints.Load() }
+
+// PlanShape compiles (or fetches from the plan cache) the physical plan for
+// query and returns its compact shape string — what the slow-query log
+// records so an operator sees *how* a slow statement ran (scan vs index,
+// join strategy) without re-running EXPLAIN by hand. Unplannable or
+// unparsable statements return "".
+func (db *DB) PlanShape(query string) string {
+	stmt, err := db.parse(query)
+	if err != nil {
+		return ""
+	}
+	if !isPlannable(stmt) {
+		return ""
+	}
+	plan, err := db.planFor(query, stmt)
+	if err != nil {
+		return ""
+	}
+	return plan.Shape()
+}
+
+// RegisterMetrics exports the engine's counters on reg: commit/conflict
+// totals, checkpoint count + duration histogram, WAL syncs, plan-cache
+// effectiveness, and the MVCC vacuum/version census. One call wires the
+// whole trod_db_* and trod_wal_* namespace for a served database.
+func (db *DB) RegisterMetrics(reg *metrics.Registry) {
+	reg.CounterFunc("trod_db_commits_total",
+		"Write commits applied by the engine (all paths, retries counted once each).",
+		func() uint64 { return db.commits.Load() })
+	reg.CounterFunc("trod_db_conflicts_total",
+		"Commit attempts aborted by OCC serialization-conflict validation.",
+		func() uint64 { return db.conflicts.Load() })
+	reg.CounterFunc("trod_db_checkpoints_total",
+		"Completed checkpoint runs.",
+		func() uint64 { return db.checkpoints.Load() })
+	reg.Register(db.ckptHist)
+	reg.CounterFunc("trod_wal_syncs_total",
+		"WAL fsyncs issued; stays below commit count while group commit batches.",
+		func() uint64 { return db.WALStats().Syncs })
+	reg.CounterFunc("trod_db_plan_cache_hits_total",
+		"Statement executions that reused a cached physical plan.",
+		func() uint64 { return db.PlanCacheStats().Hits })
+	reg.CounterFunc("trod_db_plan_cache_misses_total",
+		"Plan compilations: first executions plus schema-epoch invalidations.",
+		func() uint64 { return db.PlanCacheStats().Misses })
+	reg.GaugeFunc("trod_db_plan_cache_size",
+		"Query texts currently cached.",
+		func() float64 { return float64(db.PlanCacheStats().Size) })
+	reg.CounterFunc("trod_db_vacuum_runs_total",
+		"MVCC vacuum runs (per checkpoint under HistoryRetention, plus explicit calls).",
+		func() uint64 { return db.store.VacuumTotals().Runs })
+	reg.CounterFunc("trod_db_vacuum_dropped_versions_total",
+		"Row and index versions dropped by vacuum.",
+		func() uint64 {
+			v := db.store.VacuumTotals()
+			return v.DroppedRowVersions + v.DroppedIndexVersions
+		})
+	reg.GaugeFunc("trod_db_resident_versions",
+		"Row versions currently resident in version chains.",
+		func() float64 { return float64(db.store.VersionCensus().ResidentRowVersions) })
+	reg.GaugeFunc("trod_db_max_chain_length",
+		"Longest row version chain.",
+		func() float64 { return float64(db.store.VersionCensus().MaxChainLength) })
+	reg.GaugeFunc("trod_db_history_floor_seq",
+		"Oldest commit sequence still readable by time travel (vacuum/restart floor).",
+		func() float64 { return float64(db.store.HistoryRetainedFrom()) })
+	reg.GaugeFunc("trod_db_commit_seq",
+		"Current commit sequence.",
+		func() float64 { return float64(db.store.CurrentSeq()) })
+}
+
 // Log exposes the write-ahead log (nil in Memory mode); tests and tools
 // use it for stats and fault injection.
 func (db *DB) Log() *wal.Log { return db.log }
@@ -470,8 +573,13 @@ func (db *DB) waitDurable(seq uint64) error {
 func (db *DB) ApplyCommit(req storage.CommitRequest) (uint64, error) {
 	seq, err := db.store.Commit(req)
 	if err != nil {
+		var conflict *storage.ConflictError
+		if errors.As(err, &conflict) {
+			db.conflicts.Add(1)
+		}
 		return 0, err
 	}
+	db.commits.Add(1)
 	if err := db.waitDurable(seq); err != nil {
 		return seq, fmt.Errorf("db: commit %d not durable: %w", seq, err)
 	}
@@ -500,6 +608,7 @@ func (db *DB) Checkpoint() error {
 }
 
 func (db *DB) checkpointLocked() error {
+	ckptStart := time.Now()
 	data, seq := db.store.EncodeSnapshot()
 	// Each checkpoint gets its own snapshot file: overwriting a single name
 	// would destroy the snapshot the current log head still points to, so a
@@ -536,6 +645,8 @@ func (db *DB) checkpointLocked() error {
 	// window serve no read that is still allowed: compact them. Vacuum clamps
 	// to the oldest pinned snapshot itself, so long-running readers are safe.
 	db.Vacuum()
+	db.checkpoints.Add(1)
+	db.ckptHist.ObserveSince(ckptStart)
 	return nil
 }
 
@@ -1188,6 +1299,14 @@ func (tx *Tx) Commit() error {
 
 func (tx *Tx) commit() error {
 	seq, err := tx.inner.Commit()
+	if err != nil {
+		var conflict *storage.ConflictError
+		if errors.As(err, &conflict) {
+			tx.db.conflicts.Add(1)
+		}
+	} else if seq > 0 {
+		tx.db.commits.Add(1)
+	}
 	var durErr, ackErr error
 	if err == nil && seq > 0 {
 		// A write commit produced a WAL record; block until it is durable.
@@ -1275,7 +1394,7 @@ func (db *DB) Flush() error {
 // TROD replay and retroactive-programming engines use it to build
 // development databases from restored snapshots.
 func NewFromStore(s *storage.Store) *DB {
-	db := &DB{store: s, mode: Memory, plans: newPlanCache(0)}
+	db := &DB{store: s, mode: Memory, plans: newPlanCache(0), ckptHist: newCheckpointHist()}
 	s.SetDDLHook(db.ddlFired)
 	return db
 }

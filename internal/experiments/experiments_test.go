@@ -214,3 +214,38 @@ func TestReplicationSmall(t *testing.T) {
 		t.Error("no write load applied")
 	}
 }
+
+// TestObsHotKeySmall runs the hot-key observability storm at a small scale:
+// conflicts must surface, the mid-run scrape must cover all four layers,
+// and every sampled slow-query request ID must resolve in provenance.
+func TestObsHotKeySmall(t *testing.T) {
+	res, err := RunObsHotKey(6, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if res.ServerConflicts != uint64(res.Conflicts) {
+		t.Errorf("server counted %d conflicts, clients saw %d", res.ServerConflicts, res.Conflicts)
+	}
+	if res.TracerEvents == 0 {
+		t.Error("tracer captured no events")
+	}
+}
+
+// TestObsOpenLoopSmall runs the bursty open-loop experiment at a small
+// scale: every arrival is either served or rejected with a typed busy
+// error, and the queue-wait histogram saw the admissions.
+func TestObsOpenLoopSmall(t *testing.T) {
+	res, err := RunObsOpenLoop(3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if res.ScrapeSeries == 0 {
+		t.Error("mid-run scrape returned no series")
+	}
+}

@@ -7,6 +7,7 @@ var Analyzers = []*Analyzer{
 	BoundallocAnalyzer,
 	DetpathAnalyzer,
 	DurerrAnalyzer,
+	NosleepAnalyzer,
 }
 
 // LookupAnalyzer returns the analyzer with the given name, or nil.

@@ -46,3 +46,10 @@ func TestDurerr(t *testing.T) {
 	cfg.Durerr.Calls = []string{"os.File.Sync", "os.File.Close"}
 	linttest.Run(t, "durerr", cfg, lint.DurerrAnalyzer)
 }
+
+func TestNosleep(t *testing.T) {
+	cfg := lint.DefaultConfig()
+	cfg.Nosleep.Handlers = []string{"nosleep.session.*"}
+	cfg.Nosleep.Forbidden = []string{"time.Sleep", "time.Tick"}
+	linttest.Run(t, "nosleep", cfg, lint.NosleepAnalyzer)
+}

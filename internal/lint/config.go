@@ -55,6 +55,14 @@ type Config struct {
 		// Calls whose error results those rules apply to.
 		Calls []string
 	}
+
+	Nosleep struct {
+		// Handlers are the request-path functions audited for blocking
+		// time primitives (direct calls; `go` subtrees exempt).
+		Handlers []string
+		// Forbidden are the blocking calls those handlers must not make.
+		Forbidden []string
+	}
 }
 
 func (c *Config) enabled(name string) bool {
@@ -131,6 +139,27 @@ func DefaultConfig() *Config {
 		"repro/internal/wal.File.Sync",
 		"repro/internal/wal.File.Close",
 	}
+	c.Nosleep.Handlers = []string{
+		"repro/internal/server.session.serve",
+		"repro/internal/server.session.handle",
+		"repro/internal/server.session.execSQL",
+		"repro/internal/server.session.begin",
+		"repro/internal/server.session.commit",
+		"repro/internal/server.session.rollbackTx",
+		"repro/internal/server.session.promote",
+		"repro/internal/server.session.slowCheck",
+		"repro/internal/server.Server.observeRequest",
+		"repro/internal/server.slowLog.emit",
+		"repro/internal/metrics.Histogram.Observe",
+		"repro/internal/metrics.Histogram.ObserveSince",
+		"repro/internal/metrics.Counter.Inc",
+		"repro/internal/metrics.Gauge.Set",
+		"repro/internal/trace.Tracer.push",
+	}
+	c.Nosleep.Forbidden = []string{
+		"time.Sleep",
+		"time.Tick",
+	}
 	return c
 }
 
@@ -193,6 +222,13 @@ func ParseConfig(src string) (*Config, error) {
 			if err := node.decode(key, map[string]*[]string{
 				"packages": &c.Durerr.Packages,
 				"calls":    &c.Durerr.Calls,
+			}); err != nil {
+				return nil, err
+			}
+		case "nosleep":
+			if err := node.decode(key, map[string]*[]string{
+				"handlers":  &c.Nosleep.Handlers,
+				"forbidden": &c.Nosleep.Forbidden,
 			}); err != nil {
 				return nil, err
 			}

@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// NosleepAnalyzer keeps the request path latency-honest: the configured
+// handler functions (the per-session dispatch chain and the metrics hot
+// path) must not call blocking time primitives — a stray time.Sleep in a
+// handler shows up as mystery tail latency that no amount of histogram
+// reading will explain. Goroutines launched from a handler are off the
+// request path and exempt (`go` subtrees are skipped).
+//
+// The check audits direct calls in the configured functions only; it does
+// not chase the call graph. Register every request-path function in
+// trodlint.yaml's nosleep.handlers list.
+var NosleepAnalyzer = &Analyzer{
+	Name: "nosleep",
+	Doc:  "forbids blocking time primitives in request-path handlers",
+	Run:  runNosleep,
+}
+
+func runNosleep(pass *Pass) {
+	cfg := pass.Config.Nosleep
+	if len(cfg.Handlers) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			name := funcName(pass.TypesInfo.Defs[fd.Name])
+			if !matchName(name, cfg.Handlers) {
+				continue
+			}
+			inspectOnPath(fd.Body, func(call *ast.CallExpr) {
+				if callee := calleeName(pass.TypesInfo, call); matchName(callee, cfg.Forbidden) {
+					pass.Report(call.Pos(), "call to %s on the request path (%s); blocking here is invisible tail latency — move it off-path or behind a goroutine", callee, name)
+				}
+			})
+		}
+	}
+}
+
+// inspectOnPath walks the handler body, visiting calls that execute on the
+// request path: everything except the bodies of `go` statements, which hand
+// the work to another goroutine.
+func inspectOnPath(body ast.Node, visit func(*ast.CallExpr)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			visit(n)
+		}
+		return true
+	})
+}

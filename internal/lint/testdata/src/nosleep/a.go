@@ -1,0 +1,33 @@
+// Fixture for the nosleep analyzer. Config for this fixture:
+// handlers = [nosleep.session.*], forbidden = [time.Sleep, time.Tick].
+package nosleep
+
+import "time"
+
+type session struct{}
+
+func (s *session) handle() {
+	time.Sleep(time.Millisecond) // want `call to time.Sleep on the request path \(nosleep.session.handle\)`
+	go func() {
+		time.Sleep(time.Millisecond) // ok: handed to another goroutine
+	}()
+	s.execSQL()
+}
+
+func (s *session) execSQL() {
+	<-time.Tick(time.Second) // want `call to time.Tick on the request path \(nosleep.session.execSQL\)`
+}
+
+func (s *session) timersAreFine() {
+	t := time.NewTimer(time.Second) // ok: arming a timer does not block
+	defer t.Stop()
+}
+
+func (s *session) allowedPause() {
+	//trodlint:allow nosleep -- fixture: deliberate backpressure pause
+	time.Sleep(time.Millisecond)
+}
+
+func backgroundLoop() {
+	time.Sleep(time.Second) // ok: not a configured handler
+}

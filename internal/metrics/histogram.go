@@ -1,0 +1,217 @@
+package metrics
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// stripeCount is the number of independent shards an observation can land
+// in. Power of two so the round-robin pick is a mask, sized for the
+// small-core containers this runs in — contention halves with each stripe,
+// and merging 8 at scrape time is still trivial.
+const stripeCount = 8
+
+// stripe is one shard of a histogram. The trailing pad keeps adjacent
+// stripes off the same cache line so two cores observing concurrently do
+// not false-share.
+type stripe struct {
+	mu     sync.Mutex
+	counts []uint64
+	sum    float64
+	n      uint64
+	_      [32]byte
+}
+
+// Histogram is a fixed-bucket latency histogram. Observe is allocation-free
+// and lock-striped: the bucket index is found by binary search over the
+// immutable bounds, then one of stripeCount shards (picked round-robin off
+// an atomic counter) is locked just long enough to bump three words.
+// Scrapes merge all stripes, so cumulative bucket counts, _sum, and _count
+// are mutually consistent per stripe and never lose observations.
+type Histogram struct {
+	name   string
+	help   string
+	labels string // optional pre-rendered label pairs, e.g. `type="query"`
+	bounds []float64
+	next   atomic.Uint64
+	strs   [stripeCount]stripe
+}
+
+// DefLatencyBuckets spans 50µs to 10s — wide enough for loopback RTTs at
+// the bottom and quorum-timeout stalls at the top. Values are seconds.
+var DefLatencyBuckets = []float64{
+	0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 10,
+}
+
+// NewHistogram builds a histogram with the given upper bounds (ascending,
+// +Inf implicit). Bounds are copied; the slice is immutable afterwards.
+func NewHistogram(name, help string, bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefLatencyBuckets
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic("metrics: histogram bounds must be ascending: " + name)
+	}
+	h := &Histogram{name: name, help: help, bounds: append([]float64(nil), bounds...)}
+	for i := range h.strs {
+		h.strs[i].counts = make([]uint64, len(h.bounds)+1)
+	}
+	return h
+}
+
+func (h *Histogram) Name() string { return h.name }
+
+// Observe records one value. Allocation-free; see the type comment for the
+// locking story.
+func (h *Histogram) Observe(v float64) {
+	// First bucket whose upper bound is >= v (hand-rolled so the closure
+	// in sort.SearchFloat64s cannot escape).
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	s := &h.strs[h.next.Add(1)&(stripeCount-1)]
+	s.mu.Lock()
+	s.counts[lo]++
+	s.sum += v
+	s.n++
+	s.mu.Unlock()
+}
+
+// ObserveSince records the elapsed time since t0, in seconds.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	h.Observe(time.Since(t0).Seconds())
+}
+
+// Snapshot merges all stripes: per-bucket (non-cumulative) counts, the sum
+// of observed values, and the total observation count.
+func (h *Histogram) Snapshot() (counts []uint64, sum float64, n uint64) {
+	counts = make([]uint64, len(h.bounds)+1)
+	for i := range h.strs {
+		s := &h.strs[i]
+		s.mu.Lock()
+		for j, c := range s.counts {
+			counts[j] += c
+		}
+		sum += s.sum
+		n += s.n
+		s.mu.Unlock()
+	}
+	return counts, sum, n
+}
+
+func (h *Histogram) write(b *strings.Builder) {
+	header(b, h.name, h.help, "histogram")
+	h.writeSeries(b)
+}
+
+// writeSeries renders the cumulative _bucket / _sum / _count lines without
+// the family header, so HistogramVec can share one header across children.
+func (h *Histogram) writeSeries(b *strings.Builder) {
+	counts, sum, n := h.Snapshot()
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += counts[i]
+		h.bucketLine(b, formatFloat(bound), cum)
+	}
+	h.bucketLine(b, "+Inf", n)
+	b.WriteString(h.name)
+	b.WriteString("_sum")
+	h.labelSuffix(b)
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(sum))
+	b.WriteByte('\n')
+	b.WriteString(h.name)
+	b.WriteString("_count")
+	h.labelSuffix(b)
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatUint(n, 10))
+	b.WriteByte('\n')
+}
+
+func (h *Histogram) bucketLine(b *strings.Builder, le string, v uint64) {
+	b.WriteString(h.name)
+	b.WriteString("_bucket{")
+	if h.labels != "" {
+		b.WriteString(h.labels)
+		b.WriteByte(',')
+	}
+	b.WriteString(`le="`)
+	b.WriteString(le)
+	b.WriteString(`"} `)
+	b.WriteString(strconv.FormatUint(v, 10))
+	b.WriteByte('\n')
+}
+
+func (h *Histogram) labelSuffix(b *strings.Builder) {
+	if h.labels != "" {
+		b.WriteByte('{')
+		b.WriteString(h.labels)
+		b.WriteByte('}')
+	}
+}
+
+// HistogramVec is a family of histograms distinguished by one label (e.g.
+// per-message-type request latency). With is intended for setup time —
+// callers on the hot path hold on to the returned *Histogram. Children
+// render in sorted label order under a single family header.
+type HistogramVec struct {
+	name   string
+	help   string
+	label  string
+	bounds []float64
+
+	mu       sync.Mutex
+	children map[string]*Histogram
+}
+
+func NewHistogramVec(name, help, label string, bounds []float64) *HistogramVec {
+	return &HistogramVec{
+		name: name, help: help, label: label, bounds: bounds,
+		children: make(map[string]*Histogram),
+	}
+}
+
+func (v *HistogramVec) Name() string { return v.name }
+
+// With returns the child histogram for the given label value, creating it
+// on first use. Not for per-observation use: resolve once, keep the result.
+func (v *HistogramVec) With(value string) *Histogram {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h, ok := v.children[value]; ok {
+		return h
+	}
+	h := NewHistogram(v.name, v.help, v.bounds)
+	h.labels = v.label + `="` + EscapeLabel(value) + `"`
+	v.children[value] = h
+	return h
+}
+
+func (v *HistogramVec) write(b *strings.Builder) {
+	header(b, v.name, v.help, "histogram")
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	hs := make([]*Histogram, 0, len(keys))
+	sort.Strings(keys)
+	for _, k := range keys {
+		hs = append(hs, v.children[k])
+	}
+	v.mu.Unlock()
+	for _, h := range hs {
+		h.writeSeries(b)
+	}
+}

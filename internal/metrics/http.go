@@ -1,0 +1,63 @@
+package metrics
+
+import (
+	"net"
+	"net/http"
+	"time"
+)
+
+// HTTPServer serves /metrics (the registry's text exposition) and /healthz
+// (200 "ok" while serving, 503 with the health error's message while
+// draining) on its own listener, off to the side of the wire protocol.
+type HTTPServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Handler returns the /metrics + /healthz mux without a listener, for
+// tests and embedding. health reports nil while the process should take
+// traffic; a non-nil error flips /healthz to 503 with the error text —
+// which is how a load balancer or the CI smoke sees a drain begin before
+// the wire listener closes.
+func Handler(reg *Registry, health func() error) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WriteText(w); err != nil {
+			// Client went away mid-scrape; nothing to clean up.
+			return
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if health != nil {
+			if err := health(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+// ServeHTTP listens on addr (":0" picks a free port) and serves the
+// registry until Close.
+func ServeHTTP(addr string, reg *Registry, health func() error) (*HTTPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{
+		Handler:           Handler(reg, health),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() { _ = srv.Serve(ln) }()
+	return &HTTPServer{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound address, e.g. "127.0.0.1:39211".
+func (s *HTTPServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and any in-flight scrape handlers.
+func (s *HTTPServer) Close() error { return s.srv.Close() }

@@ -1,0 +1,269 @@
+// Package metrics is a stdlib-only metrics registry rendered in the
+// Prometheus text exposition format (version 0.0.4). It exists so every
+// layer of the stack — server, storage, replication, tracer — can export
+// counters, gauges, and latency histograms over HTTP without pulling in a
+// client library the container doesn't have.
+//
+// Design constraints, in order:
+//
+//   - The hot path (Counter.Inc, Histogram.Observe) is allocation-free and
+//     never takes a lock shared with the scrape path for longer than a few
+//     array increments. Histograms are lock-striped: an observation picks a
+//     stripe round-robin off an atomic counter, so concurrent observers
+//     rarely contend and a scrape merging all stripes blocks any one
+//     observer only briefly.
+//   - Rendering is deterministic: families appear in registration order,
+//     labeled children in sorted label order, so golden tests and diffing
+//     two scrapes both work.
+//   - Metric names follow the Prometheus conventions the README documents:
+//     `trod_<subsystem>_<name>_<unit>`, counters end in `_total`, durations
+//     are in seconds.
+package metrics
+
+import (
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// A Metric is anything the registry can render. Implementations in this
+// package: Counter, Gauge, Func (counter/gauge read at scrape time),
+// Histogram, HistogramVec, and Collector (dynamic labeled series).
+type Metric interface {
+	// Name returns the family name, used for duplicate detection.
+	Name() string
+	// write appends the family's # HELP / # TYPE header and samples.
+	write(b *strings.Builder)
+}
+
+// Registry holds registered metrics and renders them on demand. The zero
+// value is not usable; call NewRegistry.
+type Registry struct {
+	mu    sync.Mutex
+	order []Metric
+	names map[string]bool
+}
+
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]bool)}
+}
+
+// Register adds m to the registry. Registering two families with the same
+// name is a programming error and panics.
+func (r *Registry) Register(m Metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[m.Name()] {
+		panic("metrics: duplicate registration of " + m.Name())
+	}
+	r.names[m.Name()] = true
+	r.order = append(r.order, m)
+}
+
+// WriteText renders every registered family in registration order.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	ms := make([]Metric, len(r.order))
+	copy(ms, r.order)
+	r.mu.Unlock()
+	var b strings.Builder
+	for _, m := range ms {
+		m.write(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Convenience constructors that register in one step.
+
+func (r *Registry) Counter(name, help string) *Counter {
+	c := NewCounter(name, help)
+	r.Register(c)
+	return c
+}
+
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := NewGauge(name, help)
+	r.Register(g)
+	return g
+}
+
+func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
+	r.Register(NewCounterFunc(name, help, fn))
+}
+
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.Register(NewGaugeFunc(name, help, fn))
+}
+
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	h := NewHistogram(name, help, bounds)
+	r.Register(h)
+	return h
+}
+
+func (r *Registry) HistogramVec(name, help, label string, bounds []float64) *HistogramVec {
+	v := NewHistogramVec(name, help, label, bounds)
+	r.Register(v)
+	return v
+}
+
+func (r *Registry) Collector(name, help, typ string, fn func() []Sample) {
+	r.Register(&Collector{name: name, help: help, typ: typ, fn: fn})
+}
+
+// header writes the # HELP / # TYPE preamble for a family.
+func header(b *strings.Builder, name, help, typ string) {
+	b.WriteString("# HELP ")
+	b.WriteString(name)
+	b.WriteByte(' ')
+	b.WriteString(escapeHelp(help))
+	b.WriteString("\n# TYPE ")
+	b.WriteString(name)
+	b.WriteByte(' ')
+	b.WriteString(typ)
+	b.WriteByte('\n')
+}
+
+// escapeHelp escapes backslash and newline per the exposition format.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// EscapeLabel escapes a label value per the exposition format (backslash,
+// double quote, newline). Use it when building Sample.Labels from
+// free-form strings.
+func EscapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatFloat renders a sample value the way Prometheus expects: shortest
+// representation that round-trips, +Inf spelled literally.
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// Counter is a monotonically increasing uint64. Inc/Add are lock-free.
+type Counter struct {
+	v    atomic.Uint64
+	name string
+	help string
+}
+
+func NewCounter(name, help string) *Counter {
+	return &Counter{name: name, help: help}
+}
+
+func (c *Counter) Inc()          { c.v.Add(1) }
+func (c *Counter) Add(n uint64)  { c.v.Add(n) }
+func (c *Counter) Value() uint64 { return c.v.Load() }
+func (c *Counter) Name() string  { return c.name }
+
+func (c *Counter) write(b *strings.Builder) {
+	header(b, c.name, c.help, "counter")
+	b.WriteString(c.name)
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatUint(c.v.Load(), 10))
+	b.WriteByte('\n')
+}
+
+// Gauge is a value that can go up and down. Set/Add/Inc/Dec are lock-free.
+type Gauge struct {
+	v    atomic.Int64
+	name string
+	help string
+}
+
+func NewGauge(name, help string) *Gauge {
+	return &Gauge{name: name, help: help}
+}
+
+func (g *Gauge) Set(v int64)  { g.v.Store(v) }
+func (g *Gauge) Add(d int64)  { g.v.Add(d) }
+func (g *Gauge) Inc()         { g.v.Add(1) }
+func (g *Gauge) Dec()         { g.v.Add(-1) }
+func (g *Gauge) Value() int64 { return g.v.Load() }
+func (g *Gauge) Name() string { return g.name }
+
+func (g *Gauge) write(b *strings.Builder) {
+	header(b, g.name, g.help, "gauge")
+	b.WriteString(g.name)
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatInt(g.v.Load(), 10))
+	b.WriteByte('\n')
+}
+
+// Func is a counter or gauge whose value is read at scrape time — the
+// bridge for subsystems that already keep their own counters (WAL fsyncs,
+// plan-cache hits) and should not be made to double-count.
+type Func struct {
+	name string
+	help string
+	typ  string
+	fn   func() float64
+}
+
+func NewCounterFunc(name, help string, fn func() uint64) *Func {
+	return &Func{name: name, help: help, typ: "counter", fn: func() float64 { return float64(fn()) }}
+}
+
+func NewGaugeFunc(name, help string, fn func() float64) *Func {
+	return &Func{name: name, help: help, typ: "gauge", fn: fn}
+}
+
+func (f *Func) Name() string { return f.name }
+
+func (f *Func) write(b *strings.Builder) {
+	header(b, f.name, f.help, f.typ)
+	b.WriteString(f.name)
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(f.fn()))
+	b.WriteByte('\n')
+}
+
+// Sample is one labeled observation emitted by a Collector.
+type Sample struct {
+	// Labels is the pre-rendered label pairs without braces, e.g.
+	// `subscriber="0"`. Values built from free-form strings should pass
+	// through EscapeLabel.
+	Labels string
+	Value  float64
+}
+
+// Collector renders a dynamic set of labeled samples under one family —
+// used for series whose label set changes at runtime, like per-subscriber
+// replication lag. fn is called at scrape time.
+type Collector struct {
+	name string
+	help string
+	typ  string
+	fn   func() []Sample
+}
+
+func (c *Collector) Name() string { return c.name }
+
+func (c *Collector) write(b *strings.Builder) {
+	header(b, c.name, c.help, c.typ)
+	for _, s := range c.fn() {
+		b.WriteString(c.name)
+		if s.Labels != "" {
+			b.WriteByte('{')
+			b.WriteString(s.Labels)
+			b.WriteByte('}')
+		}
+		b.WriteByte(' ')
+		b.WriteString(formatFloat(s.Value))
+		b.WriteByte('\n')
+	}
+}

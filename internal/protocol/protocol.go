@@ -266,6 +266,23 @@ type Stats struct {
 	ResidentVersions uint64
 	MaxChainLength   uint64
 
+	// Engine-level commit accounting (db.CommitStats): unlike the server's
+	// Commits/Conflicts these count every OCC validation outcome — internal
+	// writers and autocommit retries included — so DBConflicts/DBCommits is
+	// the true conflict rate under a hot-key storm. Checkpoints counts
+	// completed checkpoint runs; QuorumStalls counts commits whose replica
+	// quorum ack timed out.
+	DBCommits    uint64
+	DBConflicts  uint64
+	Checkpoints  uint64
+	QuorumStalls uint64
+
+	// Tracer counters: provenance events captured, events dropped at a full
+	// ring buffer, and batches flushed to the provenance database.
+	TracerEvents  uint64
+	TracerDrops   uint64
+	TracerFlushes uint64
+
 	// SubscriberLags describes each live replication stream the node serves
 	// (a primary's per-subscriber view); empty on replicas and on primaries
 	// with no subscribers.
@@ -543,6 +560,8 @@ func (s *Stats) fields() []*uint64 {
 		&s.Epoch, &s.Fenced,
 		&s.VacuumRuns, &s.VacuumDropped, &s.HistoryFloor,
 		&s.ResidentVersions, &s.MaxChainLength,
+		&s.DBCommits, &s.DBConflicts, &s.Checkpoints, &s.QuorumStalls,
+		&s.TracerEvents, &s.TracerDrops, &s.TracerFlushes,
 	}
 }
 

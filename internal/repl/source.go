@@ -127,6 +127,10 @@ type Source struct {
 	subscribers atomic.Int64
 	streamed    atomic.Uint64 // commit records shipped, all subscribers
 
+	// quorumStalls counts commits whose quorum ack timed out (typed
+	// quorum-unavailable surfaced to the writer); see QuorumStalls.
+	quorumStalls atomic.Uint64
+
 	// Ack tracking: one subAck per live subscriber stream, updated by its
 	// ack-reader goroutine. ackWait is closed-and-replaced on every update
 	// (a broadcast quorum waiters and Stats can select on with a timeout,
@@ -304,11 +308,18 @@ func (s *Source) waitQuorum(seq uint64) error {
 		select {
 		case <-wait:
 		case <-timer.C:
+			s.quorumStalls.Add(1)
 			return fmt.Errorf("repl: commit %d not confirmed by %d replicas within %v (%d connected): %w",
 				seq, s.opts.SyncReplicas, s.opts.QuorumTimeout, connected, db.ErrQuorumUnavailable)
 		}
 	}
 }
+
+// QuorumStalls reports commits whose quorum acknowledgement timed out (each
+// surfaced to its writer as a typed quorum-unavailable error). A non-zero
+// rate here is the primary signal that SyncReplicas is set higher than the
+// live replica set can sustain.
+func (s *Source) QuorumStalls() uint64 { return s.quorumStalls.Load() }
 
 // SubscriberLags snapshots every live subscriber's acknowledgement progress
 // against head (the node's current commit sequence), most-caught-up first.

@@ -1,0 +1,271 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/protocol"
+)
+
+// timedConn stamps the arrival time of the first byte of each request frame.
+// Request latency measured from that stamp includes the time spent reading
+// the frame itself — a slow client, a large frame, or a session goroutine
+// busy with the previous request all show up, where timing from after the
+// frame decode would hide them. Only the session goroutine touches
+// armed/start (deadline pokes from Shutdown go through the embedded Conn).
+type timedConn struct {
+	net.Conn
+	armed bool
+	start time.Time
+}
+
+func (t *timedConn) Read(p []byte) (int, error) {
+	n, err := t.Conn.Read(p)
+	if n > 0 && t.armed {
+		t.armed = false
+		t.start = time.Now()
+	}
+	return n, err
+}
+
+// arm marks the next byte read as the start of a new frame.
+func (t *timedConn) arm() { t.armed = true }
+
+// frameStart returns the current frame's first-byte time; ok is false when
+// no byte has arrived since arm (nothing was read).
+func (t *timedConn) frameStart() (time.Time, bool) {
+	return t.start, !t.armed && !t.start.IsZero()
+}
+
+// msgTypeName labels request types for the per-type latency histogram and
+// the slow-query log.
+func msgTypeName(t protocol.MsgType) string {
+	switch t {
+	case protocol.MsgPing:
+		return "ping"
+	case protocol.MsgQuery:
+		return "query"
+	case protocol.MsgExec:
+		return "exec"
+	case protocol.MsgBegin:
+		return "begin"
+	case protocol.MsgCommit:
+		return "commit"
+	case protocol.MsgRollback:
+		return "rollback"
+	case protocol.MsgStats:
+		return "stats"
+	case protocol.MsgPromote:
+		return "promote"
+	default:
+		return "other"
+	}
+}
+
+// newInstruments builds the server's always-on instruments. They exist
+// whether or not a metrics registry is attached — Observe on an
+// unregistered histogram is just as cheap, and Stats/tests read them
+// directly.
+func (s *Server) newInstruments() {
+	s.latVec = metrics.NewHistogramVec("trod_server_request_seconds",
+		"Request latency from the first byte of the request frame through the response write, by message type.",
+		"type", nil)
+	s.latByType = make(map[protocol.MsgType]*metrics.Histogram)
+	for _, t := range []protocol.MsgType{
+		protocol.MsgPing, protocol.MsgQuery, protocol.MsgExec, protocol.MsgBegin,
+		protocol.MsgCommit, protocol.MsgRollback, protocol.MsgStats, protocol.MsgPromote,
+	} {
+		s.latByType[t] = s.latVec.With(msgTypeName(t))
+	}
+	s.latOther = s.latVec.With("other")
+	s.queueWaitHist = metrics.NewHistogram("trod_server_queue_wait_seconds",
+		"Time a connection spent waiting for a session slot in the admission queue (timed-out waiters included).",
+		nil)
+}
+
+// observeRequest records one served request's end-to-end latency.
+func (s *Server) observeRequest(t protocol.MsgType, d time.Duration) {
+	h, ok := s.latByType[t]
+	if !ok {
+		h = s.latOther
+	}
+	h.Observe(d.Seconds())
+}
+
+// RegisterMetrics exports the server's gauges, counters, and latency
+// histograms on reg (trod_server_*), plus the replication series of
+// whichever role is attached (trod_repl_*). Call once, before serving.
+func (s *Server) RegisterMetrics(reg *metrics.Registry) {
+	reg.GaugeFunc("trod_server_active_sessions",
+		"Sessions currently being served.",
+		func() float64 {
+			s.mu.Lock()
+			n := len(s.sessions)
+			s.mu.Unlock()
+			return float64(n)
+		})
+	reg.GaugeFunc("trod_server_active_txns",
+		"Interactive transactions currently open.",
+		func() float64 { return float64(max(s.activeTxns.Load(), 0)) })
+	reg.GaugeFunc("trod_server_queued_conns",
+		"Connections waiting in the admission queue.",
+		func() float64 { return float64(max(s.waiters.Load(), 0)) })
+	reg.CounterFunc("trod_server_accepted_total",
+		"Connections admitted as sessions.",
+		func() uint64 { return s.accepted.Load() })
+	reg.CounterFunc("trod_server_rejected_busy_total",
+		"Connections refused with a typed busy error (queue full or queue-wait timeout).",
+		func() uint64 { return s.rejectedBusy.Load() })
+	reg.CounterFunc("trod_server_requests_total",
+		"Protocol requests served (every frame, transaction control included).",
+		func() uint64 { return s.requests.Load() })
+	reg.CounterFunc("trod_server_commits_total",
+		"Client-visible commits acknowledged (interactive commits and writing autocommit statements).",
+		func() uint64 { return s.commits.Load() })
+	reg.CounterFunc("trod_server_conflicts_total",
+		"Requests answered with a typed serialization-conflict error.",
+		func() uint64 { return s.conflicts.Load() })
+	reg.CounterFunc("trod_server_expired_txns_total",
+		"Interactive transactions rolled back by the server-side deadline.",
+		func() uint64 { return s.expiredTxns.Load() })
+	reg.Register(s.latVec)
+	reg.Register(s.queueWaitHist)
+
+	if src := s.cfg.Source; src != nil {
+		reg.GaugeFunc("trod_repl_subscribers",
+			"Live replication subscriber streams served.",
+			func() float64 { return float64(src.Subscribers()) })
+		reg.CounterFunc("trod_repl_streamed_commits_total",
+			"Commit records shipped to subscribers, summed over all streams.",
+			func() uint64 { return src.StreamedCommits() })
+		reg.CounterFunc("trod_repl_quorum_stalls_total",
+			"Commits whose replica-quorum acknowledgement timed out (typed quorum-unavailable).",
+			src.QuorumStalls)
+		reg.Collector("trod_repl_subscriber_lag_seqs",
+			"Commits each live subscriber trails the head by (subscriber index orders by ack progress, most caught-up first).",
+			"gauge", func() []metrics.Sample {
+				lags := src.SubscriberLags(s.cfg.DB.Store().CurrentSeq())
+				out := make([]metrics.Sample, len(lags))
+				for i, l := range lags {
+					out[i] = metrics.Sample{
+						Labels: `subscriber="` + strconv.Itoa(i) + `"`,
+						Value:  float64(l.LagSeqs),
+					}
+				}
+				return out
+			})
+		reg.Collector("trod_repl_subscriber_last_ack_age_seconds",
+			"Seconds since each live subscriber's last acknowledgement.",
+			"gauge", func() []metrics.Sample {
+				lags := src.SubscriberLags(s.cfg.DB.Store().CurrentSeq())
+				out := make([]metrics.Sample, len(lags))
+				for i, l := range lags {
+					out[i] = metrics.Sample{
+						Labels: `subscriber="` + strconv.Itoa(i) + `"`,
+						Value:  float64(l.LastAckAgeMs) / 1000,
+					}
+				}
+				return out
+			})
+	}
+	if e := s.epochState(); e != nil {
+		reg.GaugeFunc("trod_repl_epoch",
+			"The node's replication epoch (bumped by every promotion).",
+			func() float64 { return float64(e.Current()) })
+		reg.GaugeFunc("trod_repl_fenced",
+			"1 when the node observed a higher epoch and refuses writes.",
+			func() float64 {
+				if e.Fenced() {
+					return 1
+				}
+				return 0
+			})
+	}
+	if r := s.cfg.Replica; r != nil {
+		reg.GaugeFunc("trod_repl_applied_seq",
+			"Commit sequence this replica has applied.",
+			func() float64 { return float64(r.AppliedSeq()) })
+		reg.GaugeFunc("trod_repl_lag_seqs",
+			"Commits this replica trails the newest primary sequence it has heard of.",
+			func() float64 {
+				p, a := r.PrimarySeq(), r.AppliedSeq()
+				if p > a {
+					return float64(p - a)
+				}
+				return 0
+			})
+		reg.GaugeFunc("trod_repl_connected",
+			"1 while the replica's subscription to its primary is live.",
+			func() float64 {
+				if r.Connected() {
+					return 1
+				}
+				return 0
+			})
+	}
+}
+
+// slowLog serializes slow-query lines onto one writer: one JSON object per
+// line, concurrency-safe across sessions (mutex registered with trodlint's
+// lockhold). Emission happens only for statements past the threshold, off
+// the common path.
+type slowLog struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// slowEntry is one slow-query log line. ReqID is the provenance request ID
+// ("R<n>" with a runtime attached): resolve it in the provenance database
+// (trod_requests.ReqId) to get the full trace, then BeginAt/replay around
+// its commit — the "from slow query to time-travel debug" runbook in the
+// README.
+type slowEntry struct {
+	Time      string  `json:"ts"`
+	ReqID     string  `json:"req_id"`
+	Session   uint64  `json:"session"`
+	Type      string  `json:"type"`
+	LatencyMs float64 `json:"latency_ms"`
+	SQL       string  `json:"sql"`
+	Plan      string  `json:"plan,omitempty"`
+	Status    string  `json:"status"`
+}
+
+func (l *slowLog) emit(e slowEntry) {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	data = append(data, '\n')
+	l.mu.Lock()
+	_, _ = l.w.Write(data)
+	l.mu.Unlock()
+}
+
+// slowCheck emits a slow-query line for a just-served statement when the
+// slow-query log is enabled and the frame-to-response latency crossed the
+// threshold. Plan shape is computed here — a plan-cache lookup in the
+// common case, and only for statements already past the threshold.
+func (ss *session) slowCheck(req *protocol.Message, lat time.Duration) {
+	srv := ss.srv
+	if srv.slow == nil || lat < srv.cfg.SlowQueryThreshold {
+		return
+	}
+	if req.Type != protocol.MsgQuery && req.Type != protocol.MsgExec {
+		return
+	}
+	srv.slow.emit(slowEntry{
+		Time:      time.Now().UTC().Format(time.RFC3339Nano),
+		ReqID:     ss.lastReqID,
+		Session:   ss.id,
+		Type:      msgTypeName(req.Type),
+		LatencyMs: float64(lat.Microseconds()) / 1000,
+		SQL:       req.SQL,
+		Plan:      srv.cfg.DB.PlanShape(req.SQL),
+		Status:    ss.lastStatus,
+	})
+}

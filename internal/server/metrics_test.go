@@ -1,0 +1,257 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/db"
+	"repro/internal/metrics"
+	"repro/internal/runtime"
+	"repro/internal/trace"
+)
+
+// parseExposition reads Prometheus text output into series-name → value
+// (labels kept as part of the name, comments skipped).
+func parseExposition(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	out := map[string]float64{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("malformed value in %q: %v", line, err)
+		}
+		out[line[:i]] = v
+	}
+	return out
+}
+
+// TestStatsAndScrapeAgree drives traffic through a server that exports both
+// observability surfaces — the protocol Stats message and the Prometheus
+// registry — and asserts the overlapping counters agree exactly. The two
+// surfaces read the same underlying counters; this test keeps them from
+// drifting as either side grows.
+func TestStatsAndScrapeAgree(t *testing.T) {
+	d := db.MustOpenMemory()
+	defer d.Close()
+	srv, addr := startServer(t, d, Config{})
+	reg := metrics.NewRegistry()
+	d.RegisterMetrics(reg)
+	srv.RegisterMetrics(reg)
+
+	cl, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Exec(`CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		if _, err := cl.Exec(`INSERT INTO t VALUES (?, 'x')`, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := cl.Query(`SELECT COUNT(*) FROM t`); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	tx, err := cl.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(`INSERT INTO t VALUES (100, 'txn')`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// All client calls above completed synchronously, so the counters are
+	// quiescent: the scrape and the Stats snapshot must see identical values.
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	series := parseExposition(t, buf.String())
+	st := srv.Stats()
+
+	want := map[string]uint64{
+		"trod_server_requests_total":           st.Requests,
+		"trod_server_commits_total":            st.Commits,
+		"trod_server_accepted_total":           st.Accepted,
+		"trod_server_conflicts_total":          st.Conflicts,
+		"trod_server_rejected_busy_total":      st.RejectedBusy,
+		"trod_server_expired_txns_total":       st.ExpiredTxns,
+		"trod_db_commits_total":                st.DBCommits,
+		"trod_db_conflicts_total":              st.DBConflicts,
+		"trod_db_checkpoints_total":            st.Checkpoints,
+		"trod_wal_syncs_total":                 st.WALSyncs,
+		"trod_db_plan_cache_hits_total":        st.PlanCacheHits,
+		"trod_db_plan_cache_misses_total":      st.PlanCacheMisses,
+		"trod_db_resident_versions":            st.ResidentVersions,
+		"trod_db_max_chain_length":             st.MaxChainLength,
+		"trod_server_queue_wait_seconds_count": st.Accepted,
+	}
+	for name, v := range want {
+		got, ok := series[name]
+		if !ok {
+			t.Errorf("series %s missing from scrape", name)
+			continue
+		}
+		if got != float64(v) {
+			t.Errorf("%s = %v on /metrics, %d in Stats", name, got, v)
+		}
+	}
+	if st.Requests == 0 || st.Commits == 0 || st.DBCommits == 0 {
+		t.Fatalf("test drove no traffic? stats: %+v", st)
+	}
+
+	// Every protocol request served lands in exactly one per-type latency
+	// bucket, so the histogram counts sum to the request counter.
+	var observed float64
+	for name, v := range series {
+		if strings.HasPrefix(name, "trod_server_request_seconds_count{") {
+			observed += v
+		}
+	}
+	if observed != float64(st.Requests) {
+		t.Errorf("request_seconds histogram saw %v requests, Stats says %d", observed, st.Requests)
+	}
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer for capturing the slow-query
+// log while sessions are still writing it.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestSlowQueryLogLinksToProvenance runs a server with an attached runtime
+// and tracer and a 1ns slow-query threshold (everything is slow), then
+// checks each logged line carries the plan shape and a request ID that
+// resolves in the provenance database — the slow-query → time-travel
+// runbook's load-bearing link.
+func TestSlowQueryLogLinksToProvenance(t *testing.T) {
+	prod := db.MustOpenMemory()
+	defer prod.Close()
+	prov := db.MustOpenMemory()
+	defer prov.Close()
+	app := runtime.New(prod)
+	if err := prod.ExecScript(`CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.Attach(app, prov, trace.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	var slow syncBuffer
+	_, addr := startServer(t, prod, Config{
+		App:                app,
+		SlowQueryThreshold: time.Nanosecond,
+		SlowQueryOutput:    &slow,
+	})
+	cl, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Exec(`INSERT INTO t VALUES (1, 'remote')`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Query(`SELECT v FROM t WHERE id = 1`); err != nil {
+		t.Fatal(err)
+	}
+	tx, err := cl.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(`INSERT INTO t VALUES (2, 'txn')`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	type line struct {
+		ReqID     string  `json:"req_id"`
+		Type      string  `json:"type"`
+		LatencyMs float64 `json:"latency_ms"`
+		SQL       string  `json:"sql"`
+		Plan      string  `json:"plan"`
+		Status    string  `json:"status"`
+	}
+	var lines []line
+	for _, raw := range strings.Split(strings.TrimSpace(slow.String()), "\n") {
+		var l line
+		if err := json.Unmarshal([]byte(raw), &l); err != nil {
+			t.Fatalf("malformed slow-query line %q: %v", raw, err)
+		}
+		lines = append(lines, l)
+	}
+	// exec(insert), query(select), exec(insert in txn): three statements.
+	if len(lines) != 3 {
+		t.Fatalf("slow-query lines = %d, want 3:\n%s", len(lines), slow.String())
+	}
+	var sawSelect bool
+	for _, l := range lines {
+		if l.Status != "ok" || l.SQL == "" || l.LatencyMs <= 0 {
+			t.Errorf("bad slow-query line: %+v", l)
+		}
+		if !strings.HasPrefix(l.ReqID, "R") {
+			t.Errorf("req_id %q not from the app allocator", l.ReqID)
+		}
+		if strings.HasPrefix(l.SQL, "SELECT") {
+			sawSelect = true
+			if !strings.Contains(l.Plan, "scan(t") {
+				t.Errorf("SELECT plan shape = %q, want a scan of t", l.Plan)
+			}
+		}
+		// The load-bearing link: the logged request ID resolves in the
+		// provenance DB, where BeginAt/replay can pick the story up.
+		rows, err := prov.Query(`SELECT ReqId FROM trod_requests WHERE ReqId = ?`, l.ReqID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows.Rows) != 1 {
+			t.Errorf("req_id %q did not resolve in provenance (%d rows)", l.ReqID, len(rows.Rows))
+		}
+	}
+	if !sawSelect {
+		t.Error("no SELECT line in the slow-query log")
+	}
+}

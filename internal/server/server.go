@@ -33,12 +33,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/db"
+	"repro/internal/metrics"
 	"repro/internal/protocol"
 	"repro/internal/repl"
 	"repro/internal/runtime"
@@ -83,6 +85,17 @@ type Config struct {
 	// (write statements are already rejected by the read-only DB). Implied
 	// by Replica but also settable on its own.
 	ReadOnly bool
+	// TracerStats, when set, feeds the tracer counters (events, drops,
+	// flushes) into Stats and the metrics endpoint. A hook instead of a
+	// *trace.Tracer keeps the server package free of a tracer dependency.
+	TracerStats func() (events, drops, flushes uint64)
+	// SlowQueryThreshold enables the slow-query log: any query or exec
+	// statement whose frame-to-response latency meets or exceeds it emits
+	// one JSON line on SlowQueryOutput. Zero disables.
+	SlowQueryThreshold time.Duration
+	// SlowQueryOutput receives slow-query lines (required to enable the
+	// slow-query log; typically stderr or an opened log file).
+	SlowQueryOutput io.Writer
 }
 
 func (c *Config) withDefaults() Config {
@@ -136,6 +149,14 @@ type Server struct {
 	activeTxns   atomic.Int64
 	nextSession  atomic.Uint64
 	nextReqID    atomic.Uint64 // fallback allocator when no App is attached
+
+	// Always-on instruments (see metrics.go); registered on a metrics
+	// registry via RegisterMetrics when the operator asks for an endpoint.
+	latVec        *metrics.HistogramVec
+	latByType     map[protocol.MsgType]*metrics.Histogram
+	latOther      *metrics.Histogram
+	queueWaitHist *metrics.Histogram
+	slow          *slowLog // nil unless the slow-query log is enabled
 }
 
 // New returns an unstarted server; call Serve with a listener.
@@ -151,6 +172,10 @@ func New(cfg Config) (*Server, error) {
 		drainCh:  make(chan struct{}),
 	}
 	s.readOnly.Store(cfg.ReadOnly)
+	s.newInstruments()
+	if cfg.SlowQueryThreshold > 0 && cfg.SlowQueryOutput != nil {
+		s.slow = &slowLog{w: cfg.SlowQueryOutput}
+	}
 	return s, nil
 }
 
@@ -206,8 +231,10 @@ func (s *Server) admit(conn net.Conn) {
 		s.refuse(conn, protocol.CodeShutdown, "server is shutting down")
 		return
 	}
+	enqueued := time.Now()
 	select {
 	case s.slots <- struct{}{}:
+		s.queueWaitHist.ObserveSince(enqueued)
 	default:
 		// All slots busy: join the bounded admission queue.
 		if s.waiters.Add(1) > int64(s.cfg.QueueDepth) {
@@ -221,9 +248,14 @@ func (s *Server) admit(conn net.Conn) {
 		case s.slots <- struct{}{}:
 			timer.Stop()
 			s.waiters.Add(-1)
+			s.queueWaitHist.ObserveSince(enqueued)
 		case <-timer.C:
 			s.waiters.Add(-1)
 			s.rejectedBusy.Add(1)
+			// Timed-out waiters count too: their wait is real queueing
+			// experienced by clients, and hiding it would make the queue
+			// look fast exactly when it is saturated.
+			s.queueWaitHist.ObserveSince(enqueued)
 			s.refuse(conn, protocol.CodeBusy, "timed out waiting for a session slot")
 			return
 		case <-s.drainCh:
@@ -234,7 +266,7 @@ func (s *Server) admit(conn net.Conn) {
 		}
 	}
 	s.accepted.Add(1)
-	sess := &session{srv: s, conn: conn, id: s.nextSession.Add(1)}
+	sess := &session{srv: s, conn: &timedConn{Conn: conn}, id: s.nextSession.Add(1)}
 	s.mu.Lock()
 	s.sessions[sess] = struct{}{}
 	s.mu.Unlock()
@@ -349,9 +381,15 @@ func (s *Server) Stats() protocol.Stats {
 		PlanCacheHits:   pc.Hits,
 		PlanCacheMisses: pc.Misses,
 	}
+	st.DBCommits, st.DBConflicts = s.cfg.DB.CommitStats()
+	st.Checkpoints = s.cfg.DB.Checkpoints()
+	if s.cfg.TracerStats != nil {
+		st.TracerEvents, st.TracerDrops, st.TracerFlushes = s.cfg.TracerStats()
+	}
 	if src := s.cfg.Source; src != nil {
 		st.Subscribers = uint64(src.Subscribers())
 		st.SubscriberLags = src.SubscriberLags(s.cfg.DB.Store().CurrentSeq())
+		st.QuorumStalls = src.QuorumStalls()
 	}
 	if r := s.cfg.Replica; r != nil && !s.promoted.Load() {
 		st.IsReplica = 1
@@ -380,6 +418,12 @@ func (s *Server) Stats() protocol.Stats {
 	st.MaxChainLength = census.MaxChainLength
 	return st
 }
+
+// Draining reports whether Shutdown or Kill has begun. The metrics
+// endpoint's health check keys off it: a draining server answers /healthz
+// with 503 so load balancers stop routing to it while in-flight requests
+// finish.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // epochState resolves the node's replication-epoch state from whichever
 // replication role is attached (both share one Epoch on a node).
@@ -415,17 +459,31 @@ type session struct {
 	// errors.
 	tx       *db.Tx
 	txFinish func(any, error)
+	txReqID  string // provenance request ID of the open transaction
+
+	// Slow-query context for the statement just handled, recorded by
+	// execSQL and read by slowCheck after the response write. Session
+	// goroutine only.
+	lastReqID  string
+	lastStatus string
 }
 
 func (ss *session) workflow() string { return fmt.Sprintf("session-%d", ss.id) }
 
 // serve runs the session's request loop: one frame in, one frame out.
+// Request latency is measured from the first byte of the request frame
+// (stamped by timedConn) through the response write, so time a request
+// spends queued behind frame reads is part of what the histograms show.
 func (ss *session) serve() {
+	tc, _ := ss.conn.(*timedConn)
 	for {
 		if ss.srv.draining.Load() {
 			return
 		}
 		ss.conn.SetReadDeadline(time.Now().Add(ss.srv.cfg.IdleTimeout))
+		if tc != nil {
+			tc.arm()
+		}
 		req, err := protocol.ReadMessage(ss.conn, ss.srv.cfg.MaxFrame)
 		if err != nil {
 			// Disconnect, idle timeout, drain wake-up, or corrupt stream:
@@ -456,18 +514,28 @@ func (ss *session) serve() {
 			src.Serve(ss.conn, req, ss.srv.drainCh)
 			return
 		}
+		start := time.Now()
+		if tc != nil {
+			if t0, ok := tc.frameStart(); ok {
+				start = t0
+			}
+		}
 		resp := ss.handle(req)
 		ss.conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
-		if err := protocol.WriteMessage(ss.conn, resp); err != nil {
-			if errors.Is(err, protocol.ErrFrameTooLarge) {
-				// Nothing was written; answer with a typed error instead of
-				// silently dropping the session over an oversized result.
-				big := errMsg(protocol.CodeSQL,
-					"result set exceeds the %d-byte frame cap; narrow the query or add LIMIT", protocol.MaxFrame)
-				if protocol.WriteMessage(ss.conn, big) == nil {
-					continue
-				}
+		wErr := protocol.WriteMessage(ss.conn, resp)
+		if wErr != nil && errors.Is(wErr, protocol.ErrFrameTooLarge) {
+			// Nothing was written; answer with a typed error instead of
+			// silently dropping the session over an oversized result.
+			big := errMsg(protocol.CodeSQL,
+				"result set exceeds the %d-byte frame cap; narrow the query or add LIMIT", protocol.MaxFrame)
+			if protocol.WriteMessage(ss.conn, big) == nil {
+				wErr = nil
 			}
+		}
+		lat := time.Since(start)
+		ss.srv.observeRequest(req.Type, lat)
+		ss.slowCheck(req, lat)
+		if wErr != nil {
 			return
 		}
 	}
@@ -490,6 +558,7 @@ func (ss *session) endTxn(err error) {
 	}
 	ss.tx = nil
 	ss.txFinish = nil
+	ss.txReqID = ""
 	ss.srv.activeTxns.Add(-1)
 }
 
@@ -554,6 +623,7 @@ func (ss *session) begin() *protocol.Message {
 	srv := ss.srv
 	ss.tx = srv.cfg.DB.BeginInteractive(meta, srv.cfg.TxnTimeout, func() { srv.expiredTxns.Add(1) })
 	ss.txFinish = finish
+	ss.txReqID = reqID
 	srv.activeTxns.Add(1)
 	return &protocol.Message{Type: protocol.MsgTxState, TxnID: ss.tx.ID()}
 }
@@ -593,6 +663,7 @@ func (ss *session) execSQL(req *protocol.Message) *protocol.Message {
 	var rows *db.Rows
 	var err error
 	if ss.tx != nil {
+		ss.lastReqID = ss.txReqID
 		rows, err = ss.tx.Exec(req.SQL, args...)
 		if errors.Is(err, db.ErrTxnExpired) {
 			// The deadline watcher already rolled the transaction back;
@@ -601,6 +672,7 @@ func (ss *session) execSQL(req *protocol.Message) *protocol.Message {
 		}
 	} else {
 		reqID, finish := ss.srv.startRequest("remote", runtime.Args{"sql": req.SQL})
+		ss.lastReqID = reqID
 		meta := db.TxMeta{ReqID: reqID, Handler: "remote", Func: "autocommit", Workflow: ss.workflow()}
 		rows, err = ss.srv.cfg.DB.ExecMeta(meta, req.SQL, args...)
 		finish(nil, err)
@@ -608,6 +680,7 @@ func (ss *session) execSQL(req *protocol.Message) *protocol.Message {
 			ss.srv.commits.Add(1)
 		}
 	}
+	ss.lastStatus = statementStatus(err)
 	if err != nil {
 		return ss.sqlError(err)
 	}
@@ -618,6 +691,19 @@ func (ss *session) execSQL(req *protocol.Message) *protocol.Message {
 		resp.RowsAffected = int64(rows.RowsAffected)
 	}
 	return resp
+}
+
+// statementStatus classifies a statement outcome for the slow-query log.
+func statementStatus(err error) string {
+	var conflict *storage.ConflictError
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.As(err, &conflict):
+		return "conflict"
+	default:
+		return "error"
+	}
 }
 
 // sqlError maps an engine error to a typed protocol error.

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/db"
+	"repro/internal/metrics"
 	"repro/internal/provenance"
 	"repro/internal/runtime"
 	"repro/internal/storage"
@@ -41,6 +42,12 @@ type Config struct {
 	// statements otherwise make tracing cost proportional to rows scanned —
 	// the granularity/overhead balance §5 discusses.
 	MaxReadsPerStmt int
+	// MaxBuffered bounds the in-memory event ring (0 = unbounded, the
+	// historical behavior). When the flusher cannot keep up and the buffer
+	// is full, new events are dropped and counted (trod_tracer_drops_total)
+	// instead of growing the heap without limit — under an adversarial
+	// open-loop burst, losing provenance beats losing the server.
+	MaxBuffered int
 }
 
 // Tracer is the interposition layer instance.
@@ -65,6 +72,11 @@ type Tracer struct {
 	// stats
 	events  uint64
 	flushes uint64
+	drops   uint64
+
+	// flushHist times writer.ApplyBatch per drain — scrape-visible as
+	// trod_tracer_flush_seconds once RegisterMetrics wires it up.
+	flushHist *metrics.Histogram
 }
 
 // Attach wires a tracer between an application (runtime + production DB)
@@ -96,6 +108,8 @@ func Attach(app *runtime.App, prov *db.DB, cfg Config) (*Tracer, error) {
 		cfg:    cfg,
 		wake:   make(chan struct{}, 1),
 		done:   make(chan struct{}),
+		flushHist: metrics.NewHistogram("trod_tracer_flush_seconds",
+			"Latency of flushing one buffered event batch to the provenance database.", nil),
 	}
 
 	app.DB().SetHooks(db.Hooks{
@@ -139,8 +153,8 @@ func (t *Tracer) nextLogical() uint64 { return atomic.AddUint64(&t.logical, 1) }
 
 // push appends an event to the ring buffer — the request-path fast path.
 func (t *Tracer) push(ev provenance.Event) {
-	atomic.AddUint64(&t.events, 1)
 	if t.cfg.Sync {
+		atomic.AddUint64(&t.events, 1)
 		t.mu.Lock()
 		err := t.writer.ApplyBatch([]provenance.Event{ev})
 		if err != nil && t.err == nil {
@@ -150,12 +164,24 @@ func (t *Tracer) push(ev provenance.Event) {
 		return
 	}
 	t.mu.Lock()
+	if t.cfg.MaxBuffered > 0 && len(t.buf) >= t.cfg.MaxBuffered {
+		// Ring full: the flusher is behind. Dropping here keeps the CDC
+		// callback (which runs under the store lock) append-or-nothing.
+		t.mu.Unlock()
+		atomic.AddUint64(&t.drops, 1)
+		select {
+		case t.wake <- struct{}{}:
+		default:
+		}
+		return
+	}
 	if t.buf == nil {
 		t.buf = t.getBuf()
 	}
 	t.buf = append(t.buf, ev)
 	n := len(t.buf)
 	t.mu.Unlock()
+	atomic.AddUint64(&t.events, 1)
 	if n >= t.cfg.FlushBatch {
 		select {
 		case t.wake <- struct{}{}:
@@ -193,7 +219,10 @@ func (t *Tracer) drain() {
 	}
 	if len(batch) > 0 {
 		atomic.AddUint64(&t.flushes, 1)
-		if err := t.writer.ApplyBatch(batch); err != nil {
+		start := time.Now()
+		err := t.writer.ApplyBatch(batch)
+		t.flushHist.ObserveSince(start)
+		if err != nil {
 			t.mu.Lock()
 			if t.err == nil {
 				t.err = err
@@ -251,6 +280,29 @@ func (t *Tracer) Close() error {
 // Stats reports tracer counters (events captured, batch flushes).
 func (t *Tracer) Stats() (events, flushes uint64) {
 	return atomic.LoadUint64(&t.events), atomic.LoadUint64(&t.flushes)
+}
+
+// Counters reports the full counter set: events captured, events dropped at
+// a full ring (Config.MaxBuffered), and batch flushes. This is the shape
+// protocol.Stats and the metrics endpoint both consume, so the one-shot
+// -stats path and the scrape path cannot disagree.
+func (t *Tracer) Counters() (events, drops, flushes uint64) {
+	return atomic.LoadUint64(&t.events), atomic.LoadUint64(&t.drops), atomic.LoadUint64(&t.flushes)
+}
+
+// RegisterMetrics exports the tracer's counters and flush-latency histogram
+// on reg under the trod_tracer_* namespace.
+func (t *Tracer) RegisterMetrics(reg *metrics.Registry) {
+	reg.CounterFunc("trod_tracer_events_total",
+		"Provenance events captured by the interposition layer.",
+		func() uint64 { return atomic.LoadUint64(&t.events) })
+	reg.CounterFunc("trod_tracer_drops_total",
+		"Provenance events dropped because the ring buffer was full (MaxBuffered).",
+		func() uint64 { return atomic.LoadUint64(&t.drops) })
+	reg.CounterFunc("trod_tracer_flushes_total",
+		"Batches flushed to the provenance database.",
+		func() uint64 { return atomic.LoadUint64(&t.flushes) })
+	reg.Register(t.flushHist)
 }
 
 // --- runtime.Observer ------------------------------------------------------

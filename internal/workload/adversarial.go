@@ -1,0 +1,48 @@
+// Adversarial load shapes for the observability experiments: workloads
+// designed to light up the metrics the happy-path benchmarks never move —
+// commit-conflict storms and admission-queue pressure.
+package workload
+
+import (
+	"math/rand"
+	"time"
+)
+
+// HotKeySchema is the conflict-storm table: a handful of counters every
+// writer fights over.
+const HotKeySchema = `CREATE TABLE counters (k INTEGER PRIMARY KEY, n INTEGER);`
+
+// HotKeyPlan deals each worker a deterministic sequence of key choices over
+// a deliberately tiny key space. With keys << workers, concurrent
+// read-modify-write transactions collide constantly — an OCC conflict storm
+// that exercises the conflict counters and the retry-visible tail of the
+// latency histograms.
+func HotKeyPlan(workers, opsPerWorker, keys int, seed int64) [][]int {
+	plan := make([][]int, workers)
+	for w := range plan {
+		rng := rand.New(rand.NewSource(seed + int64(w)*6364136223846793005))
+		seq := make([]int, opsPerWorker)
+		for i := range seq {
+			seq[i] = rng.Intn(keys)
+		}
+		plan[w] = seq
+	}
+	return plan
+}
+
+// BurstArrivals builds an open-loop arrival schedule: `bursts` volleys of
+// `perBurst` connection arrivals each, the whole volley landing at the same
+// offset, with `gap` between volleys. Offsets are relative to the load start
+// and are honoured regardless of how far behind the server is — the defining
+// property of open-loop load, and the shape that actually fills the
+// admission queue and the queue-wait histogram.
+func BurstArrivals(bursts, perBurst int, gap time.Duration) []time.Duration {
+	offsets := make([]time.Duration, 0, bursts*perBurst)
+	for b := 0; b < bursts; b++ {
+		at := time.Duration(b) * gap
+		for i := 0; i < perBurst; i++ {
+			offsets = append(offsets, at)
+		}
+	}
+	return offsets
+}
