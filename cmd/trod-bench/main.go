@@ -114,11 +114,12 @@ type Snapshot struct {
 }
 
 // SnapshotObs records the observability experiment: the hot-key conflict
-// storm and the open-loop burst run, both scraped from the live /metrics
-// endpoint mid-run. The claims it pins: the scrape covers all four
-// instrumented layers while the server is saturated, every sampled
-// slow-query request ID resolves in the provenance database, and the
-// admission queue's behaviour is visible in the queue-wait histogram.
+// storm, the open-loop burst run, and the multi-tenant plan-cache pressure
+// run. The claims it pins: the scrape covers all four instrumented layers
+// while the server is saturated, every sampled slow-query request ID
+// resolves in the provenance database, the admission queue's behaviour is
+// visible in the queue-wait histogram, and span capture attributes the
+// plan-cache thrash to plan_compile time.
 type SnapshotObs struct {
 	HotKeyWorkers      int     `json:"hotkey_workers"`
 	HotKeyOps          int     `json:"hotkey_ops_per_worker"`
@@ -138,6 +139,15 @@ type SnapshotObs struct {
 	QueueWaitObserved  uint64  `json:"queue_wait_observed"`
 	QueueWaitAvgMs     float64 `json:"queue_wait_avg_ms"`
 	OpenLoopDurationMs float64 `json:"openloop_duration_ms"`
+	PlanCacheTenants   int     `json:"plancache_tenants"`
+	PlanCacheCap       int     `json:"plancache_cap"`
+	PlanCacheQueries   int     `json:"plancache_queries"`
+	PlanCacheHitPct    float64 `json:"plancache_hit_pct"`
+	PlanCacheResets    uint64  `json:"plancache_resets"`
+	PlanCacheTraces    int     `json:"plancache_traces_kept"`
+	PlanCompileMs      float64 `json:"plancache_compile_ms"`
+	PlanExecuteMs      float64 `json:"plancache_execute_ms"`
+	PlanCompileShare   float64 `json:"plancache_compile_share_pct"`
 }
 
 // SnapshotMVCC records the mixed analytics+OLTP run: long read-only scans
@@ -392,7 +402,7 @@ func writeSnapshot(path string) error {
 			StaleFenced:   fo.StaleFenced,
 		})
 	}
-	obs, err := experiments.RunObs(obsWorkers, obsOpsPerWorker, obsBursts, obsPerBurst)
+	obs, err := experiments.RunObs(obsWorkers, obsOpsPerWorker, obsBursts, obsPerBurst, obsTenants)
 	if err != nil {
 		return err
 	}
@@ -415,6 +425,15 @@ func writeSnapshot(path string) error {
 		QueueWaitObserved:  obs.OpenLoop.QueueWaitObs,
 		QueueWaitAvgMs:     obs.OpenLoop.QueueWaitAvgMs,
 		OpenLoopDurationMs: obs.OpenLoop.DurationMs,
+		PlanCacheTenants:   obs.PlanCache.Tenants,
+		PlanCacheCap:       obs.PlanCache.CacheCap,
+		PlanCacheQueries:   obs.PlanCache.Queries,
+		PlanCacheHitPct:    obs.PlanCache.HitPct,
+		PlanCacheResets:    obs.PlanCache.CacheResets,
+		PlanCacheTraces:    obs.PlanCache.TracesKept,
+		PlanCompileMs:      obs.PlanCache.PlanCompileMs,
+		PlanExecuteMs:      obs.PlanCache.ExecuteMs,
+		PlanCompileShare:   obs.PlanCache.CompileShare,
 	}
 	mv, err := experiments.RunMVCC(*writers, *readers, *writeTxns)
 	if err != nil {
@@ -648,19 +667,21 @@ const (
 	obsOpsPerWorker = 25
 	obsBursts       = 5
 	obsPerBurst     = 14
+	obsTenants      = 600
 )
 
 func runObs() error {
 	fmt.Println("OBS: adversarial observability workloads against the /metrics endpoint")
-	fmt.Println("    (hot-key OCC conflict storm + open-loop bursty arrivals; the endpoint")
-	fmt.Println("     is scraped mid-run and the slow-query log is resolved in provenance)")
-	fmt.Printf("workloads: %d workers x %d RMW ops over %d keys; %d bursts x %d arrivals\n\n",
-		obsWorkers, obsOpsPerWorker, 4, obsBursts, obsPerBurst)
-	res, err := experiments.RunObs(obsWorkers, obsOpsPerWorker, obsBursts, obsPerBurst)
+	fmt.Println("    (hot-key OCC conflict storm + open-loop bursty arrivals + multi-tenant")
+	fmt.Println("     plan-cache thrash; the endpoint is scraped mid-run, the slow-query log")
+	fmt.Println("     is resolved in provenance, and span capture locates the thrash)")
+	fmt.Printf("workloads: %d workers x %d RMW ops over %d keys; %d bursts x %d arrivals; %d tenants\n\n",
+		obsWorkers, obsOpsPerWorker, 4, obsBursts, obsPerBurst, obsTenants)
+	res, err := experiments.RunObs(obsWorkers, obsOpsPerWorker, obsBursts, obsPerBurst, obsTenants)
 	if err != nil {
 		return err
 	}
-	hk, ol := res.HotKey, res.OpenLoop
+	hk, ol, pc := res.HotKey, res.OpenLoop, res.PlanCache
 	fmt.Printf("--- hot-key conflict storm ---\n")
 	fmt.Printf("committed:        %d; conflicts surfaced: %d (%.1f%% of attempts) in %.1f ms\n",
 		hk.Committed, hk.Conflicts, hk.ConflictPct, hk.DurationMs)
@@ -676,8 +697,16 @@ func runObs() error {
 		ol.Arrivals, ol.Bursts, ol.Served, ol.RejectedBusy)
 	fmt.Printf("queue wait:       %d observations, avg %.2f ms (mid-run waiters gauge: %.0f)\n",
 		ol.QueueWaitObs, ol.QueueWaitAvgMs, ol.MidRunWaiters)
-	fmt.Println("\n-> the metrics surface stays coherent under saturation, and every slow")
-	fmt.Println("   statement links back to its provenance record for time-travel debugging")
+	fmt.Printf("\n--- multi-tenant plan-cache pressure (%d tenants vs %d-entry cache) ---\n",
+		pc.Tenants, pc.CacheCap)
+	fmt.Printf("queries:          %d by %d workers in %.1f ms\n", pc.Queries, pc.Workers, pc.DurationMs)
+	fmt.Printf("plan cache:       %.1f%% hit ratio (%d hits / %d misses), %d wholesale resets\n",
+		pc.HitPct, pc.CacheHits, pc.CacheMisses, pc.CacheResets)
+	fmt.Printf("span capture:     %d traces kept; plan_compile %.2f ms vs execute %.2f ms (%.1f%% of compile+execute)\n",
+		pc.TracesKept, pc.PlanCompileMs, pc.ExecuteMs, pc.CompileShare)
+	fmt.Println("\n-> the metrics surface stays coherent under saturation, every slow")
+	fmt.Println("   statement links back to its provenance record for time-travel debugging,")
+	fmt.Println("   and span capture pins the plan-cache thrash on plan_compile")
 	return nil
 }
 

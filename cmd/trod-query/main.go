@@ -25,15 +25,17 @@ import (
 	trod "repro"
 	"repro/internal/client"
 	"repro/internal/protocol"
+	"repro/internal/span"
 )
 
 var (
-	dbPath  = flag.String("db", "", "path to the database WAL file")
-	remote  = flag.String("remote", "", "trod-server address to connect to instead of opening -db")
-	timing  = flag.Bool("timing", false, "print per-query execution time")
-	stats   = flag.Bool("stats", false, "print the server's Stats response and exit (requires -remote)")
-	jsonOut = flag.Bool("json", false, "with -stats: print the stats as JSON")
-	promote = flag.Bool("promote", false, "promote the -remote replica to primary at the next epoch and exit")
+	dbPath   = flag.String("db", "", "path to the database WAL file")
+	remote   = flag.String("remote", "", "trod-server address to connect to instead of opening -db")
+	timing   = flag.Bool("timing", false, "print per-query execution time")
+	stats    = flag.Bool("stats", false, "print the server's Stats response and exit (requires -remote)")
+	jsonOut  = flag.Bool("json", false, "with -stats: print the stats as JSON")
+	promote  = flag.Bool("promote", false, "promote the -remote replica to primary at the next epoch and exit")
+	traceReq = flag.String("trace", "", "render the span tree of a kept trace by request ID and exit (requires -remote and server-side -trace-sample/-trace-keep-ms)")
 )
 
 // queryer runs one SQL statement; the local (embedded DB) and remote
@@ -87,6 +89,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "trod-query: -promote requires -remote")
 		flag.Usage()
 		os.Exit(2)
+	case *traceReq != "" && *remote == "":
+		fmt.Fprintln(os.Stderr, "trod-query: -trace requires -remote")
+		flag.Usage()
+		os.Exit(2)
 	case *remote != "":
 		c, err := client.Dial(*remote, client.Options{})
 		if err != nil {
@@ -109,6 +115,14 @@ func main() {
 				log.Fatalf("stats: %v", err)
 			}
 			printStats(st, *jsonOut)
+			return
+		}
+		if *traceReq != "" {
+			err := renderTrace(c, *traceReq)
+			c.Close()
+			if err != nil {
+				log.Fatalf("trace: %v", err)
+			}
 			return
 		}
 		q = remoteDB{c}
@@ -183,6 +197,56 @@ func runOne(q queryer, stmt string) error {
 	}
 	if *timing {
 		fmt.Printf("time: %.2f ms\n", float64(time.Since(t0).Microseconds())/1000)
+	}
+	return nil
+}
+
+// renderTrace fetches a kept trace's spans from the server's trod_spans
+// system table and prints the span tree with per-stage durations and the
+// critical path. Multiple traces can share a request ID only across retries;
+// the newest (highest trace ID) wins.
+func renderTrace(c *client.Client, reqID string) error {
+	res, err := c.Query(`SELECT trace_id, kind, status, span_id, parent_id, stage, start_us, dur_us, seq FROM trod_spans WHERE req_id = ?`, reqID)
+	if err != nil {
+		return err
+	}
+	if len(res.Rows) == 0 {
+		return fmt.Errorf("no kept trace for request %q (server needs -trace-sample or -trace-keep-ms, and the trace must have been kept)", reqID)
+	}
+	var newest int64
+	for _, row := range res.Rows {
+		if tid := row[0].AsInt(); tid > newest {
+			newest = tid
+		}
+	}
+	t := &span.Trace{TraceID: uint64(newest), ReqID: reqID}
+	for _, row := range res.Rows {
+		if row[0].AsInt() != newest {
+			continue
+		}
+		stage, ok := span.ParseStage(row[5].AsText())
+		if !ok {
+			continue
+		}
+		sp := span.Span{
+			ID:     uint32(row[3].AsInt()),
+			Parent: uint32(row[4].AsInt()),
+			Stage:  stage,
+			Start:  row[6].AsInt() * 1000,
+			Dur:    row[7].AsInt() * 1000,
+			Seq:    uint64(row[8].AsInt()),
+		}
+		if sp.ID == span.RootID {
+			t.Kind = row[1].AsText()
+			t.Status = row[2].AsText()
+			t.Wall = time.Duration(sp.Dur)
+			t.Seq = sp.Seq
+		}
+		t.Spans = append(t.Spans, sp)
+	}
+	fmt.Print(span.Render(t))
+	if t.Seq != 0 {
+		fmt.Printf("commit seq %d — replay it: trod-query -db <wal> \"...\" at BeginAt(%d), or inspect provenance via req_id\n", t.Seq, t.Seq)
 	}
 	return nil
 }

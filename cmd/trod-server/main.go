@@ -28,6 +28,17 @@
 // ID). With -prov the server attaches the always-on tracer: every remote
 // request is recorded in the given provenance database, and slow-query
 // request IDs resolve there (SELECT * FROM trod_requests WHERE ReqId = ...).
+//
+// With -trace-sample P and/or -trace-keep-ms N, requests are span-traced
+// across every layer (framing, parse/plan, execute, OCC validation, WAL
+// append/fsync, quorum wait) and tail-sampled at completion: errors,
+// conflicts, and requests slower than N ms are always kept, the rest with
+// probability P. Kept traces land in the in-memory trod_spans system table
+// (query it over SQL, or render one with trod-query -trace <req_id>), feed
+// the trod_span_stage_seconds histogram, and add a per-stage `spans`
+// breakdown to slow-query log lines. On a traced primary, replicated
+// commits carry the originating trace ID so replica-side apply spans
+// correlate with the request that caused them.
 package main
 
 import (
@@ -48,6 +59,7 @@ import (
 	"repro/internal/repl"
 	"repro/internal/runtime"
 	"repro/internal/server"
+	"repro/internal/span"
 	"repro/internal/trace"
 	"repro/internal/wal"
 )
@@ -70,6 +82,8 @@ var (
 	slowQueryMs = flag.Int("slow-query-ms", 0, "log statements slower than this many milliseconds as JSON lines on stderr (0 = disabled)")
 	provPath    = flag.String("prov", "", "provenance WAL path; attaches the always-on tracer (empty = disabled)")
 	lameDuck    = flag.Duration("lame-duck", 0, "on shutdown signal, answer /healthz with 503 for this long before draining")
+	traceSample = flag.Float64("trace-sample", 0, "probability (0..1) of keeping a request's span trace; errors and conflicts are always kept once tracing is on")
+	traceKeepMs = flag.Int("trace-keep-ms", 0, "always keep span traces of requests at least this slow (0 = disabled)")
 )
 
 func main() {
@@ -108,6 +122,19 @@ func main() {
 		cfg.SlowQueryThreshold = time.Duration(*slowQueryMs) * time.Millisecond
 		cfg.SlowQueryOutput = os.Stderr
 	}
+	// Request-scoped span tracing: tail-sampled traces land in the trod_spans
+	// system table (SELECT ... FROM trod_spans, or trod-query -trace <req_id>).
+	spanCol := span.NewCollector(span.CollectorOptions{
+		Sample:   *traceSample,
+		KeepOver: time.Duration(*traceKeepMs) * time.Millisecond,
+	})
+	if spanCol.Enabled() {
+		// Seed trace IDs from the clock so IDs from different nodes (and
+		// restarts) don't collide in cross-node trace queries.
+		spanCol.SeedTraceIDs(uint64(time.Now().UnixNano()))
+		cfg.Spans = spanCol
+		log.Printf("span tracing enabled: sample=%g keep-over=%dms", *traceSample, *traceKeepMs)
+	}
 	// Always-on tracing: requests, statements, and row provenance land in
 	// a second database, queryable with the same SQL engine. Slow-query
 	// request IDs resolve there.
@@ -138,7 +165,26 @@ func main() {
 	var replica *repl.Replica
 	if *replicaOf != "" {
 		d.SetReadOnly(true)
-		replica = repl.StartReplica(d, *replicaOf, repl.ReplicaOptions{Epoch: epoch})
+		ropts := repl.ReplicaOptions{Epoch: epoch}
+		if spanCol.Enabled() {
+			// Traced commits from the primary record their apply cost here,
+			// under the originating request's trace ID: querying this node's
+			// trod_spans by trace_id (or seq) shows the replica-side spans.
+			ropts.SpanSink = func(traceID, seq uint64, start time.Time, applyNs, walNs int64) {
+				buf := span.NewBuf(traceID, 0)
+				startNs := start.UnixNano()
+				buf.RecordNs(span.StageReplApply, span.RootID, startNs, applyNs, seq)
+				if walNs > 0 {
+					buf.RecordNs(span.StageReplWALAppend, span.RootID, startNs+applyNs, walNs, seq)
+				}
+				buf.NoteSeq(seq)
+				wall := time.Duration(applyNs + walNs)
+				buf.Finish(start, wall)
+				spanCol.Offer(&span.Trace{TraceID: traceID, Kind: "replica",
+					Status: "replica", Wall: wall, Start: start, Seq: seq, Spans: buf.Spans()})
+			}
+		}
+		replica = repl.StartReplica(d, *replicaOf, ropts)
 		defer replica.Stop()
 		cfg.Replica = replica
 		log.Printf("replicating from %s (resuming at seq %d, epoch %d)", *replicaOf, replica.AppliedSeq(), epoch.Current())
@@ -147,11 +193,17 @@ func main() {
 	// feed peers the moment it is promoted, and a deposed primary must
 	// answer stale subscribers with a typed fenced error. Source and
 	// Replica share the node's one epoch.
-	cfg.Source = repl.NewSource(d, repl.SourceOptions{
+	srcOpts := repl.SourceOptions{
 		Epoch:         epoch,
 		SyncReplicas:  *syncRepl,
 		QuorumTimeout: *quorumWait,
-	})
+	}
+	if spanCol.Enabled() {
+		// Outgoing log entries carry the originating request's trace ID so
+		// replicas can correlate their apply spans with the primary's trace.
+		srcOpts.TraceFor = spanCol.TraceForSeq
+	}
+	cfg.Source = repl.NewSource(d, srcOpts)
 	if epoch.Fenced() {
 		log.Printf("fenced: epoch %d is superseded by %d; this node cannot accept writes", epoch.Current(), epoch.FencedBy())
 	}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/protocol"
+	"repro/internal/span"
 	"repro/internal/value"
 )
 
@@ -41,6 +42,11 @@ type Options struct {
 	MaxConnIdle time.Duration
 	// MaxFrame caps response frame payloads (default protocol.MaxFrame).
 	MaxFrame int
+	// Collector, when set, enables client-side span tracing: each traced
+	// request records pool-checkout and round-trip spans and propagates its
+	// trace ID on the wire, so the server's spans for the same request share
+	// the trace. Completed client traces tail-sample into this collector.
+	Collector *span.Collector
 }
 
 func (o *Options) withDefaults() Options {
@@ -164,15 +170,99 @@ func (c *Client) roundtrip(cn *conn, req *protocol.Message) (*protocol.Message, 
 	return protocol.ReadMessage(cn.br, c.opts.MaxFrame)
 }
 
+// traced starts a client-side span buffer for req when tracing is enabled
+// and the request type is worth a trace, stamping the trace context onto the
+// request frame. Returns (nil, zero) on the disabled path — no allocations.
+func (c *Client) traced(req *protocol.Message) (*span.Buf, time.Time) {
+	col := c.opts.Collector
+	if !col.Enabled() {
+		return nil, time.Time{}
+	}
+	switch req.Type {
+	case protocol.MsgQuery, protocol.MsgExec, protocol.MsgBegin,
+		protocol.MsgCommit, protocol.MsgRollback:
+	default:
+		return nil, time.Time{}
+	}
+	buf := span.NewBuf(col.NextTraceID(), 0)
+	req.TraceID = buf.TraceID
+	req.ParentSpan = uint64(span.RootID)
+	return buf, time.Now()
+}
+
+// offerTrace completes a client-side trace and tail-samples it.
+func (c *Client) offerTrace(buf *span.Buf, req *protocol.Message, start time.Time, err error) {
+	if buf == nil {
+		return
+	}
+	lat := time.Since(start)
+	buf.Finish(start, lat)
+	status := "ok"
+	switch {
+	case protocol.IsConflict(err):
+		status = "conflict"
+	case err != nil:
+		status = "error"
+	}
+	c.opts.Collector.Offer(&span.Trace{
+		TraceID: buf.TraceID,
+		Kind:    reqKind(req.Type),
+		Status:  status,
+		Wall:    lat,
+		Start:   start,
+		Spans:   buf.Spans(),
+	})
+}
+
+// reqKind labels client traces by request type.
+func reqKind(t protocol.MsgType) string {
+	switch t {
+	case protocol.MsgQuery:
+		return "query"
+	case protocol.MsgExec:
+		return "exec"
+	case protocol.MsgBegin:
+		return "begin"
+	case protocol.MsgCommit:
+		return "commit"
+	case protocol.MsgRollback:
+		return "rollback"
+	default:
+		return "other"
+	}
+}
+
 // do runs one request on a pooled connection. Transport errors discard the
 // connection; server errors (MsgError) return it to the pool and surface as
 // *protocol.ServerError.
 func (c *Client) do(req *protocol.Message) (*protocol.Message, error) {
+	buf, start := c.traced(req)
+	resp, err := c.doRequest(req, buf)
+	if buf != nil {
+		c.offerTrace(buf, req, start, err)
+	}
+	return resp, err
+}
+
+func (c *Client) doRequest(req *protocol.Message, buf *span.Buf) (*protocol.Message, error) {
+	var t0 time.Time
+	if buf != nil {
+		t0 = time.Now()
+	}
 	cn, err := c.get()
+	if buf != nil {
+		buf.Record(span.StagePoolCheckout, span.RootID, t0, time.Since(t0))
+	}
 	if err != nil {
 		return nil, err
 	}
+	if buf != nil {
+		t0 = time.Now()
+	}
 	resp, err := c.roundtrip(cn, req)
+	if buf != nil {
+		buf.Record(span.StageRTT, span.RootID, t0, time.Since(t0))
+	}
 	if err != nil {
 		if errors.Is(err, protocol.ErrFrameTooLarge) {
 			c.put(cn) // local failure; the connection is untouched
@@ -315,11 +405,34 @@ type Tx struct {
 // rolled back server-side and later operations fail with a typed
 // txn-expired error.
 func (c *Client) Begin() (*Tx, error) {
+	req := &protocol.Message{Type: protocol.MsgBegin}
+	buf, start := c.traced(req)
+	tx, err := c.begin(req, buf)
+	if buf != nil {
+		c.offerTrace(buf, req, start, err)
+	}
+	return tx, err
+}
+
+func (c *Client) begin(req *protocol.Message, buf *span.Buf) (*Tx, error) {
+	var t0 time.Time
+	if buf != nil {
+		t0 = time.Now()
+	}
 	cn, err := c.get()
+	if buf != nil {
+		buf.Record(span.StagePoolCheckout, span.RootID, t0, time.Since(t0))
+	}
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.roundtrip(cn, &protocol.Message{Type: protocol.MsgBegin})
+	if buf != nil {
+		t0 = time.Now()
+	}
+	resp, err := c.roundtrip(cn, req)
+	if buf != nil {
+		buf.Record(span.StageRTT, span.RootID, t0, time.Since(t0))
+	}
 	if err != nil {
 		cn.close()
 		return nil, err
@@ -352,7 +465,23 @@ func (t *Tx) do(req *protocol.Message) (*protocol.Message, error) {
 	if t.done {
 		return nil, ErrTxDone
 	}
+	buf, start := t.c.traced(req)
+	resp, err := t.doPinned(req, buf)
+	if buf != nil {
+		t.c.offerTrace(buf, req, start, err)
+	}
+	return resp, err
+}
+
+func (t *Tx) doPinned(req *protocol.Message, buf *span.Buf) (*protocol.Message, error) {
+	var t0 time.Time
+	if buf != nil {
+		t0 = time.Now()
+	}
 	resp, err := t.c.roundtrip(t.cn, req)
+	if buf != nil {
+		buf.Record(span.StageRTT, span.RootID, t0, time.Since(t0))
+	}
 	if err != nil {
 		if errors.Is(err, protocol.ErrFrameTooLarge) {
 			return nil, err // local failure; transaction and conn stay live

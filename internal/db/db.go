@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/schema"
+	"repro/internal/span"
 	"repro/internal/sqlexec"
 	"repro/internal/sqlparse"
 	"repro/internal/storage"
@@ -78,6 +79,10 @@ type Options struct {
 	// (storage.ErrHistoryTruncated). 0 keeps all history resident — version
 	// chains grow without bound under sustained updates.
 	HistoryRetention int
+	// PlanCacheCap bounds distinct cached query texts in the plan cache
+	// (0 = the default cap). The multi-tenant adversarial workload sets it
+	// low to reproduce hit-ratio collapse and wholesale-reset storms.
+	PlanCacheCap int
 }
 
 // RecoveryInfo describes what the last Open did to rebuild state.
@@ -108,6 +113,12 @@ type TxMeta struct {
 	Handler  string
 	Func     string
 	Workflow string
+
+	// Spans, when non-nil, is the request's span buffer: the facade records
+	// parse/plan, execute, OCC-validate, WAL, and quorum stage spans into it
+	// (all recording is nil-safe, so untraced transactions pay one nil check
+	// per stage).
+	Spans *span.Buf
 }
 
 // ReadEvent is one read-provenance record: a base-table row a statement
@@ -161,8 +172,21 @@ type DB struct {
 	// durMu/durable map a commit sequence to the WAL LSN of its record: the
 	// CDC hook stores it under the store's commit lock, and Tx.Commit
 	// consumes it to block on group-commit durability outside that lock.
+	// walNs rides the same lock: when span timing is enabled it maps a
+	// commit sequence to how long its WAL append took, measured in the CDC
+	// hook (the WAL package is in the deterministic set, so the clock lives
+	// here) and consumed by the committer to split its commit window into
+	// occ_validate vs wal_append spans.
 	durMu   sync.Mutex
 	durable map[uint64]int64
+	walNs   map[uint64]int64
+
+	// spanTiming gates the walNs bookkeeping; spanSeqReg, when set, learns
+	// (commit seq → trace ID) the instant a traced commit lands, before
+	// replication can ship it, so outgoing log entries can be stamped with
+	// the originating trace.
+	spanTiming atomic.Bool
+	spanSeqReg func(seq, traceID uint64)
 
 	// ckptMu serializes checkpoints; DDL takes the read side so no schema
 	// change can slip between a snapshot and the log rotation that trusts it.
@@ -242,7 +266,7 @@ func Open(opts Options) (*DB, error) {
 		ckptRecords: opts.CheckpointRecords,
 		cdcRetain:   opts.CDCRetention,
 		histRetain:  opts.HistoryRetention,
-		plans:       newPlanCache(0),
+		plans:       newPlanCache(opts.PlanCacheCap),
 		ckptHist:    newCheckpointHist(),
 	}
 	if opts.Mode == Memory {
@@ -254,6 +278,7 @@ func Open(opts Options) (*DB, error) {
 	}
 	db.walPath = opts.Path
 	db.durable = make(map[uint64]int64)
+	db.walNs = make(map[uint64]int64)
 	if err := db.recover(opts.Path); err != nil {
 		return nil, err
 	}
@@ -268,20 +293,37 @@ func Open(opts Options) (*DB, error) {
 		// serialization order, but do NOT wait for durability here: the
 		// committer blocks in Tx.Commit (via waitDurable) after the lock is
 		// released, letting concurrent commits batch into one fsync.
+		timed := db.spanTiming.Load()
+		var t0 time.Time
+		if timed {
+			t0 = time.Now()
+		}
 		lsn, err := log.AppendCommitLSN(rec)
 		if err != nil {
 			return // sticky WAL failure; surfaced by waitDurable/Close
 		}
-		if opts.Sync == wal.SyncEachCommit {
+		if timed || opts.Sync == wal.SyncEachCommit {
 			db.durMu.Lock()
-			db.durable[rec.Seq] = lsn
+			if timed {
+				db.walNs[rec.Seq] = time.Since(t0).Nanoseconds()
+			}
+			if opts.Sync == wal.SyncEachCommit {
+				db.durable[rec.Seq] = lsn
+			}
 			// Writers that commit through Store() directly never consume
-			// their entries; prune long-stale ones so the map stays bounded
+			// their entries; prune long-stale ones so the maps stay bounded
 			// (a pruned entry's waiter falls back to a full WAL sync).
 			if len(db.durable) > 8192 {
 				for seq := range db.durable {
 					if seq+4096 < rec.Seq {
 						delete(db.durable, seq)
+					}
+				}
+			}
+			if len(db.walNs) > 8192 {
+				for seq := range db.walNs {
+					if seq+4096 < rec.Seq {
+						delete(db.walNs, seq)
 					}
 				}
 			}
@@ -477,7 +519,7 @@ func (db *DB) PlanShape(query string) string {
 	if !isPlannable(stmt) {
 		return ""
 	}
-	plan, err := db.planFor(query, stmt)
+	plan, err := db.planFor(query, stmt, nil, 0)
 	if err != nil {
 		return ""
 	}
@@ -550,8 +592,16 @@ func (db *DB) WALStats() wal.Stats {
 // fsync with every concurrently committing transaction (group commit). Under
 // SyncNever (or in Memory mode) it returns immediately.
 func (db *DB) waitDurable(seq uint64) error {
+	_, err := db.waitDurableLed(seq)
+	return err
+}
+
+// waitDurableLed is waitDurable, reporting whether this committer led the
+// fsync batch — the span layer labels the wait wal_fsync (leader) or
+// group_commit_wait (follower riding another leader's fsync).
+func (db *DB) waitDurableLed(seq uint64) (led bool, err error) {
 	if db.log == nil || db.syncPolicy != wal.SyncEachCommit {
-		return nil
+		return false, nil
 	}
 	db.durMu.Lock()
 	lsn, ok := db.durable[seq]
@@ -559,9 +609,32 @@ func (db *DB) waitDurable(seq uint64) error {
 	db.durMu.Unlock()
 	if !ok {
 		// The CDC append failed (sticky WAL error) — surface it.
-		return db.log.Sync()
+		return true, db.log.Sync()
 	}
-	return db.log.WaitDurable(lsn)
+	return db.log.WaitDurableLed(lsn)
+}
+
+// takeWALAppendNs consumes the measured WAL-append duration for a commit
+// sequence (0 when span timing is off or the entry was pruned).
+func (db *DB) takeWALAppendNs(seq uint64) int64 {
+	if seq == 0 || !db.spanTiming.Load() || db.log == nil {
+		return 0
+	}
+	db.durMu.Lock()
+	ns := db.walNs[seq]
+	delete(db.walNs, seq)
+	db.durMu.Unlock()
+	return ns
+}
+
+// SetSpanHooks enables span-stage timing on the commit path and installs
+// the commit-seq registration hook (reg may be nil): once on, the CDC hook
+// measures each commit's WAL append, and every traced commit reports
+// (seq, trace ID) to reg before replication can ship it. Install before the
+// database serves concurrent traffic.
+func (db *DB) SetSpanHooks(reg func(seq, traceID uint64)) {
+	db.spanSeqReg = reg
+	db.spanTiming.Store(true)
 }
 
 // ApplyCommit runs a pre-built storage commit through the facade's
@@ -905,22 +978,38 @@ func (db *DB) readOnlyViolation(stmt sqlparse.Statement) error {
 }
 
 func (db *DB) exec(meta TxMeta, query string, args ...any) (*Rows, error) {
+	// parse_plan covers the parse and the plan-cache lookup; compilation on
+	// a miss nests under it as plan_compile (recorded inside planFor). The
+	// span ID is reserved up front so the child can parent under it before
+	// the window closes.
+	sp := meta.Spans
+	var ppID uint32
+	var ppStart time.Time
+	if sp != nil {
+		ppStart = time.Now()
+		ppID = sp.Reserve(span.StageParsePlan, span.RootID)
+	}
 	stmt, err := db.parse(query)
 	if err != nil {
+		sp.Complete(ppID, ppStart, time.Since(ppStart))
 		return nil, err
 	}
 	if err := db.readOnlyViolation(stmt); err != nil {
+		sp.Complete(ppID, ppStart, time.Since(ppStart))
 		return nil, err
 	}
 	if isDDL(stmt) {
+		sp.Complete(ppID, ppStart, time.Since(ppStart))
 		return &Rows{}, db.execDDL(stmt)
 	}
 	switch stmt.(type) {
 	case *sqlparse.Begin, *sqlparse.Commit, *sqlparse.Rollback:
+		sp.Complete(ppID, ppStart, time.Since(ppStart))
 		return nil, errors.New("db: use Begin()/Tx.Commit()/Tx.Rollback() for transaction control")
 	}
 	vals, err := convertArgs(args)
 	if err != nil {
+		sp.Complete(ppID, ppStart, time.Since(ppStart))
 		return nil, err
 	}
 	if _, isSelect := stmt.(*sqlparse.Select); isSelect {
@@ -928,7 +1017,8 @@ func (db *DB) exec(meta TxMeta, query string, args ...any) (*Rows, error) {
 		// tracking, no validation, and — by construction — no conflict-retry
 		// loop: a snapshot read cannot be invalidated by concurrent writers.
 		tx := db.beginReadOnlyMeta(meta)
-		plan, err := db.planFor(query, stmt)
+		plan, err := db.planFor(query, stmt, sp, ppID)
+		sp.Complete(ppID, ppStart, time.Since(ppStart))
 		if err != nil {
 			tx.Rollback()
 			return nil, err
@@ -949,7 +1039,13 @@ func (db *DB) exec(meta TxMeta, query string, args ...any) (*Rows, error) {
 		// map lookup, and concurrent DDL between attempts (epoch bump)
 		// re-plans instead of running a stale catalog snapshot — matching
 		// the pre-plan-cache behaviour of resolving tables on every attempt.
-		plan, err := db.planFor(query, stmt)
+		plan, err := db.planFor(query, stmt, sp, ppID)
+		if ppID != 0 {
+			// The parse_plan window closes after the first attempt's lookup;
+			// retry-loop re-plans stand alone as plan_compile spans.
+			sp.Complete(ppID, ppStart, time.Since(ppStart))
+			ppID = 0
+		}
 		if err != nil {
 			return err
 		}
@@ -1173,6 +1269,12 @@ func (tx *Tx) Meta() TxMeta { return tx.meta }
 // SetMeta replaces the interposition metadata.
 func (tx *Tx) SetMeta(m TxMeta) { tx.meta = m }
 
+// SetSpanBuf points the transaction at a request's span buffer. Interactive
+// transactions span many wire requests, each with its own trace; the server
+// re-points the buffer per request so statement and commit spans land in
+// the trace of the request that triggered them.
+func (tx *Tx) SetSpanBuf(b *span.Buf) { tx.meta.Spans = b }
+
 // Inner exposes the low-level transaction (used by the TROD replay engine).
 func (tx *Tx) Inner() *txn.Txn { return tx.inner }
 
@@ -1200,7 +1302,15 @@ func (tx *Tx) Exec(query string, args ...any) (*Rows, error) {
 	}
 	var plan *sqlexec.Plan
 	if isPlannable(stmt) {
-		plan, err = tx.db.planFor(query, stmt)
+		sp := tx.meta.Spans
+		var ppID uint32
+		var ppStart time.Time
+		if sp != nil {
+			ppStart = time.Now()
+			ppID = sp.Reserve(span.StageParsePlan, span.RootID)
+		}
+		plan, err = tx.db.planFor(query, stmt, sp, ppID)
+		sp.Complete(ppID, ppStart, time.Since(ppStart))
 		if err != nil {
 			return nil, err
 		}
@@ -1236,12 +1346,20 @@ func (tx *Tx) execPlanned(stmt sqlparse.Statement, plan *sqlexec.Plan, query str
 			trace.Reads = append(trace.Reads, ReadEvent{Table: table, Row: row.Clone()})
 		}
 	}
+	sp := tx.meta.Spans
+	var est time.Time
+	if sp != nil {
+		est = time.Now()
+	}
 	var res *Rows
 	var err error
 	if plan != nil {
 		res, err = ex.Run(plan)
 	} else {
 		res, err = ex.Exec(stmt)
+	}
+	if sp != nil {
+		sp.Record(span.StageExecute, span.RootID, est, time.Since(est))
 	}
 	if err != nil {
 		return nil, err
@@ -1298,7 +1416,28 @@ func (tx *Tx) Commit() error {
 }
 
 func (tx *Tx) commit() error {
+	sp := tx.meta.Spans
+	var cstart time.Time
+	if sp != nil {
+		cstart = time.Now()
+	}
 	seq, err := tx.inner.Commit()
+	if sp != nil && (seq > 0 || err != nil) {
+		// The inner commit's window covers OCC validation + apply and, for a
+		// write, the WAL append the CDC hook performed under the commit
+		// lock; the CDC hook measured that append, so split the window into
+		// the two sibling stages instead of double-counting.
+		innerNs := time.Since(cstart).Nanoseconds()
+		walNs := tx.db.takeWALAppendNs(seq)
+		if walNs > innerNs {
+			walNs = innerNs
+		}
+		startNs := cstart.UnixNano()
+		sp.RecordNs(span.StageOCCValidate, span.RootID, startNs, innerNs-walNs, seq)
+		if walNs > 0 {
+			sp.RecordNs(span.StageWALAppend, span.RootID, startNs+innerNs-walNs, walNs, seq)
+		}
+	}
 	if err != nil {
 		var conflict *storage.ConflictError
 		if errors.As(err, &conflict) {
@@ -1309,13 +1448,41 @@ func (tx *Tx) commit() error {
 	}
 	var durErr, ackErr error
 	if err == nil && seq > 0 {
+		if sp != nil {
+			// Pin the trace to its commit sequence now — before replication
+			// can ship the commit — so outgoing log entries are stamped with
+			// the originating trace and the trace links to BeginAt replay.
+			sp.NoteSeq(seq)
+			if reg := tx.db.spanSeqReg; reg != nil {
+				reg(seq, sp.TraceID)
+			}
+		}
 		// A write commit produced a WAL record; block until it is durable.
 		// Read-only and no-op commits report seq 0 and have nothing to sync.
-		durErr = tx.db.waitDurable(seq)
+		var dstart time.Time
+		if sp != nil {
+			dstart = time.Now()
+		}
+		led, dErr := tx.db.waitDurableLed(seq)
+		durErr = dErr
+		if sp != nil {
+			stage := span.StageGroupCommitWait
+			if led {
+				stage = span.StageWALFsync
+			}
+			sp.RecordNs(stage, span.RootID, dstart.UnixNano(), time.Since(dstart).Nanoseconds(), seq)
+		}
 		if durErr == nil && tx.db.commitBarrier != nil {
 			// Locally durable; now clear the replication barrier (quorum
 			// acks) before acknowledging.
+			var qstart time.Time
+			if sp != nil {
+				qstart = time.Now()
+			}
 			ackErr = tx.db.commitBarrier(seq)
+			if sp != nil {
+				sp.RecordNs(span.StageQuorumWait, span.RootID, qstart.UnixNano(), time.Since(qstart).Nanoseconds(), seq)
+			}
 		}
 	}
 	trace := TxnTrace{
@@ -1461,22 +1628,36 @@ func (db *DB) SetCommitBarrier(fn func(seq uint64) error) { db.commitBarrier = f
 // are duplicates from a reconnect or bootstrap overlap and are skipped.
 // Callers must apply records from a single goroutine in stream order.
 func (db *DB) ApplyReplicatedCommit(rec storage.CommitRecord) error {
+	_, _, err := db.ApplyReplicatedCommitSpans(rec)
+	return err
+}
+
+// ApplyReplicatedCommitSpans is ApplyReplicatedCommit, reporting how the
+// apply's time split between the store apply and the replica's own WAL
+// append — the replica-side repl_apply / repl_wal_append stages of a traced
+// commit. Both are 0 for skipped duplicates. The clock lives here because
+// storage and wal are in the deterministic set.
+func (db *DB) ApplyReplicatedCommitSpans(rec storage.CommitRecord) (applyNs, walNs int64, err error) {
 	if rec.Seq <= db.store.CurrentSeq() {
-		return nil // overlap with already-applied state (resubscribe/bootstrap)
+		return 0, 0, nil // overlap with already-applied state (resubscribe/bootstrap)
 	}
+	t0 := time.Now()
 	if err := db.store.ApplyCommitted(rec); err != nil {
-		return err
+		return 0, 0, err
 	}
+	applyNs = time.Since(t0).Nanoseconds()
 	if db.log != nil {
 		// A checkpoint can rotate between the store apply and this append,
 		// duplicating the record in the new log's tail; recovery skips
 		// duplicate sequences, so that is harmless.
+		t1 := time.Now()
 		if err := db.log.AppendCommit(rec); err != nil {
-			return fmt.Errorf("db: replicated commit %d not logged: %w", rec.Seq, err)
+			return applyNs, 0, fmt.Errorf("db: replicated commit %d not logged: %w", rec.Seq, err)
 		}
+		walNs = time.Since(t1).Nanoseconds()
 	}
 	db.maybeCheckpoint()
-	return nil
+	return applyNs, walNs, nil
 }
 
 // ApplyReplicatedDDL applies one DDL statement shipped from a replication

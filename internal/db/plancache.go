@@ -3,7 +3,9 @@ package db
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/span"
 	"repro/internal/sqlexec"
 	"repro/internal/sqlparse"
 )
@@ -131,12 +133,22 @@ func (db *DB) PlanCacheStats() PlanCacheStats {
 
 // planFor returns the cached physical plan for (query, current schema epoch),
 // compiling and caching it on miss. stmt must be the parsed form of query.
-func (db *DB) planFor(query string, stmt sqlparse.Statement) (*sqlexec.Plan, error) {
+// A compile on miss is recorded as a plan_compile span into sp (nil-safe)
+// under parent — the signal that separates cache-thrash latency (compile
+// dominating) from execution latency in a trace.
+func (db *DB) planFor(query string, stmt sqlparse.Statement, sp *span.Buf, parent uint32) (*sqlexec.Plan, error) {
 	epoch := db.store.SchemaEpoch()
 	if p, ok := db.plans.plan(query, epoch); ok {
 		return p, nil
 	}
+	var t0 time.Time
+	if sp != nil {
+		t0 = time.Now()
+	}
 	p, err := sqlexec.Compile(stmt, db.store)
+	if sp != nil {
+		sp.Record(span.StagePlanCompile, parent, t0, time.Since(t0))
+	}
 	if err != nil {
 		return nil, err
 	}

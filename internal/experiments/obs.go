@@ -22,18 +22,21 @@ import (
 	"repro/internal/protocol"
 	"repro/internal/runtime"
 	"repro/internal/server"
+	"repro/internal/span"
 	"repro/internal/trace"
 	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
-// ObsResult is the observability experiment's outcome: two adversarial
+// ObsResult is the observability experiment's outcome: three adversarial
 // workloads driven against fully instrumented servers, with the Prometheus
-// endpoint scraped mid-run (not after the dust settles) and the slow-query
-// log's provenance links resolved against the trace database.
+// endpoint scraped mid-run (not after the dust settles), the slow-query
+// log's provenance links resolved against the trace database, and span
+// capture read back to locate where a thrashing workload's time went.
 type ObsResult struct {
-	HotKey   *ObsHotKeyResult
-	OpenLoop *ObsOpenLoopResult
+	HotKey    *ObsHotKeyResult
+	OpenLoop  *ObsOpenLoopResult
+	PlanCache *ObsPlanCacheResult
 }
 
 // ObsHotKeyResult records the hot-key conflict storm: read-modify-write
@@ -82,6 +85,33 @@ type ObsOpenLoopResult struct {
 	QueueWaitAvgMs float64 // histogram sum/count
 	MidRunWaiters  float64 // trod_server_queued_conns as scraped mid-burst
 	ScrapeSeries   int
+}
+
+// ObsPlanCacheResult records the multi-tenant plan-cache pressure run:
+// hundreds-to-thousands of per-tenant query texts round-robined against a
+// deliberately small query-text-keyed plan cache. The cache collapses —
+// near-zero hit ratio, repeated wholesale resets — and span capture is the
+// instrument that proves where the time went: plan_compile dominating
+// execute across the sampled traces.
+type ObsPlanCacheResult struct {
+	Workers      int
+	OpsPerWorker int
+	Tenants      int
+	CacheCap     int
+	Queries      int // tenant queries issued
+	DurationMs   float64
+
+	CacheHits   uint64
+	CacheMisses uint64
+	CacheResets uint64
+	HitPct      float64 // hits / (hits + misses)
+
+	TracesKept      int     // sampled traces retained by the collector
+	PlanCompileMs   float64 // summed plan_compile time across kept traces
+	ExecuteMs       float64 // summed execute time across kept traces
+	CompileShare    float64 // plan-compile share of compile+execute, percent
+	ScrapeCompileN  float64 // trod_span_stage_seconds_count{stage="plan_compile"}
+	ScrapeHasSeries bool    // the stage histogram series appeared on /metrics
 }
 
 // scrapeMetrics GETs a /metrics endpoint and parses the exposition text into
@@ -553,8 +583,185 @@ func (r *ObsOpenLoopResult) Err() error {
 	return nil
 }
 
-// RunObs runs both observability workloads at the given scale.
-func RunObs(workers, opsPerWorker, bursts, perBurst int) (*ObsResult, error) {
+// obsPlanCacheCap is the deliberately undersized plan-cache capacity for the
+// multi-tenant pressure run: far fewer slots than tenant query texts.
+const obsPlanCacheCap = 64
+
+// RunObsPlanCache drives the multi-tenant plan-cache pressure workload:
+// `tenants` per-tenant tables (distinct query text per tenant) queried
+// uniformly against a cache capped at obsPlanCacheCap entries. The cache
+// collapses — near-zero hit ratio, repeated wholesale resets — and the run
+// proves it with span capture: every request traced (sample rate 1), and the
+// aggregated plan_compile time across kept traces dominating execute time.
+func RunObsPlanCache(workers, opsPerWorker, tenants int) (*ObsPlanCacheResult, error) {
+	if workers <= 0 || opsPerWorker <= 0 || tenants <= 0 {
+		return nil, fmt.Errorf("experiments: obs plancache needs positive workers/ops/tenants, got %d/%d/%d",
+			workers, opsPerWorker, tenants)
+	}
+	if tenants <= 4*obsPlanCacheCap {
+		return nil, fmt.Errorf("experiments: obs plancache needs tenants >> cache cap, got %d vs %d",
+			tenants, obsPlanCacheCap)
+	}
+	d, err := db.Open(db.Options{PlanCacheCap: obsPlanCacheCap})
+	if err != nil {
+		return nil, err
+	}
+	defer d.Close()
+	var ddl strings.Builder
+	for i := 0; i < tenants; i++ {
+		ddl.WriteString(workload.TenantSchema(i))
+		ddl.WriteByte('\n')
+	}
+	if err := d.ExecScript(ddl.String()); err != nil {
+		return nil, err
+	}
+	for base := 0; base < tenants; base += 500 {
+		tx := d.Begin()
+		for i := base; i < base+500 && i < tenants; i++ {
+			if _, err := tx.Exec(workload.TenantSeed(i)); err != nil {
+				tx.Rollback()
+				return nil, err
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Sample rate 1: this run's whole point is reading the thrash out of the
+	// spans, so keep every trace and size the ring to hold them all.
+	col := span.NewCollector(span.CollectorOptions{Sample: 1, Capacity: workers*opsPerWorker + 16})
+	srv, err := server.New(server.Config{
+		DB:       d,
+		MaxConns: workers + 2,
+		Spans:    col,
+	})
+	if err != nil {
+		return nil, err
+	}
+	reg := metrics.NewRegistry()
+	d.RegisterMetrics(reg)
+	srv.RegisterMetrics(reg)
+	ms, err := metrics.ServeHTTP("127.0.0.1:0", reg, func() error { return nil })
+	if err != nil {
+		return nil, err
+	}
+	defer ms.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	addr := ln.Addr().String()
+
+	plan := workload.TenantPlan(workers, opsPerWorker, tenants, 7)
+	type workerOut struct {
+		queries int
+		err     error
+	}
+	outs := make([]workerOut, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out := &outs[w]
+			cl, err := client.Dial(addr, client.Options{PoolSize: 1})
+			if err != nil {
+				out.err = err
+				return
+			}
+			defer cl.Close()
+			for _, t := range plan[w] {
+				if _, err := cl.Query(workload.TenantQuery(t)); err != nil {
+					out.err = err
+					return
+				}
+				out.queries++
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Scrape before shutdown: the per-stage histogram must expose the
+	// compile storm on /metrics, not only in the raw traces.
+	series, scrapeErr := scrapeMetrics("http://" + ms.Addr() + "/metrics")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return nil, fmt.Errorf("experiments: obs shutdown: %w", err)
+	}
+	if err := <-serveDone; err != nil {
+		return nil, fmt.Errorf("experiments: obs serve: %w", err)
+	}
+	if scrapeErr != nil {
+		return nil, fmt.Errorf("experiments: plan-cache scrape: %w", scrapeErr)
+	}
+
+	res := &ObsPlanCacheResult{
+		Workers:      workers,
+		OpsPerWorker: opsPerWorker,
+		Tenants:      tenants,
+		CacheCap:     obsPlanCacheCap,
+		DurationMs:   float64(elapsed.Nanoseconds()) / 1e6,
+	}
+	for i := range outs {
+		if outs[i].err != nil {
+			return nil, fmt.Errorf("experiments: obs tenant worker %d: %w", i, outs[i].err)
+		}
+		res.Queries += outs[i].queries
+	}
+	st := d.PlanCacheStats()
+	res.CacheHits, res.CacheMisses, res.CacheResets = st.Hits, st.Misses, st.Resets
+	if n := st.Hits + st.Misses; n > 0 {
+		res.HitPct = 100 * float64(st.Hits) / float64(n)
+	}
+	for _, t := range col.Traces() {
+		res.TracesKept++
+		bd := span.BreakdownMs(t.Spans)
+		res.PlanCompileMs += bd["plan_compile"]
+		res.ExecuteMs += bd["execute"]
+	}
+	if tot := res.PlanCompileMs + res.ExecuteMs; tot > 0 {
+		res.CompileShare = 100 * res.PlanCompileMs / tot
+	}
+	key := `trod_span_stage_seconds_count{stage="plan_compile"}`
+	res.ScrapeCompileN, res.ScrapeHasSeries = series[key], false
+	if _, ok := series[key]; ok {
+		res.ScrapeHasSeries = true
+	}
+	return res, nil
+}
+
+// Err returns a non-nil error when the plan-cache run failed to reproduce the
+// collapse, or when span capture failed to locate the time in plan_compile.
+func (r *ObsPlanCacheResult) Err() error {
+	switch {
+	case r.Queries == 0:
+		return fmt.Errorf("obs plancache: no tenant queries issued")
+	case r.CacheResets == 0:
+		return fmt.Errorf("obs plancache: no wholesale cache resets at cap %d under %d tenants",
+			r.CacheCap, r.Tenants)
+	case r.CacheMisses <= r.CacheHits:
+		return fmt.Errorf("obs plancache: hit ratio did not collapse (%d hits, %d misses)",
+			r.CacheHits, r.CacheMisses)
+	case r.TracesKept == 0:
+		return fmt.Errorf("obs plancache: tail sampler at rate 1 kept no traces")
+	case r.PlanCompileMs <= r.ExecuteMs:
+		return fmt.Errorf("obs plancache: plan_compile (%.2fms) did not dominate execute (%.2fms) in spans",
+			r.PlanCompileMs, r.ExecuteMs)
+	case !r.ScrapeHasSeries || r.ScrapeCompileN == 0:
+		return fmt.Errorf("obs plancache: plan_compile stage histogram missing or empty on /metrics")
+	}
+	return nil
+}
+
+// RunObs runs all three observability workloads at the given scale.
+func RunObs(workers, opsPerWorker, bursts, perBurst, tenants int) (*ObsResult, error) {
 	hk, err := RunObsHotKey(workers, opsPerWorker)
 	if err != nil {
 		return nil, err
@@ -569,5 +776,12 @@ func RunObs(workers, opsPerWorker, bursts, perBurst int) (*ObsResult, error) {
 	if err := ol.Err(); err != nil {
 		return nil, err
 	}
-	return &ObsResult{HotKey: hk, OpenLoop: ol}, nil
+	pc, err := RunObsPlanCache(workers, 3*opsPerWorker, tenants)
+	if err != nil {
+		return nil, err
+	}
+	if err := pc.Err(); err != nil {
+		return nil, err
+	}
+	return &ObsResult{HotKey: hk, OpenLoop: ol, PlanCache: pc}, nil
 }

@@ -356,6 +356,16 @@ type Message struct {
 	// granted epoch). Receivers reject frames from a stale epoch with a
 	// typed fenced error.
 	Epoch uint64
+
+	// TraceID/ParentSpan are the request's trace context (MsgQuery,
+	// MsgExec, MsgBegin, MsgCommit, MsgRollback). They ride as trailing
+	// fields appended only when TraceID is nonzero: an untraced request is
+	// byte-identical to the pre-tracing encoding, and old decoders ignore
+	// trailing bytes, so tracing-unaware peers interoperate in both
+	// directions. ParentSpan is the sender's span ID the server-side tree
+	// hangs under.
+	TraceID    uint64
+	ParentSpan uint64
 }
 
 // LogEntry is one replication stream element: either a committed CDC record
@@ -371,6 +381,12 @@ type LogEntry struct {
 	// while sizing batches, so each commit is serialized once per
 	// subscriber, not twice. Never set by DecodeMessage.
 	EncodedCommit []byte
+
+	// TraceID, when nonzero, is the trace of the request that produced
+	// this commit; the entry is shipped with the traced entry kind and the
+	// replica tags its apply spans with it, correlating replica-side work
+	// back to the originating request.
+	TraceID uint64
 }
 
 // IsDDL reports whether the entry carries a DDL statement.
@@ -466,6 +482,9 @@ func EncodeMessage(dst []byte, m *Message) []byte {
 	case MsgQuery, MsgExec:
 		dst = appendString(dst, m.SQL)
 		dst = value.EncodeRow(dst, m.Args)
+		dst = appendTraceContext(dst, m)
+	case MsgBegin, MsgCommit, MsgRollback:
+		dst = appendTraceContext(dst, m)
 	case MsgResult:
 		dst = binary.AppendUvarint(dst, uint64(len(m.Columns)))
 		for _, c := range m.Columns {
@@ -508,10 +527,19 @@ func EncodeMessage(dst []byte, m *Message) []byte {
 		dst = binary.AppendUvarint(dst, uint64(len(m.Entries)))
 		for i := range m.Entries {
 			e := &m.Entries[i]
-			if e.IsDDL() {
+			switch {
+			case e.IsDDL():
 				dst = append(dst, entryDDL)
 				dst = appendString(dst, e.DDL)
-			} else {
+			case e.TraceID != 0:
+				dst = append(dst, entryCommitTraced)
+				dst = binary.AppendUvarint(dst, e.TraceID)
+				if e.EncodedCommit != nil {
+					dst = appendBytes(dst, e.EncodedCommit)
+				} else {
+					dst = appendBytes(dst, wal.EncodeCommit(nil, e.Commit))
+				}
+			default:
 				dst = append(dst, entryCommit)
 				if e.EncodedCommit != nil {
 					dst = appendBytes(dst, e.EncodedCommit)
@@ -535,7 +563,40 @@ func EncodeMessage(dst []byte, m *Message) []byte {
 const (
 	entryCommit = 0
 	entryDDL    = 1
+	// entryCommitTraced is a commit entry prefixed with the originating
+	// request's trace ID; sources emit it only for commits whose trace is
+	// being recorded, so untraced streams are byte-identical to before.
+	entryCommitTraced = 2
 )
+
+// appendTraceContext appends the optional trailing trace context. Nothing
+// is written for an untraced message — zero bytes on the wire — and
+// decodeTraceContext reads the fields back only if the payload has bytes
+// left, so tracing-unaware peers interoperate unchanged.
+func appendTraceContext(dst []byte, m *Message) []byte {
+	if m.TraceID == 0 {
+		return dst
+	}
+	dst = binary.AppendUvarint(dst, m.TraceID)
+	return binary.AppendUvarint(dst, m.ParentSpan)
+}
+
+// decodeTraceContext probes for the trailing trace context on a request
+// payload. A missing ParentSpan after a present TraceID is corrupt: the two
+// are always written together.
+func decodeTraceContext(m *Message, payload []byte, off int) (int, error) {
+	if off >= len(payload) {
+		return off, nil
+	}
+	var err error
+	if m.TraceID, off, err = readUvarint(payload, off); err != nil {
+		return 0, err
+	}
+	if m.ParentSpan, off, err = readUvarint(payload, off); err != nil {
+		return 0, err
+	}
+	return off, nil
+}
 
 // preallocCap bounds a decode-side slice preallocation derived from an
 // attacker-controlled count: real counts still come out in one allocation,
@@ -574,7 +635,11 @@ func DecodeMessage(payload []byte) (*Message, error) {
 	off := 1
 	var err error
 	switch m.Type {
-	case MsgPing, MsgPong, MsgBegin, MsgCommit, MsgRollback, MsgStats:
+	case MsgPing, MsgPong, MsgStats:
+	case MsgBegin, MsgCommit, MsgRollback:
+		if off, err = decodeTraceContext(m, payload, off); err != nil {
+			return nil, err
+		}
 	case MsgQuery, MsgExec:
 		if m.SQL, off, err = readString(payload, off); err != nil {
 			return nil, err
@@ -584,6 +649,9 @@ func DecodeMessage(payload []byte) (*Message, error) {
 			return nil, fmt.Errorf("protocol: args: %w", err)
 		}
 		off += used
+		if off, err = decodeTraceContext(m, payload, off); err != nil {
+			return nil, err
+		}
 	case MsgResult:
 		var n uint64
 		if n, off, err = readUvarint(payload, off); err != nil {
@@ -729,7 +797,15 @@ func DecodeMessage(payload []byte) (*Message, error) {
 				if e.DDL == "" {
 					return nil, fmt.Errorf("protocol: empty DDL entry")
 				}
-			case entryCommit:
+			case entryCommit, entryCommitTraced:
+				if kind == entryCommitTraced {
+					if e.TraceID, off, err = readUvarint(payload, off); err != nil {
+						return nil, err
+					}
+					if e.TraceID == 0 {
+						return nil, fmt.Errorf("protocol: traced entry %d with zero trace ID", i)
+					}
+				}
 				var body []byte
 				if body, off, err = readBytes(payload, off); err != nil {
 					return nil, err

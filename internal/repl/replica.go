@@ -31,6 +31,13 @@ type ReplicaOptions struct {
 	// the same node (every node can be promoted). nil attaches a private
 	// in-memory epoch 0.
 	Epoch *Epoch
+	// SpanSink, when set, receives apply timings for traced commits — log
+	// entries the primary stamped with the originating request's trace ID
+	// (see protocol.LogEntry.TraceID). start is when the apply began,
+	// applyNs/walNs split the work between replaying the commit into the
+	// store and appending it to the replica's own WAL. Untraced entries
+	// never reach the sink.
+	SpanSink func(traceID, seq uint64, start time.Time, applyNs, walNs int64)
 }
 
 func (o *ReplicaOptions) withDefaults() ReplicaOptions {
@@ -350,9 +357,20 @@ func (r *Replica) session() (bool, error) {
 			}
 			for i := range msg.Entries {
 				e := &msg.Entries[i]
-				if e.IsDDL() {
+				switch {
+				case e.IsDDL():
 					err = r.db.ApplyReplicatedDDL(e.DDL)
-				} else {
+				case e.TraceID != 0 && r.opts.SpanSink != nil:
+					// The primary sampled this commit's request; time the
+					// replica-side apply so the trace shows the full
+					// replication cost, correlated by commit sequence.
+					start := time.Now()
+					var applyNs, walNs int64
+					applyNs, walNs, err = r.db.ApplyReplicatedCommitSpans(e.Commit)
+					if err == nil && applyNs+walNs > 0 {
+						r.opts.SpanSink(e.TraceID, e.Commit.Seq, start, applyNs, walNs)
+					}
+				default:
 					err = r.db.ApplyReplicatedCommit(e.Commit)
 				}
 				if err != nil {

@@ -74,6 +74,12 @@ type SourceOptions struct {
 	// 15s — several subscriber heartbeats). Pre-failover subscribers that
 	// never ack are disconnected after this timeout.
 	AckTimeout time.Duration
+	// TraceFor, when set, resolves a commit sequence to the trace ID of the
+	// request that produced it (0 = untraced). Traced commits ship as traced
+	// log entries, so replicas can tag their apply spans with the
+	// originating request's trace. The span collector's TraceForSeq is the
+	// canonical hook.
+	TraceFor func(seq uint64) uint64
 }
 
 func (o *SourceOptions) withDefaults() SourceOptions {
@@ -734,7 +740,11 @@ func (s *Source) buildBatch(pos uint64, cursor int, head uint64) ([]protocol.Log
 		if len(batch) > 0 && bytes+len(enc) > s.opts.BatchBytes {
 			break // ship what we have; the big record opens the next frame
 		}
-		batch = append(batch, protocol.LogEntry{Commit: rec, EncodedCommit: enc})
+		e := protocol.LogEntry{Commit: rec, EncodedCommit: enc}
+		if s.opts.TraceFor != nil {
+			e.TraceID = s.opts.TraceFor(rec.Seq)
+		}
+		batch = append(batch, e)
 		bytes += len(enc)
 		pos = rec.Seq
 		ci++

@@ -1,0 +1,117 @@
+package repl_test
+
+import (
+	"net"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/db"
+	"repro/internal/repl"
+	"repro/internal/server"
+	"repro/internal/span"
+)
+
+// TestReplicaTraceIDPropagation follows one traced write across the cluster:
+// the primary's server assigns the trace ID, the db commit path registers the
+// commit seq against it, the replication source stamps the outgoing log
+// entry, and the replica's span sink reports apply/WAL-append timings under
+// the originating request's trace ID.
+func TestReplicaTraceIDPropagation(t *testing.T) {
+	dir := t.TempDir()
+
+	col := span.NewCollector(span.CollectorOptions{Sample: 1})
+	d, err := db.Open(db.Options{Mode: db.Disk, Path: filepath.Join(dir, "p.wal")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	srcOpts := fastSource()
+	srcOpts.TraceFor = col.TraceForSeq
+	src := repl.NewSource(d, srcOpts)
+	srv, err := server.New(server.Config{DB: d, Source: src, Spans: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	p := &primary{t: t, db: d, src: src, srv: srv, addr: ln.Addr().String(), done: done}
+	t.Cleanup(func() { p.stop() })
+
+	type applied struct {
+		traceID, seq   uint64
+		applyNs, walNs int64
+	}
+	var mu sync.Mutex
+	var sunk []applied
+	rd, err := db.Open(db.Options{Mode: db.Disk, Path: filepath.Join(dir, "r.wal")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rd.Close() })
+	rd.SetReadOnly(true)
+	ropts := fastReplica()
+	ropts.SpanSink = func(traceID, seq uint64, start time.Time, applyNs, walNs int64) {
+		mu.Lock()
+		sunk = append(sunk, applied{traceID, seq, applyNs, walNs})
+		mu.Unlock()
+	}
+	r := repl.StartReplica(rd, p.addr, ropts)
+	t.Cleanup(r.Stop)
+
+	c, err := client.Dial(p.addr, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Exec(`CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec(`INSERT INTO t VALUES (1, 7)`); err != nil {
+		t.Fatal(err)
+	}
+	waitCaughtUp(t, p, r)
+
+	// The primary kept the insert's trace (sample rate 1) with its commit seq.
+	var ins *span.Trace
+	for _, tr := range col.Traces() {
+		if tr.Kind == "exec" && tr.Seq != 0 {
+			ins = tr
+		}
+	}
+	if ins == nil {
+		t.Fatal("primary kept no committed exec trace")
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	var got *applied
+	for i := range sunk {
+		if sunk[i].seq == ins.Seq {
+			got = &sunk[i]
+		}
+	}
+	if got == nil {
+		t.Fatalf("replica sink never saw seq %d (sunk: %+v)", ins.Seq, sunk)
+	}
+	if got.traceID != ins.TraceID {
+		t.Fatalf("replica apply for seq %d carries trace %d, primary request was trace %d",
+			got.seq, got.traceID, ins.TraceID)
+	}
+	if got.applyNs <= 0 || got.walNs <= 0 {
+		t.Fatalf("replica apply timings not split: apply=%dns wal=%dns", got.applyNs, got.walNs)
+	}
+	// DDL ships as a DDL entry and never reaches the sink, so every sunk
+	// entry must carry a nonzero trace ID.
+	for _, a := range sunk {
+		if a.traceID == 0 {
+			t.Fatalf("sink received an untraced entry: %+v", a)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/protocol"
+	"repro/internal/span"
 )
 
 // timedConn stamps the arrival time of the first byte of each request frame.
@@ -86,6 +87,13 @@ func (s *Server) newInstruments() {
 	s.queueWaitHist = metrics.NewHistogram("trod_server_queue_wait_seconds",
 		"Time a connection spent waiting for a session slot in the admission queue (timed-out waiters included).",
 		nil)
+	s.spanVec = metrics.NewHistogramVec("trod_span_stage_seconds",
+		"Duration of traced request stages (sampled requests only), by span stage.",
+		"stage", nil)
+	s.spanByStage = make([]*metrics.Histogram, 0, len(span.Stages()))
+	for _, name := range span.Stages() {
+		s.spanByStage = append(s.spanByStage, s.spanVec.With(name))
+	}
 }
 
 // observeRequest records one served request's end-to-end latency.
@@ -135,6 +143,24 @@ func (s *Server) RegisterMetrics(reg *metrics.Registry) {
 		func() uint64 { return s.expiredTxns.Load() })
 	reg.Register(s.latVec)
 	reg.Register(s.queueWaitHist)
+	reg.Register(s.spanVec)
+	if c := s.cfg.Spans; c.Enabled() {
+		reg.CounterFunc("trod_span_traces_started_total",
+			"Completed traced requests offered a tail-sampling decision.",
+			func() uint64 { return c.Stats().Started })
+		reg.CounterFunc("trod_span_traces_kept_total",
+			"Traces kept by tail sampling (errors, conflicts, over-threshold, and the probabilistic sample).",
+			func() uint64 { return c.Stats().Kept })
+		reg.CounterFunc("trod_span_traces_sampled_out_total",
+			"Traces dropped by the probabilistic tail sampler.",
+			func() uint64 { return c.Stats().Sampled })
+		reg.CounterFunc("trod_span_store_inserted_total",
+			"Kept traces written to the trod_spans system table.",
+			func() uint64 { return s.spanStore.inserted.Load() })
+		reg.CounterFunc("trod_span_store_dropped_total",
+			"Kept traces dropped before reaching trod_spans (writer queue full or insert failure).",
+			func() uint64 { return s.spanStore.dropped.Load() })
+	}
 
 	if src := s.cfg.Source; src != nil {
 		reg.GaugeFunc("trod_repl_subscribers",
@@ -230,9 +256,12 @@ type slowEntry struct {
 	Session   uint64  `json:"session"`
 	Type      string  `json:"type"`
 	LatencyMs float64 `json:"latency_ms"`
-	SQL       string  `json:"sql"`
+	SQL       string  `json:"sql,omitempty"`
 	Plan      string  `json:"plan,omitempty"`
 	Status    string  `json:"status"`
+	// Spans is the per-stage millisecond breakdown of the request when span
+	// tracing recorded one — where the slow request's time actually went.
+	Spans map[string]float64 `json:"spans,omitempty"`
 }
 
 func (l *slowLog) emit(e slowEntry) {
@@ -249,23 +278,32 @@ func (l *slowLog) emit(e slowEntry) {
 // slowCheck emits a slow-query line for a just-served statement when the
 // slow-query log is enabled and the frame-to-response latency crossed the
 // threshold. Plan shape is computed here — a plan-cache lookup in the
-// common case, and only for statements already past the threshold.
-func (ss *session) slowCheck(req *protocol.Message, lat time.Duration) {
+// common case, and only for statements already past the threshold. Commits
+// are logged too (a commit stalled on fsync or the quorum barrier is a slow
+// statement in every way that matters); their lines carry the transaction's
+// provenance request ID and no SQL or plan. buf, when non-nil, contributes
+// the per-stage spans breakdown.
+func (ss *session) slowCheck(req *protocol.Message, lat time.Duration, buf *span.Buf) {
 	srv := ss.srv
 	if srv.slow == nil || lat < srv.cfg.SlowQueryThreshold {
 		return
 	}
-	if req.Type != protocol.MsgQuery && req.Type != protocol.MsgExec {
+	isStmt := req.Type == protocol.MsgQuery || req.Type == protocol.MsgExec
+	if !isStmt && req.Type != protocol.MsgCommit {
 		return
 	}
-	srv.slow.emit(slowEntry{
+	e := slowEntry{
 		Time:      time.Now().UTC().Format(time.RFC3339Nano),
 		ReqID:     ss.lastReqID,
 		Session:   ss.id,
 		Type:      msgTypeName(req.Type),
 		LatencyMs: float64(lat.Microseconds()) / 1000,
-		SQL:       req.SQL,
-		Plan:      srv.cfg.DB.PlanShape(req.SQL),
 		Status:    ss.lastStatus,
-	})
+		Spans:     span.BreakdownMs(buf.Spans()),
+	}
+	if isStmt {
+		e.SQL = req.SQL
+		e.Plan = srv.cfg.DB.PlanShape(req.SQL)
+	}
+	srv.slow.emit(e)
 }

@@ -223,13 +223,20 @@ func TestSlowQueryLogLinksToProvenance(t *testing.T) {
 		}
 		lines = append(lines, l)
 	}
-	// exec(insert), query(select), exec(insert in txn): three statements.
-	if len(lines) != 3 {
-		t.Fatalf("slow-query lines = %d, want 3:\n%s", len(lines), slow.String())
+	// exec(insert), query(select), exec(insert in txn), and the interactive
+	// commit — commits are slow statements too (fsync, quorum) and log
+	// without SQL or plan, under the transaction's request ID.
+	if len(lines) != 4 {
+		t.Fatalf("slow-query lines = %d, want 4:\n%s", len(lines), slow.String())
 	}
-	var sawSelect bool
+	var sawSelect, sawCommit bool
 	for _, l := range lines {
-		if l.Status != "ok" || l.SQL == "" || l.LatencyMs <= 0 {
+		if l.Type == "commit" {
+			sawCommit = true
+			if l.SQL != "" || l.Plan != "" {
+				t.Errorf("commit line carries SQL/plan: %+v", l)
+			}
+		} else if l.Status != "ok" || l.SQL == "" || l.LatencyMs <= 0 {
 			t.Errorf("bad slow-query line: %+v", l)
 		}
 		if !strings.HasPrefix(l.ReqID, "R") {
@@ -253,5 +260,8 @@ func TestSlowQueryLogLinksToProvenance(t *testing.T) {
 	}
 	if !sawSelect {
 		t.Error("no SELECT line in the slow-query log")
+	}
+	if !sawCommit {
+		t.Error("no commit line in the slow-query log")
 	}
 }

@@ -44,6 +44,7 @@ import (
 	"repro/internal/protocol"
 	"repro/internal/repl"
 	"repro/internal/runtime"
+	"repro/internal/span"
 	"repro/internal/storage"
 )
 
@@ -96,6 +97,12 @@ type Config struct {
 	// SlowQueryOutput receives slow-query lines (required to enable the
 	// slow-query log; typically stderr or an opened log file).
 	SlowQueryOutput io.Writer
+	// Spans, when set, enables request-scoped span tracing: every query,
+	// exec, and transaction-control request records a cross-layer span tree,
+	// tail-sampled at completion by this collector. Kept traces land in the
+	// self-hosted trod_spans system table (queryable over normal SQL) and
+	// every recorded stage feeds the trod_span_stage_seconds histograms.
+	Spans *span.Collector
 }
 
 func (c *Config) withDefaults() Config {
@@ -157,6 +164,11 @@ type Server struct {
 	latOther      *metrics.Histogram
 	queueWaitHist *metrics.Histogram
 	slow          *slowLog // nil unless the slow-query log is enabled
+
+	// Span tracing (nil/empty unless cfg.Spans is set; see spans.go).
+	spanVec     *metrics.HistogramVec
+	spanByStage []*metrics.Histogram // indexed by span.Stage
+	spanStore   *spanStore           // trod_spans system table
 }
 
 // New returns an unstarted server; call Serve with a listener.
@@ -175,6 +187,18 @@ func New(cfg Config) (*Server, error) {
 	s.newInstruments()
 	if cfg.SlowQueryThreshold > 0 && cfg.SlowQueryOutput != nil {
 		s.slow = &slowLog{w: cfg.SlowQueryOutput}
+	}
+	if cfg.Spans.Enabled() {
+		st, err := newSpanStore()
+		if err != nil {
+			return nil, fmt.Errorf("server: spans store: %w", err)
+		}
+		s.spanStore = st
+		// Kept traces flow to the trod_spans table; commit sequences map back
+		// to their trace so the replication source can stamp outgoing log
+		// entries (and replicas can correlate their apply spans).
+		cfg.Spans.SetOnKeep(st.enqueue)
+		cfg.DB.SetSpanHooks(cfg.Spans.RegisterSeq)
 	}
 	return s, nil
 }
@@ -266,7 +290,8 @@ func (s *Server) admit(conn net.Conn) {
 		}
 	}
 	s.accepted.Add(1)
-	sess := &session{srv: s, conn: &timedConn{Conn: conn}, id: s.nextSession.Add(1)}
+	sess := &session{srv: s, conn: &timedConn{Conn: conn}, id: s.nextSession.Add(1),
+		queueWait: time.Since(enqueued)}
 	s.mu.Lock()
 	s.sessions[sess] = struct{}{}
 	s.mu.Unlock()
@@ -337,6 +362,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
+	if s.spanStore != nil {
+		s.spanStore.close()
+	}
 	return s.cfg.DB.Checkpoint()
 }
 
@@ -358,6 +386,9 @@ func (s *Server) Kill() {
 	s.mu.Unlock()
 	if ln != nil {
 		ln.Close()
+	}
+	if s.spanStore != nil {
+		s.spanStore.close()
 	}
 }
 
@@ -466,6 +497,10 @@ type session struct {
 	// goroutine only.
 	lastReqID  string
 	lastStatus string
+
+	// queueWait is the admission-queue wait this connection experienced; the
+	// first traced request records it as a queue_wait span, then zeroes it.
+	queueWait time.Duration
 }
 
 func (ss *session) workflow() string { return fmt.Sprintf("session-%d", ss.id) }
@@ -520,8 +555,13 @@ func (ss *session) serve() {
 				start = t0
 			}
 		}
-		resp := ss.handle(req)
+		buf := ss.startTrace(req, start)
+		resp := ss.handle(req, buf)
 		ss.conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
+		var wStart time.Time
+		if buf != nil {
+			wStart = time.Now()
+		}
 		wErr := protocol.WriteMessage(ss.conn, resp)
 		if wErr != nil && errors.Is(wErr, protocol.ErrFrameTooLarge) {
 			// Nothing was written; answer with a typed error instead of
@@ -532,9 +572,15 @@ func (ss *session) serve() {
 				wErr = nil
 			}
 		}
+		if buf != nil {
+			buf.Record(span.StageFrameWrite, span.RootID, wStart, time.Since(wStart))
+		}
 		lat := time.Since(start)
 		ss.srv.observeRequest(req.Type, lat)
-		ss.slowCheck(req, lat)
+		if buf != nil {
+			ss.completeTrace(buf, req, start, lat)
+		}
+		ss.slowCheck(req, lat, buf)
 		if wErr != nil {
 			return
 		}
@@ -568,8 +614,9 @@ func errMsg(code protocol.ErrCode, format string, args ...any) *protocol.Message
 
 // handle serves one request message. Every frame counts as one request —
 // statements inside interactive transactions and Commit/Rollback included —
-// so Stats.Requests reflects the protocol load actually served.
-func (ss *session) handle(req *protocol.Message) *protocol.Message {
+// so Stats.Requests reflects the protocol load actually served. sp is the
+// request's span buffer (nil when tracing is off or the type is untraced).
+func (ss *session) handle(req *protocol.Message, sp *span.Buf) *protocol.Message {
 	ss.srv.requests.Add(1)
 	switch req.Type {
 	case protocol.MsgPing:
@@ -579,11 +626,11 @@ func (ss *session) handle(req *protocol.Message) *protocol.Message {
 	case protocol.MsgBegin:
 		return ss.begin()
 	case protocol.MsgCommit:
-		return ss.commit()
+		return ss.commit(sp)
 	case protocol.MsgRollback:
 		return ss.rollbackTx()
 	case protocol.MsgQuery, protocol.MsgExec:
-		return ss.execSQL(req)
+		return ss.execSQL(req, sp)
 	case protocol.MsgPromote:
 		return ss.promote(req)
 	default:
@@ -613,9 +660,11 @@ func (ss *session) promote(req *protocol.Message) *protocol.Message {
 
 func (ss *session) begin() *protocol.Message {
 	if ss.srv.readOnly.Load() {
+		ss.lastStatus = "error"
 		return errMsg(protocol.CodeReadOnly, "this server is a read-only replica; run transactions on the primary")
 	}
 	if ss.tx != nil {
+		ss.lastStatus = "error"
 		return errMsg(protocol.CodeTxnState, "session already has an open transaction")
 	}
 	reqID, finish := ss.srv.startRequest("remote-txn", nil)
@@ -624,15 +673,24 @@ func (ss *session) begin() *protocol.Message {
 	ss.tx = srv.cfg.DB.BeginInteractive(meta, srv.cfg.TxnTimeout, func() { srv.expiredTxns.Add(1) })
 	ss.txFinish = finish
 	ss.txReqID = reqID
+	ss.lastReqID = reqID
+	ss.lastStatus = "ok"
 	srv.activeTxns.Add(1)
 	return &protocol.Message{Type: protocol.MsgTxState, TxnID: ss.tx.ID()}
 }
 
-func (ss *session) commit() *protocol.Message {
+func (ss *session) commit(sp *span.Buf) *protocol.Message {
 	if ss.tx == nil {
+		ss.lastStatus = "error"
 		return errMsg(protocol.CodeTxnState, "no open transaction to commit")
 	}
+	// The commit request owns the transaction's final spans (OCC validation,
+	// WAL append, fsync/group-commit wait, quorum wait) and is attributed to
+	// the transaction's provenance request ID in traces and the slow log.
+	ss.tx.SetSpanBuf(sp)
+	ss.lastReqID = ss.txReqID
 	err := ss.tx.Commit()
+	ss.lastStatus = statementStatus(err)
 	seq := ss.tx.Inner().CommitSeq()
 	txnID := ss.tx.ID()
 	ss.endTxn(err)
@@ -645,9 +703,12 @@ func (ss *session) commit() *protocol.Message {
 
 func (ss *session) rollbackTx() *protocol.Message {
 	if ss.tx == nil {
+		ss.lastStatus = "error"
 		return errMsg(protocol.CodeTxnState, "no open transaction to roll back")
 	}
 	txnID := ss.tx.ID()
+	ss.lastReqID = ss.txReqID
+	ss.lastStatus = "ok"
 	ss.tx.Rollback()
 	ss.endTxn(errors.New("rolled back"))
 	return &protocol.Message{Type: protocol.MsgTxState, TxnID: txnID}
@@ -655,7 +716,11 @@ func (ss *session) rollbackTx() *protocol.Message {
 
 // execSQL runs one statement: on the session's interactive transaction when
 // one is open, otherwise autocommit (with the engine's conflict retry).
-func (ss *session) execSQL(req *protocol.Message) *protocol.Message {
+// Statements over the trod_spans system table route to the spans store.
+func (ss *session) execSQL(req *protocol.Message, sp *span.Buf) *protocol.Message {
+	if ss.srv.spanStore != nil && usesSpanTable(req.SQL) {
+		return ss.execSpansSQL(req)
+	}
 	args := make([]any, len(req.Args))
 	for i, v := range req.Args {
 		args[i] = v
@@ -664,6 +729,9 @@ func (ss *session) execSQL(req *protocol.Message) *protocol.Message {
 	var err error
 	if ss.tx != nil {
 		ss.lastReqID = ss.txReqID
+		// Each request's spans land in its own buffer; set (or clear) the
+		// transaction's buffer every statement.
+		ss.tx.SetSpanBuf(sp)
 		rows, err = ss.tx.Exec(req.SQL, args...)
 		if errors.Is(err, db.ErrTxnExpired) {
 			// The deadline watcher already rolled the transaction back;
@@ -673,7 +741,7 @@ func (ss *session) execSQL(req *protocol.Message) *protocol.Message {
 	} else {
 		reqID, finish := ss.srv.startRequest("remote", runtime.Args{"sql": req.SQL})
 		ss.lastReqID = reqID
-		meta := db.TxMeta{ReqID: reqID, Handler: "remote", Func: "autocommit", Workflow: ss.workflow()}
+		meta := db.TxMeta{ReqID: reqID, Handler: "remote", Func: "autocommit", Workflow: ss.workflow(), Spans: sp}
 		rows, err = ss.srv.cfg.DB.ExecMeta(meta, req.SQL, args...)
 		finish(nil, err)
 		if err == nil && rows != nil && rows.RowsAffected > 0 {

@@ -1,0 +1,116 @@
+package span
+
+import (
+	"testing"
+	"time"
+)
+
+// fixtureTrace builds the deterministic trace used by the golden render test:
+// a write request whose time went mostly to the WAL fsync, with a plan
+// compile nested under parse.
+func fixtureTrace() *Trace {
+	base := int64(1_000_000_000)
+	ms := int64(time.Millisecond)
+	spans := []Span{
+		{ID: 1, Parent: 0, Stage: StageRequest, Start: base, Dur: 10 * ms, Seq: 9},
+		{ID: 2, Parent: 1, Stage: StageParsePlan, Start: base, Dur: 1 * ms},
+		{ID: 3, Parent: 2, Stage: StagePlanCompile, Start: base, Dur: 8 * ms / 10},
+		{ID: 4, Parent: 1, Stage: StageExecute, Start: base + 1*ms, Dur: 2 * ms},
+		{ID: 5, Parent: 1, Stage: StageWALFsync, Start: base + 3*ms, Dur: 65 * ms / 10, Seq: 9},
+	}
+	return &Trace{
+		TraceID: 7,
+		ReqID:   "R12",
+		Kind:    "exec",
+		Status:  "ok",
+		Wall:    10 * time.Millisecond,
+		Start:   time.Unix(0, base),
+		Seq:     9,
+		Spans:   spans,
+	}
+}
+
+func TestRenderGolden(t *testing.T) {
+	const want = `trace 7 req R12 exec status=ok wall 10.00ms
+└─ request 10.00ms seq=9 *
+   ├─ parse_plan 1.00ms (10.0%)
+   │  └─ plan_compile 0.80ms (8.0%)
+   ├─ execute 2.00ms (20.0%)
+   └─ wal_fsync 6.50ms (65.0%) seq=9 *
+`
+	if got := Render(fixtureTrace()); got != want {
+		t.Fatalf("render mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestRenderNoSpans(t *testing.T) {
+	got := Render(&Trace{TraceID: 1, ReqID: "R1", Kind: "query", Status: "ok"})
+	const want = "trace 1 req R1 query status=ok wall 0.00ms\n(no spans)\n"
+	if got != want {
+		t.Fatalf("empty render = %q, want %q", got, want)
+	}
+}
+
+// TestRenderOrphanReparent: spans whose parent span is absent from the buffer
+// (a dropped parent, or a root carrying a remote parent ID) render under the
+// root instead of vanishing.
+func TestRenderOrphanReparent(t *testing.T) {
+	tr := &Trace{
+		TraceID: 2, ReqID: "R2", Kind: "query", Status: "ok", Wall: time.Millisecond,
+		Spans: []Span{
+			{ID: 1, Parent: 99, Stage: StageRequest, Start: 0, Dur: int64(time.Millisecond)},
+			{ID: 5, Parent: 42, Stage: StageExecute, Start: 0, Dur: int64(time.Millisecond / 2)},
+		},
+	}
+	got := Render(tr)
+	const want = `trace 2 req R2 query status=ok wall 1.00ms
+└─ request 1.00ms *
+   └─ execute 0.50ms (50.0%) *
+`
+	if got != want {
+		t.Fatalf("orphan render = %q, want %q", got, want)
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	crit := CriticalPath(fixtureTrace().Spans)
+	for id, want := range map[uint32]bool{1: true, 2: false, 3: false, 4: false, 5: true} {
+		if crit[id] != want {
+			t.Fatalf("critical path for span %d = %v, want %v", id, crit[id], want)
+		}
+	}
+}
+
+func TestBreakdownMs(t *testing.T) {
+	bd := BreakdownMs(fixtureTrace().Spans)
+	want := map[string]float64{
+		"parse_plan":   1.0,
+		"plan_compile": 0.8,
+		"execute":      2.0,
+		"wal_fsync":    6.5,
+	}
+	if len(bd) != len(want) {
+		t.Fatalf("breakdown = %v, want %v", bd, want)
+	}
+	for k, v := range want {
+		if bd[k] != v {
+			t.Fatalf("breakdown[%s] = %v, want %v", k, bd[k], v)
+		}
+	}
+	if BreakdownMs(nil) != nil {
+		t.Fatal("empty breakdown should be nil")
+	}
+	if got := BreakdownMs([]Span{{ID: 1, Stage: StageRequest, Dur: 5}}); got != nil {
+		t.Fatalf("root-only breakdown should be nil, got %v", got)
+	}
+}
+
+func TestStageSumNs(t *testing.T) {
+	// Sum is parse+execute+fsync: the root and the nested plan_compile are
+	// excluded (the former is the wall itself, the latter double-counts its
+	// parse_plan parent).
+	want := int64(9_500_000)
+	if got := StageSumNs(fixtureTrace().Spans); got != want {
+		t.Fatalf("StageSumNs = %d, want %d", got, want)
+	}
+}

@@ -56,7 +56,7 @@ type Txn struct {
 	store     *storage.Store
 	id        uint64
 	snapshot  uint64
-	reads     *storage.ReadSet // nil for read-only transactions
+	reads     *storage.ReadSet                    // nil for read-only transactions
 	writes    map[string]map[string]*pendingWrite // lowercased table -> key
 	state     State
 	readOnly  bool

@@ -225,26 +225,37 @@ func writeFrame(w io.Writer, rt RecordType, payload []byte) (int, error) {
 // flush or fsync is sticky: the WAL cannot tell which buffered bytes reached
 // the disk, so every later operation reports the same error.
 func (l *Log) WaitDurable(lsn int64) error {
+	_, err := l.WaitDurableLed(lsn)
+	return err
+}
+
+// WaitDurableLed is WaitDurable, additionally reporting whether this caller
+// led an fsync batch (true) or rode another leader's fsync (false). The db
+// facade uses the distinction to label commit-latency spans wal_fsync vs
+// group_commit_wait; this package is in the deterministic set, so the
+// timing itself happens in the caller.
+func (l *Log) WaitDurableLed(lsn int64) (led bool, err error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	for {
 		if l.syncErr != nil {
-			return l.syncErr
+			return led, l.syncErr
 		}
 		if l.synced >= lsn {
-			return nil
+			return led, nil
 		}
 		if l.closed {
-			return errors.New("wal: log closed before sync")
+			return led, errors.New("wal: log closed before sync")
 		}
 		if !l.syncing {
+			led = true
 			l.syncing = true
 			upTo := l.appended
 			if err := l.w.Flush(); err != nil {
 				l.syncing = false
 				l.syncErr = fmt.Errorf("wal: flush: %w", err)
 				l.durable.Broadcast()
-				return l.syncErr
+				return led, l.syncErr
 			}
 			f, delay := l.f, l.syncDelay
 			l.mu.Unlock()

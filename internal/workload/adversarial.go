@@ -1,9 +1,11 @@
 // Adversarial load shapes for the observability experiments: workloads
 // designed to light up the metrics the happy-path benchmarks never move —
-// commit-conflict storms and admission-queue pressure.
+// commit-conflict storms, admission-queue pressure, and multi-tenant
+// plan-cache thrash.
 package workload
 
 import (
+	"fmt"
 	"math/rand"
 	"time"
 )
@@ -45,4 +47,45 @@ func BurstArrivals(bursts, perBurst int, gap time.Duration) []time.Duration {
 		}
 	}
 	return offsets
+}
+
+// TenantTable names tenant i's table. Every tenant gets its own table and
+// therefore its own query texts — the shape produced by per-tenant schemas in
+// multi-tenant services, and the shape that defeats a query-text-keyed plan
+// cache.
+func TenantTable(i int) string { return fmt.Sprintf("tenant_%04d", i) }
+
+// TenantSchema is tenant i's DDL.
+func TenantSchema(i int) string {
+	return fmt.Sprintf("CREATE TABLE %s (id INTEGER PRIMARY KEY, n INTEGER);", TenantTable(i))
+}
+
+// TenantSeed is the statement that gives tenant i's table its one row.
+func TenantSeed(i int) string {
+	return fmt.Sprintf("INSERT INTO %s VALUES (1, 0)", TenantTable(i))
+}
+
+// TenantQuery is tenant i's read. Distinct text per tenant: with tenants >>
+// the plan-cache capacity, steady-state traffic round-robining the tenant
+// population gets a near-zero hit ratio and periodic wholesale cache resets.
+// The extra predicates cost the planner (the part being measured) without
+// costing execution — the scan is still a one-row point lookup.
+func TenantQuery(i int) string {
+	return fmt.Sprintf("SELECT id, n FROM %s WHERE id = 1 AND n >= 0 AND n < 1000000", TenantTable(i))
+}
+
+// TenantPlan deals each worker a deterministic sequence of tenant choices
+// spanning the whole tenant population — plan-cache pressure needs breadth,
+// not skew, so choices are uniform over all tenants.
+func TenantPlan(workers, opsPerWorker, tenants int, seed int64) [][]int {
+	plan := make([][]int, workers)
+	for w := range plan {
+		rng := rand.New(rand.NewSource(seed + int64(w)*2862933555777941757))
+		seq := make([]int, opsPerWorker)
+		for i := range seq {
+			seq[i] = rng.Intn(tenants)
+		}
+		plan[w] = seq
+	}
+	return plan
 }
